@@ -1,0 +1,70 @@
+// Ablation: the /32 drop rate is a property of the *peer policy mix*, not
+// of blackholing itself.
+//
+// Section 7.1 argues the ~50% /32 drop rate stems from operators never
+// whitelisting host routes. Here the same scenario runs under three policy
+// worlds: everyone fully configured, the paper-calibrated mix, and a stock
+// world where nobody whitelists anything beyond /24.
+#include "common.hpp"
+#include "core/pipeline.hpp"
+
+namespace {
+
+double rate32(const bw::core::AnalysisReport& report) {
+  for (const auto& s : report.drop.by_length) {
+    if (s.length == 32) return s.packet_drop_rate();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bw;
+  std::cout << "[ablation-policy] regenerating one scenario under three "
+               "policy worlds (small scale, uncached)...\n";
+
+  struct World {
+    const char* name;
+    double accept_all;
+    double whitelist;
+    double classful;
+    double reject;
+    double inconsistent;
+  };
+  const World worlds[] = {
+      {"everyone fully configured", 1.00, 0.00, 0.00, 0.00, 0.00},
+      {"paper-calibrated mix", 0.12, 0.30, 0.40, 0.05, 0.13},
+      {"stock configs only (<= /24)", 0.00, 0.00, 0.95, 0.05, 0.00},
+  };
+
+  util::TextTable table({"policy world", "/32 packets dropped",
+                         "/24 packets dropped"});
+  auto csv = bench::open_csv("ablation_policy_mix",
+                             {"world", "drop32", "drop24"});
+  for (const World& w : worlds) {
+    gen::ScenarioConfig cfg;
+    cfg.scale = 0.08;
+    cfg.policy_accept_all = w.accept_all;
+    cfg.policy_whitelist_host = w.whitelist;
+    cfg.policy_classful_only = w.classful;
+    cfg.policy_reject_all = w.reject;
+    cfg.policy_inconsistent = w.inconsistent;
+    const core::ScenarioRun run = core::run_scenario(cfg, std::string{});
+    const auto report = core::run_pipeline(run.dataset);
+    double r24 = 0.0;
+    for (const auto& s : report.drop.by_length) {
+      if (s.length == 24) r24 = s.packet_drop_rate();
+    }
+    table.add_row({w.name, util::fmt_percent(rate32(report), 1),
+                   util::fmt_percent(r24, 1)});
+    csv->write_row({w.name, util::fmt_double(rate32(report), 4),
+                    util::fmt_double(r24, 4)});
+  }
+  bench::print_header("Ablation", "peer policy mix vs drop rates");
+  std::cout << table;
+  bench::print_paper_row(
+      "reading", "the 50% /32 drop rate is operator configuration,",
+      "not a protocol property: full configuration recovers ~100%");
+  return 0;
+}

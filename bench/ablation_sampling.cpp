@@ -1,0 +1,51 @@
+// Ablation: how sampling density shapes the measurement study.
+//
+// The paper stresses (Sections 5.2, 6.3, 8) that 1:10,000 sampling is the
+// binding constraint of the whole methodology: 46% of pre-RTBH events show
+// no packets at all, and collateral-damage analysis "relies on packet
+// samples". This ablation regenerates the same scenario at three sampling
+// densities and shows how the headline statistics move.
+#include "common.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+  using namespace bw;
+  std::cout << "[ablation-sampling] regenerating one scenario at three "
+               "sampling densities (small scale, uncached)...\n";
+
+  util::TextTable table({"sampling", "flow records", "no-data share",
+                         "anomaly<=10m share", "clients", "servers"});
+  auto csv = bench::open_csv("ablation_sampling",
+                             {"rate", "records", "no_data", "anomaly10m",
+                              "clients", "servers"});
+  for (const std::uint32_t rate : {1000u, 10000u, 100000u}) {
+    gen::ScenarioConfig cfg;
+    // Small scale: the 1:1000 leg produces ~10x the records of the default.
+    cfg.scale = 0.03;
+    cfg.sampling_rate = rate;
+    const core::ScenarioRun run = core::run_scenario(cfg, std::string{});
+    const auto report = core::run_pipeline(run.dataset);
+    const double total = static_cast<double>(report.pre.total());
+    const double no_data = static_cast<double>(report.pre.no_data) / total;
+    const double anomaly =
+        static_cast<double>(report.pre.data_anomaly_10m) / total;
+    table.add_row({"1:" + std::to_string(rate),
+                   util::fmt_count(static_cast<std::int64_t>(
+                       run.dataset.flows().size())),
+                   util::fmt_percent(no_data, 1), util::fmt_percent(anomaly, 1),
+                   std::to_string(report.ports.clients),
+                   std::to_string(report.ports.servers)});
+    csv->write_row({std::to_string(rate),
+                    std::to_string(run.dataset.flows().size()),
+                    util::fmt_double(no_data, 4), util::fmt_double(anomaly, 4),
+                    std::to_string(report.ports.clients),
+                    std::to_string(report.ports.servers)});
+  }
+  bench::print_header("Ablation", "sampling density vs headline statistics");
+  std::cout << table;
+  bench::print_paper_row(
+      "reading", "denser sampling -> fewer blind pre-windows,",
+      "more DDoS correlation and more classifiable hosts; 1:100k washes "
+      "the study out");
+  return 0;
+}

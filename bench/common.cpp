@@ -1,0 +1,43 @@
+#include "common.hpp"
+
+#include <filesystem>
+
+namespace bw::bench {
+
+std::unique_ptr<util::CsvWriter> open_csv(
+    const std::string& name, const std::vector<std::string>& header) {
+  std::filesystem::create_directories(csv_dir());
+  return std::make_unique<util::CsvWriter>(
+      std::string(csv_dir()) + "/" + name + ".csv", header);
+}
+
+Experiment load_experiment(const char* title) {
+  gen::ScenarioConfig config = core::default_benchmark_scenario();
+  std::cout << "[" << title << "] corpus: scale " << config.scale << " ("
+            << config.scaled(config.members) << " members, "
+            << config.scaled(config.rtbh_events)
+            << " scheduled events, 104 days)\n";
+  core::ScenarioRun run = core::run_scenario(config);
+  const auto s = run.dataset.summary();
+  std::cout << "[" << title << "] "
+            << util::fmt_count(static_cast<std::int64_t>(s.control_updates))
+            << " BGP updates, "
+            << util::fmt_count(static_cast<std::int64_t>(s.flow_records))
+            << " sampled records, "
+            << util::fmt_count(static_cast<std::int64_t>(s.blackholed_prefixes))
+            << " blackholed prefixes\n";
+  core::AnalysisReport report = core::run_pipeline(run.dataset);
+  return Experiment{std::move(config), std::move(run), std::move(report)};
+}
+
+void print_header(const char* id, const char* caption) {
+  std::cout << "\n=== " << id << ": " << caption << " ===\n";
+}
+
+void print_paper_row(const std::string& what, const std::string& paper,
+                     const std::string& measured) {
+  std::cout << "  " << what << ": paper " << paper << " | measured "
+            << measured << "\n";
+}
+
+}  // namespace bw::bench

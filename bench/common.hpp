@@ -1,0 +1,49 @@
+// Shared support for the exp_* reproduction harnesses.
+//
+// Every harness regenerates one table or figure of the paper from the
+// synthetic corpus. The corpus is produced once per (scale, seed) and
+// cached on disk ($BW_CACHE_DIR, default ./bw_cache), so running the whole
+// bench directory costs one generation plus cheap analyses. Scale defaults
+// to 0.25 of the paper's population; override with BW_SCALE=1.0 for a
+// full-size run.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace bw::bench {
+
+inline const char* csv_dir() {
+  const char* dir = std::getenv("BW_CSV_DIR");
+  return dir != nullptr ? dir : "bench_out";
+}
+
+/// Open a CSV for a figure's series; creates the output directory.
+std::unique_ptr<util::CsvWriter> open_csv(
+    const std::string& name, const std::vector<std::string>& header);
+
+struct Experiment {
+  gen::ScenarioConfig config;
+  core::ScenarioRun run;
+  core::AnalysisReport report;
+};
+
+/// Load (or generate) the default benchmark corpus and run the pipeline.
+/// Prints a one-line corpus summary so every harness output is
+/// self-describing.
+Experiment load_experiment(const char* title);
+
+/// Header helper: "=== Fig. 5: ... ===".
+void print_header(const char* id, const char* caption);
+
+/// Footer comparing one headline number with the paper.
+void print_paper_row(const std::string& what, const std::string& paper,
+                     const std::string& measured);
+
+}  // namespace bw::bench

@@ -1,0 +1,42 @@
+// Figure 2: maximum-likelihood estimate of the time offset between the
+// control-plane (BGP) and data-plane (IPFIX) clocks.
+//
+// Paper result: maximum overlap of 99.36% at an offset of -0.04 s.
+// Our collector injects a -40 ms skew plus 10 ms NTP jitter; the estimator
+// must recover it from dropped-packet/blackhole-announcement consistency.
+#include "common.hpp"
+#include "core/time_offset.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig02");
+
+  core::OffsetConfig cfg;
+  cfg.min_offset = -util::kSecond;
+  cfg.max_offset = util::kSecond;
+  cfg.step = 10;
+  const auto est = core::estimate_offset(exp.run.dataset, cfg);
+
+  bench::print_header("Fig. 2", "control/data plane time-offset MLE");
+  util::TextTable table({"offset [s]", "overlap"});
+  auto csv = bench::open_csv("fig02_time_offset", {"offset_ms", "overlap"});
+  for (const auto& p : est.curve) {
+    csv->write_row({std::to_string(p.offset), util::fmt_double(p.overlap, 5)});
+    if (p.offset % 100 == 0) {  // table shows a coarse slice of the curve
+      table.add_row({util::fmt_double(static_cast<double>(p.offset) / 1000.0, 2),
+                     util::fmt_percent(p.overlap, 2)});
+    }
+  }
+  std::cout << table;
+
+  // Report in the paper's sign convention (data-plane clock skew).
+  const double skew_s = -static_cast<double>(est.best_offset) / 1000.0;
+  bench::print_paper_row("estimated data-plane clock offset", "-0.04 s",
+                         util::fmt_double(skew_s, 3) + " s");
+  bench::print_paper_row("maximum overlap", "99.36%",
+                         util::fmt_percent(est.best_overlap, 2));
+  bench::print_paper_row(
+      "dropped samples evaluated", "~50M (unsampled: 50M drops)",
+      util::fmt_count(static_cast<std::int64_t>(est.dropped_samples)));
+  return 0;
+}

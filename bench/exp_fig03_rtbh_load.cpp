@@ -1,0 +1,58 @@
+// Figure 3: number of active parallel RTBHs over time plus BGP message
+// rate (Section 3.2).
+//
+// Paper: on average 1,107 parallel RTBHs from 78 peers for 170 origin
+// ASes; at most 1,400 parallel prefixes; message rate below 500/min with
+// spikes up to 793/min. Counts scale with BW_SCALE.
+#include "common.hpp"
+#include "core/load.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig03");
+  const auto load = core::compute_load(exp.run.dataset, util::kMinute);
+
+  bench::print_header("Fig. 3", "active parallel RTBHs over time");
+  util::TextTable table({"day", "active prefixes", "messages/min (max in day)"});
+  auto csv = bench::open_csv("fig03_rtbh_load",
+                             {"minute", "active_prefixes", "messages"});
+  for (std::size_t i = 0; i < load.series.size(); ++i) {
+    const auto& p = load.series[i];
+    csv->write_row({std::to_string(i), std::to_string(p.active_prefixes),
+                    std::to_string(p.messages)});
+  }
+  // Daily digest for the text table.
+  const std::size_t mins_per_day = 24 * 60;
+  for (std::size_t day = 0; day * mins_per_day < load.series.size(); ++day) {
+    if (day % 7 != 0) continue;  // weekly rows keep the table short
+    std::size_t max_msgs = 0;
+    std::size_t active = 0;
+    for (std::size_t m = day * mins_per_day;
+         m < std::min((day + 1) * mins_per_day, load.series.size()); ++m) {
+      max_msgs = std::max(max_msgs, load.series[m].messages);
+      active = std::max(active, load.series[m].active_prefixes);
+    }
+    table.add_row({std::to_string(day), std::to_string(active),
+                   std::to_string(max_msgs)});
+  }
+  std::cout << table;
+
+  const double scale = exp.config.scale;
+  bench::print_paper_row(
+      "mean parallel RTBHs", "1,107 (x scale = " +
+          util::fmt_double(1107 * scale, 0) + ")",
+      util::fmt_double(load.mean_active, 0));
+  bench::print_paper_row(
+      "max parallel RTBHs", "1,400 (x scale = " +
+          util::fmt_double(1400 * scale, 0) + ")",
+      std::to_string(load.max_active));
+  bench::print_paper_row("announcing peers", "78 (x scale = " +
+                             util::fmt_double(78 * scale, 0) + ")",
+                         std::to_string(load.announcing_peers));
+  bench::print_paper_row("RTBH origin ASes", "170 (x scale = " +
+                             util::fmt_double(170 * scale, 0) + ")",
+                         std::to_string(load.origin_ases));
+  bench::print_paper_row("max messages/min", "793 (x scale)",
+                         std::to_string(load.max_messages_per_slot));
+  return 0;
+}

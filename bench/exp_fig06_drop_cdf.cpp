@@ -1,0 +1,60 @@
+// Figure 6: CDF of per-event dropped-traffic shares for /24 and /32 RTBH
+// prefixes (Section 4.2).
+//
+// Paper: /24 drop rates range 82-100% with a median of 97% (predictable);
+// /32 spans almost 0-100% with quartiles 30% / 53% / 88% (unpredictable).
+#include "common.hpp"
+#include "util/bootstrap.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig06");
+  const auto& drop = exp.report.drop;
+
+  bench::print_header("Fig. 6", "per-event drop-rate CDF, /24 vs /32");
+  auto csv =
+      bench::open_csv("fig06_drop_cdf", {"length", "drop_rate", "cdf"});
+  util::TextTable table({"quantile", "/24 drop rate", "/32 drop rate"});
+  for (const double q : {0.05, 0.25, 0.50, 0.75, 0.95}) {
+    table.add_row({util::fmt_percent(q, 0),
+                   util::fmt_percent(util::quantile(drop.event_rates_len24, q), 1),
+                   util::fmt_percent(util::quantile(drop.event_rates_len32, q), 1)});
+  }
+  std::cout << table;
+  for (const auto& p : util::empirical_cdf(drop.event_rates_len24)) {
+    csv->write_row({"24", util::fmt_double(p.value, 4),
+                    util::fmt_double(p.cumulative_fraction, 4)});
+  }
+  for (const auto& p : util::empirical_cdf(drop.event_rates_len32)) {
+    csv->write_row({"32", util::fmt_double(p.value, 4),
+                    util::fmt_double(p.cumulative_fraction, 4)});
+  }
+
+  bench::print_paper_row(
+      "/32 quartiles (q1/median/q3)", "30% / 53% / 88%",
+      util::fmt_percent(util::quantile(drop.event_rates_len32, 0.25), 0) +
+          " / " +
+          util::fmt_percent(util::quantile(drop.event_rates_len32, 0.50), 0) +
+          " / " +
+          util::fmt_percent(util::quantile(drop.event_rates_len32, 0.75), 0));
+  bench::print_paper_row(
+      "/24 median (range)", "97% (82-100%)",
+      util::fmt_percent(util::quantile(drop.event_rates_len24, 0.50), 0) +
+          " (" + util::fmt_percent(util::quantile(drop.event_rates_len24, 0.0), 0) +
+          "-" +
+          util::fmt_percent(util::quantile(drop.event_rates_len24, 1.0), 0) +
+          ")");
+  bench::print_paper_row(
+      "events in the CDFs (/24, /32)", "(all /24, /32 events with traffic)",
+      std::to_string(drop.event_rates_len24.size()) + ", " +
+          std::to_string(drop.event_rates_len32.size()));
+  const auto median_ci =
+      util::bootstrap_quantile_ci(drop.event_rates_len32, 0.5);
+  bench::print_paper_row(
+      "/32 median, 95% bootstrap CI", "53%",
+      util::fmt_percent(median_ci.estimate, 1) + " [" +
+          util::fmt_percent(median_ci.lo, 1) + ", " +
+          util::fmt_percent(median_ci.hi, 1) + "]");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 8: PeeringDB organisation types of the top-100 source ASes (by
+// traffic towards /32 RTBHs), split by whether they accept host blackholes.
+//
+// Paper: most ASes that do not (or only partially) accept blackhole routes
+// are network service providers (NSPs) — surprising, since those should be
+// best-prepared for complex BGP configuration.
+#include "common.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig08");
+  const auto rows =
+      core::type_top_sources(exp.report.drop, exp.run.registry, 100);
+
+  bench::print_header("Fig. 8",
+                      "PeeringDB org types of the top-100 source ASes");
+  util::TextTable table({"org type", "droppers (>99%)", "forwarders/partial"});
+  auto csv = bench::open_csv("fig08_pdb_types",
+                             {"org_type", "droppers", "others"});
+  std::size_t nsp_others = 0;
+  std::size_t total_others = 0;
+  for (const auto& r : rows) {
+    table.add_row({std::string(pdb::to_string(r.type)),
+                   std::to_string(r.droppers), std::to_string(r.others)});
+    csv->write_row({std::string(pdb::to_string(r.type)),
+                    std::to_string(r.droppers), std::to_string(r.others)});
+    if (r.type == pdb::OrgType::kNsp) nsp_others += r.others;
+    total_others += r.others;
+  }
+  std::cout << table;
+
+  bench::print_paper_row(
+      "largest non-accepting group", "NSP",
+      total_others > 0 && nsp_others * 3 >= total_others ? "NSP-heavy"
+                                                         : "mixed");
+  bench::print_paper_row(
+      "NSP share of non-accepting top sources", "(dominant)",
+      total_others > 0
+          ? util::fmt_percent(static_cast<double>(nsp_others) /
+                                  static_cast<double>(total_others),
+                              0)
+          : "n/a");
+  return 0;
+}

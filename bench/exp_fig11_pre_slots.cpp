@@ -1,0 +1,58 @@
+// Figure 11: cumulative number of 5-minute time slots contributing traffic
+// samples within the 72 hours before each RTBH event (Section 5.2).
+//
+// Paper: only 18k of 34k pre-RTBH events show any sampled traffic (46%
+// show none); 13k of those have data in at most 24 slots — very sparse.
+#include "common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig11");
+  const auto& pre = exp.report.pre;
+
+  bench::print_header("Fig. 11", "slots with data in pre-RTBH windows");
+  std::vector<double> slot_counts;
+  for (const auto& r : pre.per_event) {
+    if (r.has_data) slot_counts.push_back(static_cast<double>(r.slots_with_data));
+  }
+  const auto cdf = util::empirical_cdf(slot_counts);
+  auto csv = bench::open_csv("fig11_pre_slots",
+                             {"slots_with_data", "cumulative_events"});
+  util::TextTable table({"slots with data <=", "events (cumulative)"});
+  for (const std::size_t bound : {1u, 6u, 12u, 24u, 48u, 96u, 288u, 864u}) {
+    std::size_t count = 0;
+    for (const double v : slot_counts) {
+      if (v <= static_cast<double>(bound)) ++count;
+    }
+    table.add_row({std::to_string(bound),
+                   util::fmt_count(static_cast<std::int64_t>(count))});
+  }
+  for (const auto& p : cdf) {
+    csv->write_row({util::fmt_double(p.value, 0),
+                    util::fmt_double(p.cumulative_fraction *
+                                         static_cast<double>(slot_counts.size()),
+                                     0)});
+  }
+  std::cout << table;
+
+  const double total = static_cast<double>(pre.total());
+  std::size_t sparse = 0;
+  for (const double v : slot_counts) {
+    if (v <= 24.0) ++sparse;
+  }
+  bench::print_paper_row(
+      "pre-RTBH events with any sampled traffic", "54% (18k of 34k)",
+      util::fmt_percent(static_cast<double>(slot_counts.size()) / total, 0) +
+          " (" + util::fmt_count(static_cast<std::int64_t>(slot_counts.size())) +
+          " of " + util::fmt_count(static_cast<std::int64_t>(pre.total())) +
+          ")");
+  bench::print_paper_row(
+      "of those: data in <= 24 slots (2 h total)", "13k of 18k (~72%)",
+      util::fmt_percent(slot_counts.empty()
+                            ? 0.0
+                            : static_cast<double>(sparse) /
+                                  static_cast<double>(slot_counts.size()),
+                        0));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 12: level and time offset of traffic anomalies during pre-RTBH
+// events (Section 5.3).
+//
+// Paper: most anomalies occur up to ten minutes before the first RTBH
+// announcement (automatic mitigation), usually with all five features
+// anomalous at once; single-feature anomalies exist as well.
+#include "common.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig12");
+  const auto& pre = exp.report.pre;
+
+  bench::print_header("Fig. 12", "anomaly level x time offset before RTBH");
+  // histogram[offset bucket][level 1..5]
+  constexpr int kBuckets = 8;  // 0-10m, 10-30m, 30m-1h, 1-3h, 3-12h, 12-24h,
+                               // 24-48h, 48-72h before the event
+  const char* kBucketNames[kBuckets] = {"0-10m",  "10-30m", "30m-1h", "1-3h",
+                                        "3-12h",  "12-24h", "24-48h", "48-72h"};
+  const double kBucketEdgesMin[kBuckets + 1] = {0,   10,   30,   60,  180,
+                                                720, 1440, 2880, 4320};
+  std::size_t hist[kBuckets][6] = {};
+  for (const auto& r : pre.per_event) {
+    for (const auto& [slot_offset, level] : r.anomalies) {
+      const double minutes_before = -static_cast<double>(slot_offset) * 5.0;
+      for (int b = 0; b < kBuckets; ++b) {
+        if (minutes_before > kBucketEdgesMin[b] - 5.0 &&
+            minutes_before <= kBucketEdgesMin[b + 1]) {
+          ++hist[b][std::min(level, 5)];
+          break;
+        }
+      }
+    }
+  }
+
+  util::TextTable table({"offset before RTBH", "level 1", "level 2", "level 3",
+                         "level 4", "level 5"});
+  auto csv = bench::open_csv("fig12_anomaly_offset",
+                             {"offset_bucket", "level", "anomalies"});
+  for (int b = 0; b < kBuckets; ++b) {
+    table.add_row({kBucketNames[b], std::to_string(hist[b][1]),
+                   std::to_string(hist[b][2]), std::to_string(hist[b][3]),
+                   std::to_string(hist[b][4]), std::to_string(hist[b][5])});
+    for (int l = 1; l <= 5; ++l) {
+      csv->write_row({kBucketNames[b], std::to_string(l),
+                      std::to_string(hist[b][l])});
+    }
+  }
+  std::cout << table;
+
+  std::size_t near_total = 0;
+  std::size_t near_level5 = 0;
+  std::size_t far_total = 0;
+  double far_slots = 0.0;
+  for (int l = 1; l <= 5; ++l) {
+    near_total += hist[0][l];
+    for (int b = 1; b < kBuckets; ++b) far_total += hist[b][l];
+  }
+  for (int b = 1; b < kBuckets; ++b) {
+    far_slots += (kBucketEdgesMin[b + 1] - kBucketEdgesMin[b]) / 5.0;
+  }
+  near_level5 = hist[0][5];
+  // Compare per-slot densities: the far buckets span 862 slots of base-rate
+  // noise, the near bucket only 2.
+  const double near_density = static_cast<double>(near_total) / 2.0;
+  const double far_density = static_cast<double>(far_total) / far_slots;
+  bench::print_paper_row(
+      "anomaly density <=10min vs rest of the 72h window", "clear trend",
+      util::fmt_double(near_density, 1) + " vs " +
+          util::fmt_double(far_density, 1) + " per slot" +
+          (near_density > 10.0 * far_density ? " (clear trend)" : ""));
+  bench::print_paper_row(
+      "share of <=10min anomalies at level 5", "usually all five features",
+      near_total > 0
+          ? util::fmt_percent(static_cast<double>(near_level5) /
+                                  static_cast<double>(near_total),
+                              0)
+          : "n/a");
+  return 0;
+}

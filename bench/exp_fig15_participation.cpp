@@ -1,0 +1,76 @@
+// Figure 15: cumulative number of handover and origin ASes by the share of
+// UDP amplification attacks they participated in (Section 5.5).
+//
+// Paper: 501 handover ASes (55% of members) and 11,124 origin ASes (17% of
+// advertised ASes) participate; most origins in < 3% of events, most
+// handover ASes in < 10%; the top origin AS appears in 60% of the events
+// (and as handover in 62%) while carrying only 6% of the attack traffic.
+// On average: 1,086 amplifiers, 30 handover ASes, 73 origin ASes per attack.
+#include "common.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig15");
+  const auto& part = exp.report.participation;
+
+  bench::print_header("Fig. 15", "AS participation in amplification attacks");
+  auto csv = bench::open_csv("fig15_participation",
+                             {"kind", "rank", "asn", "event_share",
+                              "traffic_share"});
+  util::TextTable table(
+      {"top-10", "handover AS (share)", "origin AS (share)"});
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::string h = "-";
+    std::string o = "-";
+    if (i < part.handover.size()) {
+      h = "AS" + std::to_string(part.handover[i].asn) + " (" +
+          util::fmt_percent(part.handover[i].event_share, 0) + ")";
+      csv->write_row({"handover", std::to_string(i + 1),
+                      std::to_string(part.handover[i].asn),
+                      util::fmt_double(part.handover[i].event_share, 4),
+                      util::fmt_double(part.handover[i].traffic_share, 4)});
+    }
+    if (i < part.origins.size()) {
+      o = "AS" + std::to_string(part.origins[i].asn) + " (" +
+          util::fmt_percent(part.origins[i].event_share, 0) + ")";
+      csv->write_row({"origin", std::to_string(i + 1),
+                      std::to_string(part.origins[i].asn),
+                      util::fmt_double(part.origins[i].event_share, 4),
+                      util::fmt_double(part.origins[i].traffic_share, 4)});
+    }
+    table.add_row({std::to_string(i + 1), h, o});
+  }
+  std::cout << table;
+
+  auto share_below = [](const std::vector<core::AsParticipation>& v,
+                        double bound) {
+    if (v.empty()) return 0.0;
+    std::size_t n = 0;
+    for (const auto& p : v) {
+      if (p.event_share <= bound) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(v.size());
+  };
+
+  bench::print_paper_row("handover ASes participating", "501 (x scale)",
+                         std::to_string(part.handover.size()));
+  bench::print_paper_row("origin ASes participating", "11,124 (x scale)",
+                         std::to_string(part.origins.size()));
+  bench::print_paper_row("origins in <= 3% of events", "most",
+                         util::fmt_percent(share_below(part.origins, 0.03), 0));
+  bench::print_paper_row("handover ASes in <= 10% of events", "most",
+                         util::fmt_percent(share_below(part.handover, 0.10), 0));
+  if (!part.origins.empty()) {
+    bench::print_paper_row(
+        "top origin AS: event share / traffic share", "60% / 6%",
+        util::fmt_percent(part.origins.front().event_share, 0) + " / " +
+            util::fmt_percent(part.origins.front().traffic_share, 0));
+  }
+  bench::print_paper_row(
+      "avg amplifiers / handover / origins per attack",
+      "1,086 / 30 / 73 (amplifiers x scale)",
+      util::fmt_double(part.avg_amplifiers_per_attack, 0) + " / " +
+          util::fmt_double(part.avg_handover_per_attack, 0) + " / " +
+          util::fmt_double(part.avg_origins_per_attack, 0));
+  return 0;
+}

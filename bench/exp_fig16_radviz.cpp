@@ -1,0 +1,45 @@
+// Figure 16: RadViz projection of blackholed hosts over four port-
+// diversity features (Section 6.1).
+//
+// Paper: more blackholed IP addresses show client-like traffic patterns
+// than server-like ones — surprising, since DDoS lore expects servers.
+#include "common.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig16");
+  const auto& radviz = exp.report.radviz;
+
+  bench::print_header("Fig. 16", "RadViz projection of host port features");
+  auto csv = bench::open_csv("fig16_radviz",
+                             {"ip", "x", "y", "classification"});
+  for (const auto& p : radviz.points) {
+    csv->write_row({p.ip.to_string(), util::fmt_double(p.x, 4),
+                    util::fmt_double(p.y, 4),
+                    std::string(core::to_string(p.classification))});
+  }
+
+  // Quadrant digest instead of a scatter plot.
+  std::size_t quad[2][2] = {};
+  for (const auto& p : radviz.points) {
+    quad[p.y >= 0 ? 0 : 1][p.x >= 0 ? 1 : 0] += 1;
+  }
+  util::TextTable table({"", "x < 0 (client pull)", "x >= 0 (server pull)"});
+  table.add_row({"y >= 0 (client pull)", std::to_string(quad[0][0]),
+                 std::to_string(quad[0][1])});
+  table.add_row({"y < 0 (server pull)", std::to_string(quad[1][0]),
+                 std::to_string(quad[1][1])});
+  std::cout << table;
+
+  bench::print_paper_row("hosts projected (>= 20 bidirectional days)",
+                         "~5,000 (x scale)",
+                         std::to_string(radviz.points.size()));
+  bench::print_paper_row(
+      "client-side vs server-side points", "clients outnumber servers",
+      std::to_string(radviz.client_side_count) + " vs " +
+          std::to_string(radviz.server_side_count) +
+          (radviz.client_side_count > radviz.server_side_count
+               ? " (clients outnumber servers)"
+               : ""));
+  return 0;
+}

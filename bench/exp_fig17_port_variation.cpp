@@ -1,0 +1,56 @@
+// Figure 17: top-port variation vs days with traffic, and the resulting
+// client/server classification (Section 6.2).
+//
+// Paper: port variation ~1 resembles clients (different top port almost
+// every day), ~0 resembles stable servers; with the >= 20-day criterion
+// the paper finds over 4,000 clients and 1,000 stable servers.
+#include "common.hpp"
+#include "util/histogram.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("fig17");
+  const auto& ports = exp.report.ports;
+
+  bench::print_header("Fig. 17", "top-port variation and classification");
+  auto csv = bench::open_csv(
+      "fig17_port_variation",
+      {"ip", "days_with_inbound", "port_variation", "classification"});
+  // Variation histogram for eligible hosts.
+  util::Histogram hist(0.0, 1.0 + 1e-9, 10);
+  for (const auto& h : ports.hosts) {
+    csv->write_row({h.ip.to_string(), std::to_string(h.days_with_inbound),
+                    util::fmt_double(h.port_variation, 3),
+                    std::string(core::to_string(h.classification))});
+    if (h.classification != core::HostClass::kUnclassified) {
+      hist.add(h.port_variation);
+    }
+  }
+  util::TextTable table({"port variation", "eligible hosts"});
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    table.add_row(
+        {util::fmt_double(hist.bin_lo(b), 1) + "-" +
+             util::fmt_double(std::min(hist.bin_hi(b), 1.0), 1),
+         util::fmt_count(static_cast<std::int64_t>(hist.count(b)))});
+  }
+  std::cout << table;
+
+  const double scale = exp.config.scale;
+  bench::print_paper_row(
+      "detected clients", "4,057 (x scale = " +
+          util::fmt_double(4057 * scale, 0) + ")",
+      util::fmt_count(static_cast<std::int64_t>(ports.clients)));
+  bench::print_paper_row(
+      "detected stable servers", "1,036 (x scale = " +
+          util::fmt_double(1036 * scale, 0) + ")",
+      util::fmt_count(static_cast<std::int64_t>(ports.servers)));
+  bench::print_paper_row(
+      "blackholed hosts meeting the 20-day criterion", "30%",
+      util::fmt_percent(
+          ports.blackholed_hosts_total > 0
+              ? static_cast<double>(ports.eligible_hosts) /
+                    static_cast<double>(ports.blackholed_hosts_total)
+              : 0.0,
+          0));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 3: number of different UDP amplification protocols per RTBH event
+// that shows data and a preceding anomaly (Section 5.4), plus the overall
+// transport mix during those events.
+//
+// Paper: protocol distribution 99.5% UDP / 0.3% TCP / 0.1% ICMP / 0.1%
+// other; events by #amplification protocols: 0: 6%, 1: 40%, 2: 45%,
+// 3: 8.3%, 4: 0.6%, 5: 0.1%; most common: cLDAP, NTP, DNS.
+#include "common.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("tab03");
+  const auto& mix = exp.report.protocols;
+
+  bench::print_header("Tab. 3", "amplification protocols per attack event");
+  util::TextTable table({"# protocols", "paper", "measured"});
+  const char* paper_shares[6] = {"6%", "40%", "45%", "8.3%", "0.6%", "0.1%"};
+  auto csv = bench::open_csv("tab03_amp_protocols",
+                             {"protocols", "events", "share"});
+  for (std::size_t k = 0; k <= 5; ++k) {
+    table.add_row({k == 5 ? "5+" : std::to_string(k), paper_shares[k],
+                   util::fmt_percent(mix.amp_event_fraction(k), 1)});
+    csv->write_row({std::to_string(k),
+                    std::to_string(mix.amp_protocol_events[k]),
+                    util::fmt_double(mix.amp_event_fraction(k), 4)});
+  }
+  std::cout << table;
+
+  std::cout << "\nTop amplification protocols by event count:\n";
+  util::TextTable top({"protocol", "events"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(
+                               mix.protocol_event_counts.size(), 8);
+       ++i) {
+    top.add_row({mix.protocol_event_counts[i].first,
+                 util::fmt_count(static_cast<std::int64_t>(
+                     mix.protocol_event_counts[i].second))});
+  }
+  std::cout << top;
+
+  bench::print_paper_row(
+      "transport mix UDP/TCP/ICMP/other",
+      "99.5% / 0.3% / 0.1% / 0.1%",
+      util::fmt_percent(mix.udp_share, 1) + " / " +
+          util::fmt_percent(mix.tcp_share, 1) + " / " +
+          util::fmt_percent(mix.icmp_share, 1) + " / " +
+          util::fmt_percent(mix.other_share, 1));
+  bench::print_paper_row("most common protocols", "cLDAP, NTP, DNS",
+                         mix.protocol_event_counts.size() >= 3
+                             ? mix.protocol_event_counts[0].first + ", " +
+                                   mix.protocol_event_counts[1].first + ", " +
+                                   mix.protocol_event_counts[2].first
+                             : "n/a");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 4: PeeringDB ASN types for detected client and server victim
+// addresses (Section 6.2).
+//
+// Paper:                clients    servers
+//   hosts               4,057      1,036
+//   Content             2%         34%
+//   Cable/DSL/ISP       60%        14%
+//   NSP                 14%        13%
+//   Enterprise          1%         1%
+//   Unknown             23%        38%
+#include "common.hpp"
+
+int main() {
+  using namespace bw;
+  auto exp = bench::load_experiment("tab04");
+  const auto rows = core::asn_type_table(exp.report.ports, exp.run.registry);
+  const auto& ports = exp.report.ports;
+
+  bench::print_header("Tab. 4", "ASN types of detected clients and servers");
+  util::TextTable table({"type", "clients", "clients %", "servers",
+                         "servers %"});
+  auto csv = bench::open_csv("tab04_asn_types",
+                             {"type", "clients", "servers"});
+  const double c_total = std::max<double>(static_cast<double>(ports.clients), 1);
+  const double s_total = std::max<double>(static_cast<double>(ports.servers), 1);
+  for (const auto& r : rows) {
+    table.add_row({std::string(pdb::to_string(r.type)),
+                   util::fmt_count(static_cast<std::int64_t>(r.clients)),
+                   util::fmt_percent(static_cast<double>(r.clients) / c_total, 0),
+                   util::fmt_count(static_cast<std::int64_t>(r.servers)),
+                   util::fmt_percent(static_cast<double>(r.servers) / s_total, 0)});
+    csv->write_row({std::string(pdb::to_string(r.type)),
+                    std::to_string(r.clients), std::to_string(r.servers)});
+  }
+  std::cout << table;
+
+  bench::print_paper_row(
+      "# hosts (clients / servers)", "4,057 / 1,036 (x scale)",
+      util::fmt_count(static_cast<std::int64_t>(ports.clients)) + " / " +
+          util::fmt_count(static_cast<std::int64_t>(ports.servers)));
+  double c_dsl = 0.0;
+  double s_content = 0.0;
+  for (const auto& r : rows) {
+    if (r.type == pdb::OrgType::kCableDslIsp) {
+      c_dsl = static_cast<double>(r.clients) / c_total;
+    }
+    if (r.type == pdb::OrgType::kContent) {
+      s_content = static_cast<double>(r.servers) / s_total;
+    }
+  }
+  bench::print_paper_row("clients in Cable/DSL/ISP networks", "60%",
+                         util::fmt_percent(c_dsl, 0));
+  bench::print_paper_row("servers in Content networks", "34%",
+                         util::fmt_percent(s_content, 0));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Performance microbenchmarks for the core analysis algorithms. These
+// bound the cost of running the pipeline at full paper scale (34k events,
+// millions of sampled records).
+#include <benchmark/benchmark.h>
+
+#include "core/event_merge.hpp"
+#include "ixp/blackhole_service.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/ewma.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace bw;
+
+void BM_EwmaPush(benchmark::State& state) {
+  util::EwmaDetector det({.window = static_cast<std::size_t>(state.range(0))});
+  util::Rng rng(1);
+  std::vector<double> values(4096);
+  for (double& v : values) v = rng.chance(0.8) ? 0.0 : rng.uniform(0.0, 50.0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.push(values[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EwmaPush)->Arg(288)->Arg(1024);
+
+void BM_TrieLongestPrefixMatch(benchmark::State& state) {
+  net::PrefixTrie<int> trie;
+  util::Rng rng(2);
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(16, 32));
+    trie.insert(net::Prefix(net::Ipv4(static_cast<std::uint32_t>(
+                                rng.uniform_int(0, 0x7FFFFFFF))),
+                            len),
+                i);
+  }
+  std::vector<net::Ipv4> probes(4096);
+  for (auto& p : probes) {
+    p = net::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(0, 0x7FFFFFFF)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.match(probes[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLongestPrefixMatch)->Arg(1000)->Arg(30000);
+
+void BM_TrieCoveringMatches(benchmark::State& state) {
+  net::PrefixTrie<int> trie;
+  util::Rng rng(3);
+  for (int i = 0; i < 30000; ++i) {
+    trie.insert(net::Prefix(net::Ipv4(static_cast<std::uint32_t>(
+                                rng.uniform_int(0, 0x00FFFFFF) << 8)),
+                            32),
+                i);
+  }
+  std::vector<net::Ipv4> probes(4096);
+  for (auto& p : probes) {
+    p = net::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(0, 0x7FFFFFFF)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.matches(probes[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieCoveringMatches);
+
+void BM_EventMerge(benchmark::State& state) {
+  // Build a synthetic announcement log: N prefixes x 12 on/off cycles.
+  ixp::BlackholeService svc;
+  bgp::UpdateLog log;
+  util::Rng rng(4);
+  const int prefixes = static_cast<int>(state.range(0));
+  for (int p = 0; p < prefixes; ++p) {
+    const net::Prefix prefix(
+        net::Ipv4(0x18000000u + static_cast<std::uint32_t>(p)), 32);
+    util::TimeMs t = rng.uniform_int(0, util::days(100));
+    for (int c = 0; c < 12; ++c) {
+      const util::TimeMs end = t + util::minutes(rng.uniform(1.0, 10.0));
+      log.push_back(svc.make_announce(t, 1, 2, prefix));
+      log.push_back(svc.make_withdraw(end, 1, 2, prefix));
+      t = end + util::minutes(rng.uniform(0.5, 3.0));
+    }
+  }
+  for (auto _ : state) {
+    auto events = core::merge_events(log, util::days(104));
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() * log.size());
+}
+BENCHMARK(BM_EventMerge)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_Quantile(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<double> values(static_cast<std::size_t>(state.range(0)));
+  for (double& v : values) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::quantile(values, 0.75));
+  }
+}
+BENCHMARK(BM_Quantile)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Performance microbenchmarks for the IXP substrate: sampling, policy
+// evaluation, per-packet forwarding decisions, and route-server update
+// processing — the hot paths of a full-scale scenario run.
+#include <benchmark/benchmark.h>
+
+#include "bgp/route_server.hpp"
+#include "flow/sampler.hpp"
+#include "ixp/blackhole_service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bw;
+
+void BM_SamplerBurst(benchmark::State& state) {
+  flow::IpfixSampler sampler(10000, util::Rng(1));
+  flow::TrafficBurst burst;
+  burst.window = {0, util::kHour};
+  burst.packets = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_times(burst));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamplerBurst)->Arg(10000)->Arg(10000000);
+
+void BM_PolicyAcceptsBlackhole(benchmark::State& state) {
+  bgp::PeerPolicy policy{.blackhole = bgp::BlackholeAcceptance::kInconsistent,
+                         .inconsistent_accept_fraction = 0.5,
+                         .salt = 42};
+  util::Rng rng(2);
+  std::vector<net::Prefix> prefixes(1024);
+  for (auto& p : prefixes) {
+    p = net::Prefix(
+        net::Ipv4(static_cast<std::uint32_t>(rng.uniform_int(0, 0x7FFFFFFF))),
+        32);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.accepts_blackhole(prefixes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyAcceptsBlackhole);
+
+// The per-sampled-packet fast path: stateless forwarding decision against
+// the annotated blackhole index.
+void BM_ForwardingDecision(benchmark::State& state) {
+  bgp::RouteServer rs(64600);
+  ixp::BlackholeService svc(64600);
+  util::Rng rng(3);
+  for (int p = 0; p < 500; ++p) {
+    rs.add_peer(static_cast<bgp::Asn>(1000 + p),
+                {.blackhole = p % 3 == 0
+                                  ? bgp::BlackholeAcceptance::kAcceptAll
+                                  : bgp::BlackholeAcceptance::kClassfulOnly});
+  }
+  bgp::UpdateLog log;
+  std::vector<net::Ipv4> victims;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const net::Ipv4 victim(0x18000000u + static_cast<std::uint32_t>(i));
+    victims.push_back(victim);
+    util::TimeMs t = rng.uniform_int(0, util::days(100));
+    for (int c = 0; c < 8; ++c) {
+      const util::TimeMs end = t + util::minutes(5.0);
+      log.push_back(svc.make_announce(t, 1, 2, net::Prefix::host(victim)));
+      log.push_back(svc.make_withdraw(end, 1, 2, net::Prefix::host(victim)));
+      t = end + util::minutes(2.0);
+    }
+  }
+  rs.process_all(std::move(log));
+  rs.finalize(util::days(104));
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& victim = victims[i % victims.size()];
+    const auto t = static_cast<util::TimeMs>((i * 7919) % util::days(104));
+    benchmark::DoNotOptimize(
+        rs.blackholed_for_peer(1000 + static_cast<bgp::Asn>(i % 500), victim, t));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardingDecision)->Arg(1000)->Arg(10000);
+
+void BM_RouteServerProcess(benchmark::State& state) {
+  ixp::BlackholeService svc(64600);
+  util::Rng rng(4);
+  bgp::UpdateLog log;
+  for (int i = 0; i < 10000; ++i) {
+    const net::Prefix prefix(
+        net::Ipv4(0x18000000u + static_cast<std::uint32_t>(rng.uniform_int(
+                                    0, 1 << 20))),
+        32);
+    if (rng.chance(0.5)) {
+      log.push_back(svc.make_announce(i, 1, 2, prefix));
+    } else {
+      log.push_back(svc.make_withdraw(i, 1, 2, prefix));
+    }
+  }
+  for (auto _ : state) {
+    bgp::RouteServer rs(64600);
+    for (int p = 0; p < 100; ++p) rs.add_peer(static_cast<bgp::Asn>(p), {});
+    rs.process_all(log);
+    rs.finalize(util::days(104));
+    benchmark::DoNotOptimize(rs.blackhole_index().prefix_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_RouteServerProcess)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

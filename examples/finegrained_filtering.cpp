@@ -1,0 +1,62 @@
+// Example: what would fine-grained filtering buy over RTBH?
+//
+// Runs a scaled scenario and contrasts, per attack-correlated RTBH event,
+// (a) what the blackhole did — drop everything towards the victim, with a
+// wildly unpredictable actual drop rate — against (b) an amplification-
+// port filter that drops only attack traffic (Section 5.5 / Fig. 14).
+//
+//   ./finegrained_filtering [scale]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  gen::ScenarioConfig cfg;
+  cfg.scale = argc > 1 ? std::atof(argv[1]) : 0.08;
+  if (cfg.scale <= 0.0) cfg.scale = 0.08;
+
+  std::cout << "Generating scenario at scale " << cfg.scale << "...\n";
+  const core::ScenarioRun run = core::run_scenario(cfg, std::string{});
+  const auto events = core::merge_events(run.dataset.blackhole_updates(),
+                                         run.dataset.period().end);
+  const auto pre = core::compute_pre_rtbh(run.dataset, events);
+  const auto drop = core::compute_drop_rates(run.dataset, events);
+  const auto filt = core::compute_filtering(run.dataset, events, pre);
+
+  util::TextTable table({"mitigation", "median effect", "q1..q3"});
+  table.add_row(
+      {"RTBH (/32): share of victim traffic actually dropped",
+       util::fmt_percent(util::quantile(drop.event_rates_len32, 0.5), 0),
+       util::fmt_percent(util::quantile(drop.event_rates_len32, 0.25), 0) +
+           ".." +
+           util::fmt_percent(util::quantile(drop.event_rates_len32, 0.75), 0)});
+  table.add_row(
+      {"amp-port filter: share of attack-event packets covered",
+       util::fmt_percent(util::quantile(filt.coverage, 0.5), 0),
+       util::fmt_percent(util::quantile(filt.coverage, 0.25), 0) + ".." +
+           util::fmt_percent(util::quantile(filt.coverage, 0.75), 0)});
+  std::cout << "\n" << table;
+
+  std::cout << "\n" << util::fmt_percent(filt.fully_filterable_fraction, 1)
+            << " of " << filt.events_considered
+            << " attack events could be handled *completely* by a static\n"
+               "filter on "
+            << net::amplification_protocols().size()
+            << " known UDP amplification ports (paper: ~90%) — while the\n"
+               "blackhole's outcome depends on every peer's BGP policy and "
+               "drops legitimate\ntraffic along with the attack.\n";
+
+  // The hard 10%: events the port filter cannot cover.
+  std::size_t hard = 0;
+  for (const double c : filt.coverage) {
+    if (c < 0.5) ++hard;
+  }
+  std::cout << "\nHard cases (coverage < 50%): " << hard
+            << " events — random-port floods, increasing-port sweeps and\n"
+               "SYN floods, which need transport-agnostic mitigation.\n";
+  return 0;
+}

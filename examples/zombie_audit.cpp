@@ -1,0 +1,89 @@
+// Example: audit a control-plane feed for RTBH zombies and squatting-
+// protection blackholes (Section 7.3).
+//
+// A "zombie" is a blackhole that was once triggered (probably manually,
+// against an attack) and then forgotten: a /32 that stays announced to the
+// end of the measurement period while attracting almost no traffic. Its
+// owner pays with broken reachability that is miserable to debug — on
+// average such an address is only reachable for ~50% of IXP traffic.
+//
+//   ./zombie_audit [scale]
+#include <cstdlib>
+#include <iostream>
+#include <unordered_set>
+
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  gen::ScenarioConfig cfg;
+  cfg.scale = argc > 1 ? std::atof(argv[1]) : 0.08;
+  if (cfg.scale <= 0.0) cfg.scale = 0.08;
+
+  std::cout << "Generating scenario at scale " << cfg.scale << "...\n";
+  const core::ScenarioRun run = core::run_scenario(cfg, std::string{});
+  const auto events = core::merge_events(run.dataset.blackhole_updates(),
+                                         run.dataset.period().end);
+  const auto pre = core::compute_pre_rtbh(run.dataset, events);
+  const auto classes = core::classify_events(run.dataset, events, pre);
+
+  // --- Zombie findings. ---
+  util::TextTable zombies({"prefix", "announced since", "sampled packets",
+                           "origin AS"});
+  std::size_t shown = 0;
+  for (const auto& ce : classes.events) {
+    if (ce.cls != core::EventClass::kZombieCandidate) continue;
+    const auto& ev = events[ce.event_index];
+    if (shown++ < 12) {
+      zombies.add_row({ev.prefix.to_string(),
+                       util::format_time(ev.span.begin),
+                       std::to_string(ce.sampled_packets),
+                       "AS" + std::to_string(ev.origin)});
+    }
+  }
+  std::cout << "\nRTBH zombie candidates (" << classes.zombies
+            << " total, first 12 shown):\n"
+            << zombies;
+
+  // Validate against the generator's ground truth.
+  std::size_t planted = run.truth.zombie_addresses.size();
+  std::size_t recovered = 0;
+  std::unordered_set<std::uint32_t> zombie_ips;
+  for (const auto& ip : run.truth.zombie_addresses) {
+    zombie_ips.insert(ip.value());
+  }
+  for (const auto& ce : classes.events) {
+    if (ce.cls != core::EventClass::kZombieCandidate) continue;
+    if (zombie_ips.contains(
+            events[ce.event_index].prefix.network().value())) {
+      ++recovered;
+    }
+  }
+  std::cout << "Ground truth: " << planted << " zombies planted, "
+            << recovered << " recovered by the audit ("
+            << util::fmt_percent(planted > 0 ? static_cast<double>(recovered) /
+                                                   static_cast<double>(planted)
+                                             : 0.0,
+                                 0)
+            << ").\n";
+
+  // --- Squatting-protection findings. ---
+  util::TextTable squat({"prefix", "origin AS", "duration"});
+  for (const auto& ce : classes.events) {
+    if (ce.cls != core::EventClass::kSquattingCandidate) continue;
+    const auto& ev = events[ce.event_index];
+    squat.add_row({ev.prefix.to_string(), "AS" + std::to_string(ev.origin),
+                   util::format_duration(ce.duration)});
+  }
+  std::cout << "\nSquatting-protection candidates (" << classes.squatting
+            << " events, " << classes.squatting_prefixes << " prefixes from "
+            << classes.squatting_origin_as << " origin ASes; paper: 21 "
+            << "prefixes from 4 ASes):\n"
+            << squat;
+
+  std::cout << "\nOperational takeaway: withdraw blackholes when the attack "
+               "ends — a forgotten /32 RTBH\nsilently halves your "
+               "reachability at the IXP.\n";
+  return 0;
+}

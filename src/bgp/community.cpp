@@ -1,0 +1,71 @@
+#include "bgp/community.hpp"
+
+#include <charconv>
+
+namespace bw::bgp {
+
+std::string Community::to_string() const {
+  return std::to_string(global) + ":" + std::to_string(local);
+}
+
+std::optional<Community> Community::parse(std::string_view text) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  unsigned g = 0;
+  unsigned l = 0;
+  const std::string_view gs = text.substr(0, colon);
+  const std::string_view ls = text.substr(colon + 1);
+  const auto [gp, gec] = std::from_chars(gs.data(), gs.data() + gs.size(), g);
+  const auto [lp, lec] = std::from_chars(ls.data(), ls.data() + ls.size(), l);
+  if (gec != std::errc{} || lec != std::errc{} || gp != gs.data() + gs.size() ||
+      lp != ls.data() + ls.size() || g > 65535 || l > 65535) {
+    return std::nullopt;
+  }
+  return Community{static_cast<std::uint16_t>(g), static_cast<std::uint16_t>(l)};
+}
+
+bool has_community(std::span<const Community> communities, Community c) {
+  for (const auto& x : communities) {
+    if (x == c) return true;
+  }
+  return false;
+}
+
+bool TargetedAnnouncement::should_announce(
+    std::span<const Community> communities, std::uint16_t peer_asn) const {
+  bool any_positive_action = false;
+  bool announce_this_peer = false;
+  for (const auto& c : communities) {
+    if (c.global == 0 && c.local == rs_asn_) return false;  // announce to none
+    if (c.global == 0 && c.local == peer_asn) return false;  // exclude peer
+    if (c.global == rs_asn_) {
+      if (c.local == rs_asn_) {
+        any_positive_action = true;
+        announce_this_peer = true;  // announce to all
+      } else {
+        any_positive_action = true;
+        if (c.local == peer_asn) announce_this_peer = true;
+      }
+    }
+  }
+  // With no positive action communities at all, the default is announce-all.
+  return any_positive_action ? announce_this_peer : true;
+}
+
+std::vector<Community> TargetedAnnouncement::restrict_to(
+    std::span<const std::uint16_t> peer_asns) const {
+  std::vector<Community> out;
+  out.reserve(peer_asns.size());
+  for (const std::uint16_t p : peer_asns) out.push_back({rs_asn_, p});
+  return out;
+}
+
+std::vector<Community> TargetedAnnouncement::exclude(
+    std::span<const std::uint16_t> peer_asns) const {
+  std::vector<Community> out;
+  out.reserve(peer_asns.size());
+  for (const std::uint16_t p : peer_asns) out.push_back({0, p});
+  return out;
+}
+
+}  // namespace bw::bgp

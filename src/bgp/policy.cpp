@@ -1,0 +1,58 @@
+#include "bgp/policy.hpp"
+
+namespace bw::bgp {
+
+namespace {
+
+// splitmix64 finalizer; deterministic per (prefix, salt) so an inconsistent
+// peer always treats the same prefix the same way, as real split router
+// fleets do.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view to_string(BlackholeAcceptance a) {
+  switch (a) {
+    case BlackholeAcceptance::kRejectAll: return "reject-all";
+    case BlackholeAcceptance::kClassfulOnly: return "classful-only";
+    case BlackholeAcceptance::kWhitelistHost: return "whitelist-host";
+    case BlackholeAcceptance::kAcceptAll: return "accept-all";
+    case BlackholeAcceptance::kInconsistent: return "inconsistent";
+  }
+  return "unknown";
+}
+
+bool PeerPolicy::accepts(const Route& route) const {
+  if (route.is_blackhole()) return accepts_blackhole(route.prefix);
+  return route.prefix.length() <= max_regular_len;
+}
+
+bool PeerPolicy::accepts_blackhole(const net::Prefix& prefix) const {
+  const std::uint8_t len = prefix.length();
+  switch (blackhole) {
+    case BlackholeAcceptance::kRejectAll:
+      return false;
+    case BlackholeAcceptance::kClassfulOnly:
+      return len <= 24;
+    case BlackholeAcceptance::kWhitelistHost:
+      return len <= 24 || len == 32;
+    case BlackholeAcceptance::kAcceptAll:
+      return true;
+    case BlackholeAcceptance::kInconsistent: {
+      if (len <= 24) return true;  // stock filters still pass short prefixes
+      const std::uint64_t key =
+          (std::uint64_t{prefix.network().value()} << 8) | len;
+      const std::uint64_t h = mix(key ^ salt);
+      const double u =
+          static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+      return u < inconsistent_accept_fraction;
+    }
+  }
+  return false;
+}
+
+}  // namespace bw::bgp

@@ -1,0 +1,47 @@
+// Per-peer BGP import policy models.
+//
+// Section 4.2 / Section 7.1 of the paper: virtually all default router
+// configurations reject prefixes longer than /24 — including blackhole
+// routes — unless the operator explicitly whitelists them. The observed
+// population therefore mixes peers that (a) reject all RTBH routes,
+// (b) accept only classful-or-shorter (≤ /24) RTBHs, (c) whitelist exactly
+// /32 in addition, (d) accept everything, and (e) behave *inconsistently*
+// (Fig. 7 shows 13 of the top-100 source ASes dropping only part of the
+// traffic; e.g. RTBH accepted on some edge routers only).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bgp/route.hpp"
+
+namespace bw::bgp {
+
+enum class BlackholeAcceptance : std::uint8_t {
+  kRejectAll,      ///< never accepts an RTBH route
+  kClassfulOnly,   ///< accepts RTBH only up to /24 (stock configuration)
+  kWhitelistHost,  ///< accepts ≤ /24 and exactly /32, but not /25../31
+  kAcceptAll,      ///< accepts every RTBH length (fully configured)
+  kInconsistent,   ///< accepts a deterministic per-prefix subset
+};
+
+[[nodiscard]] std::string_view to_string(BlackholeAcceptance a);
+
+struct PeerPolicy {
+  BlackholeAcceptance blackhole{BlackholeAcceptance::kClassfulOnly};
+  /// Regular (non-RTBH) routes longer than this are rejected.
+  std::uint8_t max_regular_len{24};
+  /// For kInconsistent: fraction of RTBH prefixes accepted.
+  double inconsistent_accept_fraction{0.5};
+  /// Salt for the deterministic inconsistent-acceptance hash, so different
+  /// peers accept different subsets.
+  std::uint64_t salt{0};
+
+  /// Import decision for a route received from the route server.
+  [[nodiscard]] bool accepts(const Route& route) const;
+
+  /// Import decision for an RTBH route of the given prefix.
+  [[nodiscard]] bool accepts_blackhole(const net::Prefix& prefix) const;
+};
+
+}  // namespace bw::bgp

@@ -1,0 +1,103 @@
+#include "bgp/rib.hpp"
+
+#include <algorithm>
+
+namespace bw::bgp {
+
+bool BlackholeHistory::Entry::active_at(util::TimeMs t) const {
+  if (open_since && t >= *open_since) return true;
+  // Binary search the closed, begin-sorted intervals.
+  auto it = std::upper_bound(
+      closed.begin(), closed.end(), t,
+      [](util::TimeMs value, const util::TimeRange& r) { return value < r.begin; });
+  if (it == closed.begin()) return false;
+  --it;
+  return it->contains(t);
+}
+
+void BlackholeHistory::open(const net::Prefix& prefix, util::TimeMs t) {
+  Entry* entry = trie_.find(prefix);
+  if (entry == nullptr) {
+    trie_.insert(prefix, Entry{});
+    entry = trie_.find(prefix);
+  }
+  if (!entry->open_since) entry->open_since = t;
+}
+
+void BlackholeHistory::close(const net::Prefix& prefix, util::TimeMs t) {
+  Entry* entry = trie_.find(prefix);
+  if (entry == nullptr || !entry->open_since) return;
+  const util::TimeMs begin = *entry->open_since;
+  entry->open_since.reset();
+  if (t > begin) entry->closed.push_back({begin, t});
+}
+
+void BlackholeHistory::finalize(util::TimeMs end_time) {
+  std::vector<net::Prefix> open_prefixes;
+  trie_.for_each([&](const net::Prefix& p, const Entry& e) {
+    if (e.open_since) open_prefixes.push_back(p);
+  });
+  for (const auto& p : open_prefixes) close(p, end_time);
+  // Normalise interval order (closes happen in time order already, but a
+  // prefix can be re-opened before an earlier close when updates carry
+  // identical timestamps).
+  trie_.for_each([&](const net::Prefix& p, const Entry&) {
+    Entry* e = trie_.find(p);
+    std::sort(e->closed.begin(), e->closed.end(),
+              [](const util::TimeRange& a, const util::TimeRange& b) {
+                return a.begin < b.begin;
+              });
+  });
+}
+
+bool BlackholeHistory::active_at(net::Ipv4 addr, util::TimeMs t) const {
+  for (const auto& [prefix, entry] : trie_.matches(addr)) {
+    if (entry->active_at(t)) return true;
+  }
+  return false;
+}
+
+bool BlackholeHistory::active_at(const net::Prefix& prefix,
+                                 util::TimeMs t) const {
+  const Entry* entry = trie_.find(prefix);
+  return entry != nullptr && entry->active_at(t);
+}
+
+std::optional<net::Prefix> BlackholeHistory::covering_prefix(
+    net::Ipv4 addr, util::TimeMs t) const {
+  std::optional<net::Prefix> best;
+  for (const auto& [prefix, entry] : trie_.matches(addr)) {
+    if (entry->active_at(t)) best = prefix;  // matches() walks shortest-first
+  }
+  return best;
+}
+
+std::vector<util::TimeRange> BlackholeHistory::intervals(
+    const net::Prefix& prefix) const {
+  const Entry* entry = trie_.find(prefix);
+  if (entry == nullptr) return {};
+  std::vector<util::TimeRange> out = entry->closed;
+  return out;
+}
+
+void BlackholeHistory::for_each(
+    const std::function<void(const net::Prefix&,
+                             const std::vector<util::TimeRange>&)>& fn) const {
+  trie_.for_each(
+      [&](const net::Prefix& p, const Entry& e) { fn(p, e.closed); });
+}
+
+bool Rib::offer(const Route& route, util::TimeMs t) {
+  ++offered_;
+  if (!policy_.accepts(route)) return false;
+  ++accepted_;
+  if (route.is_blackhole()) blackholes_.open(route.prefix, t);
+  return true;
+}
+
+void Rib::withdraw(const net::Prefix& prefix, bool was_blackhole,
+                   util::TimeMs t) {
+  if (was_blackhole) blackholes_.close(prefix, t);
+}
+
+}  // namespace bw::bgp

@@ -1,0 +1,15 @@
+#include "bgp/route.hpp"
+
+#include <sstream>
+
+namespace bw::bgp {
+
+std::string Route::to_string() const {
+  std::ostringstream os;
+  os << prefix.to_string() << " nh " << next_hop.to_string() << " from AS"
+     << sender_asn << " origin AS" << origin_asn;
+  if (is_blackhole()) os << " [BLACKHOLE]";
+  return os.str();
+}
+
+}  // namespace bw::bgp

@@ -1,0 +1,30 @@
+// A route as installed in a peer's RIB after route-server distribution and
+// local policy evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgp/community.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "util/time.hpp"
+
+namespace bw::bgp {
+
+struct Route {
+  net::Prefix prefix;
+  net::Ipv4 next_hop;
+  Asn sender_asn{0};  ///< member the route server learned the route from
+  Asn origin_asn{0};
+  std::vector<Community> communities;
+  util::TimeMs learned_at{0};
+
+  [[nodiscard]] bool is_blackhole() const {
+    return has_community(communities, kBlackhole);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace bw::bgp

@@ -1,0 +1,85 @@
+#include "bgp/route_server.hpp"
+
+#include <stdexcept>
+
+namespace bw::bgp {
+
+void RouteServer::add_peer(Asn asn, PeerPolicy policy) {
+  if (peer_index_.contains(asn)) {
+    throw std::invalid_argument("RouteServer: duplicate peer ASN");
+  }
+  peer_index_[asn] = peers_.size();
+  peers_.push_back({asn, policy});
+  if (materialize_ribs_) ribs_.emplace_back(asn, policy);
+}
+
+void RouteServer::process(const Update& update) {
+  log_.push_back(update);
+
+  const bool blackhole = update.is_blackhole();
+  if (blackhole) {
+    if (update.type == UpdateType::kAnnounce) {
+      index_.open(update.prefix, update.time, update.communities,
+                  update.sender_asn);
+    } else {
+      index_.close(update.prefix, update.time);
+    }
+  }
+
+  if (!materialize_ribs_) return;
+
+  Route route;
+  route.prefix = update.prefix;
+  route.next_hop = update.next_hop;
+  route.sender_asn = update.sender_asn;
+  route.origin_asn = update.origin_asn;
+  route.communities = update.communities;
+  route.learned_at = update.time;
+
+  for (Rib& peer : ribs_) {
+    if (peer.peer_asn() == update.sender_asn) continue;
+    const auto peer16 = static_cast<std::uint16_t>(peer.peer_asn() & 0xFFFF);
+    if (!targeted_.should_announce(update.communities, peer16)) continue;
+    if (update.type == UpdateType::kAnnounce) {
+      peer.offer(route, update.time);
+    } else {
+      peer.withdraw(update.prefix, blackhole, update.time);
+    }
+  }
+}
+
+void RouteServer::process_all(UpdateLog updates) {
+  sort_updates(updates);
+  for (const Update& u : updates) process(u);
+}
+
+void RouteServer::finalize(util::TimeMs end_time) {
+  index_.finalize(end_time);
+  for (Rib& peer : ribs_) peer.finalize(end_time);
+}
+
+bool RouteServer::blackholed_for_peer(Asn peer, net::Ipv4 addr,
+                                      util::TimeMs t) const {
+  const PeerState& state = peers_.at(peer_index_.at(peer));
+  return index_.dropped_for_peer(state.policy, state.asn, addr, t);
+}
+
+const PeerPolicy& RouteServer::policy_of(Asn peer) const {
+  return peers_.at(peer_index_.at(peer)).policy;
+}
+
+const Rib& RouteServer::rib(Asn peer) const {
+  if (!materialize_ribs_) {
+    throw std::logic_error("RouteServer: RIBs were not materialised");
+  }
+  return ribs_.at(peer_index_.at(peer));
+}
+
+std::vector<Asn> RouteServer::peer_asns() const {
+  std::vector<Asn> out;
+  out.reserve(peers_.size());
+  for (const PeerState& p : peers_) out.push_back(p.asn);
+  return out;
+}
+
+}  // namespace bw::bgp

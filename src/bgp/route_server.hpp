@@ -1,0 +1,93 @@
+// IXP route server: receives member updates, applies targeted-announcement
+// communities, distributes to peer sessions, and keeps (a) the full control
+// plane log — the paper's Section 3.1 data set — and (b) an annotated index
+// of blackhole activity, against which per-peer visibility and forwarding
+// decisions are evaluated.
+//
+// Per-peer RIBs can optionally be materialised (useful in unit tests and
+// small examples); at paper scale (~830 peers x ~400k updates) the fabric
+// instead consults the annotated BlackholeIndex, which yields bit-identical
+// decisions because import policies are pure functions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/blackhole_index.hpp"
+#include "bgp/message.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/rib.hpp"
+
+namespace bw::bgp {
+
+class RouteServer {
+ public:
+  explicit RouteServer(std::uint16_t rs_asn = 64600, bool materialize_ribs = false)
+      : rs_asn_(rs_asn),
+        targeted_(rs_asn),
+        index_(rs_asn),
+        materialize_ribs_(materialize_ribs) {}
+
+  /// Register a peer session with its import policy. Peers must be added
+  /// before updates are processed.
+  void add_peer(Asn asn, PeerPolicy policy);
+
+  [[nodiscard]] std::size_t peer_count() const noexcept { return peers_.size(); }
+  [[nodiscard]] std::uint16_t rs_asn() const noexcept { return rs_asn_; }
+
+  /// Process one member update: log it, update the blackhole index, and
+  /// (when RIBs are materialised) distribute it to every eligible peer.
+  void process(const Update& update);
+
+  /// Process a whole (unsorted) log in replay order.
+  void process_all(UpdateLog updates);
+
+  /// Close all open state at the end of the measurement period.
+  void finalize(util::TimeMs end_time);
+
+  /// Everything the route server received, in processing order.
+  [[nodiscard]] const UpdateLog& log() const noexcept { return log_; }
+
+  /// Annotated blackhole activity (full route-server view + distribution
+  /// metadata).
+  [[nodiscard]] const BlackholeIndex& blackhole_index() const noexcept {
+    return index_;
+  }
+
+  /// Forwarding decision for traffic entering at `peer` towards `addr` at
+  /// time `t`: true when the peer had an accepted RTBH route covering the
+  /// address installed. Throws std::out_of_range for unknown peers.
+  [[nodiscard]] bool blackholed_for_peer(Asn peer, net::Ipv4 addr,
+                                         util::TimeMs t) const;
+
+  /// Import policy of a registered peer.
+  [[nodiscard]] const PeerPolicy& policy_of(Asn peer) const;
+
+  /// Materialised per-peer state; throws std::logic_error when RIBs were
+  /// not materialised and std::out_of_range for unknown peers.
+  [[nodiscard]] const Rib& rib(Asn peer) const;
+
+  [[nodiscard]] std::vector<Asn> peer_asns() const;
+
+  [[nodiscard]] const TargetedAnnouncement& targeted() const noexcept {
+    return targeted_;
+  }
+
+ private:
+  struct PeerState {
+    Asn asn{0};
+    PeerPolicy policy;
+  };
+
+  std::uint16_t rs_asn_;
+  TargetedAnnouncement targeted_;
+  BlackholeIndex index_;
+  bool materialize_ribs_;
+  std::vector<PeerState> peers_;
+  std::vector<Rib> ribs_;  ///< parallel to peers_ when materialised
+  std::unordered_map<Asn, std::size_t> peer_index_;
+  UpdateLog log_;
+};
+
+}  // namespace bw::bgp

@@ -1,0 +1,305 @@
+#include "bgp/wire.hpp"
+
+#include <cstring>
+
+namespace bw::bgp::wire {
+
+namespace {
+
+constexpr std::uint8_t kTypeUpdate = 2;
+constexpr std::size_t kHeaderSize = 19;
+
+// Attribute type codes (RFC 4271 / RFC 1997).
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kAttrCommunities = 8;
+
+constexpr std::uint8_t kFlagsWellKnown = 0x40;
+constexpr std::uint8_t kFlagsOptionalTransitive = 0xC0;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+/// Prefix in RFC 4271 NLRI encoding: length byte + minimal octets.
+void put_prefix(std::vector<std::uint8_t>& out, const net::Prefix& p) {
+  put_u8(out, p.length());
+  const std::uint32_t bits = p.network().value();
+  const int octets = (p.length() + 7) / 8;
+  for (int i = 0; i < octets; ++i) {
+    put_u8(out, static_cast<std::uint8_t>(bits >> (24 - 8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return ok_ ? bytes_.size() - pos_ : 0;
+  }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (bytes_[pos_] << 8) | bytes_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | bytes_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+
+  std::optional<net::Prefix> prefix() {
+    const std::uint8_t len = u8();
+    if (!ok_ || len > 32) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    const int octets = (len + 7) / 8;
+    if (!need(static_cast<std::size_t>(octets))) return std::nullopt;
+    std::uint32_t bits = 0;
+    for (int i = 0; i < octets; ++i) {
+      bits |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+              << (24 - 8 * i);
+    }
+    pos_ += static_cast<std::size_t>(octets);
+    return net::Prefix(net::Ipv4(bits), len);
+  }
+
+  void skip(std::size_t n) {
+    if (need(n)) pos_ += n;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+std::vector<std::uint8_t> encode_attributes(const Update& u) {
+  std::vector<std::uint8_t> attrs;
+  // ORIGIN: IGP.
+  put_u8(attrs, kFlagsWellKnown);
+  put_u8(attrs, kAttrOrigin);
+  put_u8(attrs, 1);
+  put_u8(attrs, 0);
+  // AS_PATH: one AS_SEQUENCE with 4-byte ASNs: sender then origin.
+  std::vector<Asn> path{u.sender_asn};
+  if (u.origin_asn != u.sender_asn) path.push_back(u.origin_asn);
+  put_u8(attrs, kFlagsWellKnown);
+  put_u8(attrs, kAttrAsPath);
+  put_u8(attrs, static_cast<std::uint8_t>(2 + 4 * path.size()));
+  put_u8(attrs, 2);  // AS_SEQUENCE
+  put_u8(attrs, static_cast<std::uint8_t>(path.size()));
+  for (const Asn a : path) put_u32(attrs, a);
+  // NEXT_HOP.
+  put_u8(attrs, kFlagsWellKnown);
+  put_u8(attrs, kAttrNextHop);
+  put_u8(attrs, 4);
+  put_u32(attrs, u.next_hop.value());
+  // COMMUNITIES.
+  if (!u.communities.empty()) {
+    put_u8(attrs, kFlagsOptionalTransitive);
+    put_u8(attrs, kAttrCommunities);
+    put_u8(attrs, static_cast<std::uint8_t>(4 * u.communities.size()));
+    for (const Community& c : u.communities) {
+      put_u16(attrs, c.global);
+      put_u16(attrs, c.local);
+    }
+  }
+  return attrs;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_update(const Update& update) {
+  std::vector<std::uint8_t> body;
+
+  // Withdrawn routes.
+  std::vector<std::uint8_t> withdrawn;
+  if (update.type == UpdateType::kWithdraw) {
+    put_prefix(withdrawn, update.prefix);
+  }
+  put_u16(body, static_cast<std::uint16_t>(withdrawn.size()));
+  body.insert(body.end(), withdrawn.begin(), withdrawn.end());
+
+  // Path attributes. Note: we also attach attributes to withdrawals so the
+  // framed stream round-trips sender/origin/communities — a documented
+  // deviation from minimal RFC 4271 withdraws, which carry none.
+  const auto attrs = encode_attributes(update);
+  put_u16(body, static_cast<std::uint16_t>(attrs.size()));
+  body.insert(body.end(), attrs.begin(), attrs.end());
+
+  // NLRI.
+  if (update.type == UpdateType::kAnnounce) {
+    put_prefix(body, update.prefix);
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + body.size());
+  for (int i = 0; i < 16; ++i) put_u8(out, 0xFF);
+  put_u16(out, static_cast<std::uint16_t>(kHeaderSize + body.size()));
+  put_u8(out, kTypeUpdate);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<Update> decode_update(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize || bytes.size() > kMaxMessageSize) {
+    return std::nullopt;
+  }
+  for (int i = 0; i < 16; ++i) {
+    if (bytes[static_cast<std::size_t>(i)] != 0xFF) return std::nullopt;
+  }
+  Reader r(bytes.subspan(16));
+  const std::uint16_t length = r.u16();
+  if (length != bytes.size()) return std::nullopt;
+  if (r.u8() != kTypeUpdate) return std::nullopt;
+
+  Update u;
+
+  // Withdrawn routes.
+  const std::uint16_t withdrawn_len = r.u16();
+  std::size_t consumed = 0;
+  std::optional<net::Prefix> withdrawn_prefix;
+  while (consumed < withdrawn_len) {
+    const std::size_t before = r.remaining();
+    const auto p = r.prefix();
+    if (!p || !r.ok()) return std::nullopt;
+    withdrawn_prefix = p;
+    consumed += before - r.remaining();
+  }
+
+  // Path attributes.
+  const std::uint16_t attr_len = r.u16();
+  std::size_t attr_consumed = 0;
+  while (attr_consumed < attr_len) {
+    const std::size_t before = r.remaining();
+    const std::uint8_t flags = r.u8();
+    const std::uint8_t type = r.u8();
+    const std::uint16_t len =
+        (flags & 0x10) != 0 ? r.u16() : r.u8();  // extended length bit
+    if (!r.ok()) return std::nullopt;
+    switch (type) {
+      case kAttrAsPath: {
+        if (len < 2) return std::nullopt;
+        r.u8();  // segment type
+        const std::uint8_t count = r.u8();
+        if (len != 2 + 4 * static_cast<std::uint16_t>(count)) {
+          return std::nullopt;
+        }
+        for (std::uint8_t i = 0; i < count; ++i) {
+          const Asn asn = r.u32();
+          if (i == 0) u.sender_asn = asn;
+          u.origin_asn = asn;  // last AS in the sequence
+        }
+        break;
+      }
+      case kAttrNextHop: {
+        if (len != 4) return std::nullopt;
+        u.next_hop = net::Ipv4(r.u32());
+        break;
+      }
+      case kAttrCommunities: {
+        if (len % 4 != 0) return std::nullopt;
+        for (std::uint16_t i = 0; i < len / 4; ++i) {
+          Community c;
+          c.global = r.u16();
+          c.local = r.u16();
+          u.communities.push_back(c);
+        }
+        break;
+      }
+      default:
+        r.skip(len);
+        break;
+    }
+    if (!r.ok()) return std::nullopt;
+    attr_consumed += before - r.remaining();
+  }
+  if (attr_consumed != attr_len) return std::nullopt;
+
+  // NLRI.
+  if (r.remaining() > 0) {
+    const auto p = r.prefix();
+    if (!p || !r.ok() || r.remaining() != 0) return std::nullopt;
+    u.type = UpdateType::kAnnounce;
+    u.prefix = *p;
+  } else if (withdrawn_prefix) {
+    u.type = UpdateType::kWithdraw;
+    u.prefix = *withdrawn_prefix;
+  } else {
+    return std::nullopt;  // neither announce nor withdraw
+  }
+  return u;
+}
+
+std::vector<std::uint8_t> encode_stream(const UpdateLog& log) {
+  std::vector<std::uint8_t> out;
+  for (const Update& u : log) {
+    put_u64(out, static_cast<std::uint64_t>(u.time));
+    const auto msg = encode_update(u);
+    out.insert(out.end(), msg.begin(), msg.end());
+  }
+  return out;
+}
+
+std::optional<UpdateLog> decode_stream(std::span<const std::uint8_t> bytes) {
+  UpdateLog log;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8 + kHeaderSize) return std::nullopt;
+    std::uint64_t ts = 0;
+    for (int i = 0; i < 8; ++i) ts = (ts << 8) | bytes[pos + static_cast<std::size_t>(i)];
+    pos += 8;
+    // Peek the message length from the header.
+    const std::size_t len = (static_cast<std::size_t>(bytes[pos + 16]) << 8) |
+                            bytes[pos + 17];
+    if (len < kHeaderSize || bytes.size() - pos < len) return std::nullopt;
+    auto u = decode_update(bytes.subspan(pos, len));
+    if (!u) return std::nullopt;
+    u->time = static_cast<util::TimeMs>(ts);
+    log.push_back(std::move(*u));
+    pos += len;
+  }
+  return log;
+}
+
+}  // namespace bw::bgp::wire

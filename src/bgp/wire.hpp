@@ -1,0 +1,45 @@
+// RFC 4271 wire-format encoding/decoding of BGP UPDATE messages (with the
+// RFC 1997 COMMUNITIES attribute), so synthetic control-plane traces can be
+// exported to — and replayed from — the byte format real collectors speak.
+//
+// Supported subset (all this study needs):
+//   header         16-byte marker, length, type (UPDATE = 2)
+//   withdrawn      prefix list
+//   path attrs     ORIGIN, AS_PATH (one AS_SEQUENCE, 4-byte ASNs via
+//                  AS4_PATH-style encoding), NEXT_HOP, COMMUNITIES
+//   NLRI           prefix list
+//
+// Timestamps are not part of the BGP wire format; like MRT, the framed
+// stream encoder prepends an 8-byte milliseconds timestamp per message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/message.hpp"
+
+namespace bw::bgp::wire {
+
+/// Encode one update as a BGP UPDATE message (no timestamp).
+[[nodiscard]] std::vector<std::uint8_t> encode_update(const Update& update);
+
+/// Decode one BGP UPDATE message. Returns nullopt on malformed input.
+/// The decoded Update carries time = 0 (the wire format has none).
+[[nodiscard]] std::optional<Update> decode_update(
+    std::span<const std::uint8_t> bytes);
+
+/// Encode a whole log as a framed stream: per message an 8-byte big-endian
+/// millisecond timestamp, then the UPDATE bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_stream(const UpdateLog& log);
+
+/// Decode a framed stream; returns nullopt if any frame is malformed.
+[[nodiscard]] std::optional<UpdateLog> decode_stream(
+    std::span<const std::uint8_t> bytes);
+
+/// BGP message size ceiling (RFC 4271): 4096 octets.
+inline constexpr std::size_t kMaxMessageSize = 4096;
+
+}  // namespace bw::bgp::wire

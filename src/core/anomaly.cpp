@@ -1,0 +1,115 @@
+#include "core/anomaly.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bw::core {
+
+std::string_view to_string(Feature f) {
+  switch (f) {
+    case Feature::kPackets: return "packets";
+    case Feature::kFlows: return "flows";
+    case Feature::kUniqueSources: return "unique-sources";
+    case Feature::kUniqueDstPorts: return "unique-dst-ports";
+    case Feature::kNonTcpFlows: return "non-tcp-flows";
+  }
+  return "unknown";
+}
+
+std::size_t FeatureMatrix::slots_with_data() const {
+  std::size_t n = 0;
+  for (const double v : series[static_cast<std::size_t>(Feature::kPackets)]) {
+    if (v > 0.0) ++n;
+  }
+  return n;
+}
+
+FeatureMatrix compute_features(const Dataset& dataset,
+                               const net::Prefix& prefix,
+                               util::TimeRange range, util::DurationMs slot) {
+  return compute_features(dataset.flows(), dataset.flows_to(prefix, range),
+                          range, slot);
+}
+
+FeatureMatrix compute_features(const flow::FlowLog& flows,
+                               const std::vector<std::size_t>& indices,
+                               util::TimeRange range, util::DurationMs slot) {
+  FeatureMatrix m;
+  m.start = range.begin;
+  m.slot = std::max<util::DurationMs>(slot, 1);
+  const auto slots = static_cast<std::size_t>(
+      std::max<util::TimeMs>((range.length() + m.slot - 1) / m.slot, 0));
+  for (auto& s : m.series) s.assign(slots, 0.0);
+  if (slots == 0) return m;
+
+  struct SlotSets {
+    std::unordered_set<std::uint32_t> sources;
+    std::unordered_set<std::uint32_t> dst_ports;
+  };
+  std::vector<SlotSets> sets(slots);
+
+  auto& packets = m.series[static_cast<std::size_t>(Feature::kPackets)];
+  auto& flows_f = m.series[static_cast<std::size_t>(Feature::kFlows)];
+  auto& non_tcp = m.series[static_cast<std::size_t>(Feature::kNonTcpFlows)];
+
+  for (const std::size_t idx : indices) {
+    const auto& rec = flows[idx];
+    if (!range.contains(rec.time)) continue;
+    const auto s = static_cast<std::size_t>((rec.time - range.begin) / m.slot);
+    if (s >= slots) continue;
+    packets[s] += static_cast<double>(rec.packets);
+    flows_f[s] += 1.0;
+    if (rec.proto != net::Proto::kTcp) non_tcp[s] += 1.0;
+    sets[s].sources.insert(rec.src_ip.value());
+    sets[s].dst_ports.insert(rec.dst_port);
+  }
+  auto& sources = m.series[static_cast<std::size_t>(Feature::kUniqueSources)];
+  auto& ports = m.series[static_cast<std::size_t>(Feature::kUniqueDstPorts)];
+  for (std::size_t s = 0; s < slots; ++s) {
+    sources[s] = static_cast<double>(sets[s].sources.size());
+    ports[s] = static_cast<double>(sets[s].dst_ports.size());
+  }
+  return m;
+}
+
+int AnomalyScan::max_level() const {
+  int best = 0;
+  for (const int l : level) best = std::max(best, l);
+  return best;
+}
+
+bool AnomalyScan::any_anomaly_in_last(std::size_t n) const {
+  const std::size_t count = std::min(n, level.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (level[level.size() - 1 - i] >= 1) return true;
+  }
+  return false;
+}
+
+AnomalyScan detect_anomalies(const FeatureMatrix& features,
+                             util::EwmaConfig config) {
+  AnomalyScan scan;
+  scan.level.assign(features.slot_count(), 0);
+  for (const auto& series : features.series) {
+    util::EwmaDetector det(config);
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      if (det.push(series[s])) ++scan.level[s];
+    }
+  }
+  return scan;
+}
+
+AnomalyScan detect_anomalies_cusum(const FeatureMatrix& features,
+                                   util::CusumConfig config) {
+  AnomalyScan scan;
+  scan.level.assign(features.slot_count(), 0);
+  for (const auto& series : features.series) {
+    util::CusumDetector det(config);
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      if (det.push(series[s])) ++scan.level[s];
+    }
+  }
+  return scan;
+}
+
+}  // namespace bw::core

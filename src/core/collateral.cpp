@@ -1,0 +1,63 @@
+#include "core/collateral.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bw::core {
+
+CollateralReport compute_collateral(const Dataset& dataset,
+                                    const std::vector<RtbhEvent>& events,
+                                    const PortStatsReport& stats,
+                                    std::uint32_t sampling_rate) {
+  CollateralReport report;
+
+  // Detected servers with their stable top ports.
+  std::unordered_map<net::Ipv4, const HostPortStats*> servers;
+  for (const auto& h : stats.hosts) {
+    if (h.classification == HostClass::kServer) servers[h.ip] = &h;
+  }
+  report.servers_considered = servers.size();
+  if (servers.empty()) return report;
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const auto& ev = events[e];
+    // Which detected servers does this event cover?
+    std::vector<const HostPortStats*> covered;
+    if (ev.prefix.length() == 32) {
+      const auto it = servers.find(ev.prefix.network());
+      if (it != servers.end()) covered.push_back(it->second);
+    } else {
+      for (const auto& [ip, h] : servers) {
+        if (ev.prefix.contains(ip)) covered.push_back(h);
+      }
+    }
+    for (const HostPortStats* server : covered) {
+      CollateralEvent ce;
+      ce.server = server->ip;
+      ce.event_index = e;
+      for (const std::size_t idx :
+           dataset.flows_to(net::Prefix::host(server->ip), ev.span)) {
+        const auto& rec = dataset.flows()[idx];
+        const net::ProtoPort pp{rec.proto, rec.dst_port};
+        const bool to_top_port =
+            std::find(server->top_ports.begin(), server->top_ports.end(), pp) !=
+            server->top_ports.end();
+        if (!to_top_port) continue;
+        ce.packets_to_top_ports += rec.packets;
+        if (rec.dropped()) ce.packets_actually_dropped += rec.packets;
+      }
+      if (ce.packets_to_top_ports == 0) continue;
+      ce.est_original_packets = ce.packets_to_top_ports * sampling_rate;
+      report.total_top_port_packets += ce.packets_to_top_ports;
+      report.total_dropped_packets += ce.packets_actually_dropped;
+      report.events.push_back(ce);
+    }
+  }
+  std::sort(report.events.begin(), report.events.end(),
+            [](const CollateralEvent& a, const CollateralEvent& b) {
+              return a.packets_to_top_ports < b.packets_to_top_ports;
+            });
+  return report;
+}
+
+}  // namespace bw::core

@@ -1,0 +1,36 @@
+// Collateral-damage quantification (Section 6.3, Fig. 18).
+//
+// For every detected server (stable top ports), count the sampled packets
+// addressed to those top ports *during* RTBH events covering the server —
+// legitimate-looking traffic that an RTBH throws away. Reported as absolute
+// per-event packet counts (the paper deliberately avoids relative shares),
+// split into all packets to top ports vs. the subset actually dropped.
+#pragma once
+
+#include <vector>
+
+#include "core/event_merge.hpp"
+#include "core/port_stats.hpp"
+
+namespace bw::core {
+
+struct CollateralEvent {
+  net::Ipv4 server;
+  std::size_t event_index{0};
+  std::uint64_t packets_to_top_ports{0};   ///< should have been dropped
+  std::uint64_t packets_actually_dropped{0};
+  std::uint64_t est_original_packets{0};   ///< sampled x sampling rate
+};
+
+struct CollateralReport {
+  std::vector<CollateralEvent> events;  ///< only events with such traffic
+  std::size_t servers_considered{0};
+  std::uint64_t total_top_port_packets{0};
+  std::uint64_t total_dropped_packets{0};
+};
+
+[[nodiscard]] CollateralReport compute_collateral(
+    const Dataset& dataset, const std::vector<RtbhEvent>& events,
+    const PortStatsReport& stats, std::uint32_t sampling_rate = 10000);
+
+}  // namespace bw::core

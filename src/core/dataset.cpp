@@ -1,0 +1,274 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace bw::core {
+
+Dataset Dataset::from_run(ixp::RunResult run, const ixp::Platform& platform) {
+  std::unordered_map<net::Mac, bgp::Asn> macs;
+  for (const auto& m : platform.members()) macs[m.port_mac] = m.asn;
+  // The platform's origin table is the BGP-derived prefix->origin view the
+  // paper resolves source addresses against.
+  auto origins = platform.origin_prefix_table();
+  return Dataset(std::move(run.control), std::move(run.data), std::move(macs),
+                 std::move(origins), platform.config().period);
+}
+
+Dataset::Dataset(bgp::UpdateLog control, flow::FlowLog data,
+                 std::unordered_map<net::Mac, bgp::Asn> mac_to_asn,
+                 std::vector<std::pair<net::Prefix, bgp::Asn>> origin_prefixes,
+                 util::TimeRange period)
+    : control_(std::move(control)),
+      data_(std::move(data)),
+      mac_to_asn_(std::move(mac_to_asn)),
+      origin_prefixes_(std::move(origin_prefixes)),
+      period_(period) {
+  build_indices();
+}
+
+void Dataset::build_indices() {
+  bgp::sort_updates(control_);
+  flow::sort_flows(data_);
+
+  blackhole_updates_.clear();
+  for (const auto& u : control_) {
+    if (!u.is_blackhole()) continue;
+    blackhole_updates_.push_back(u);
+    if (u.type == bgp::UpdateType::kAnnounce) {
+      rs_index_.open(u.prefix, u.time, u.communities, u.sender_asn);
+    } else {
+      rs_index_.close(u.prefix, u.time);
+    }
+  }
+  rs_index_.finalize(period_.end);
+
+  for (const auto& [prefix, asn] : origin_prefixes_) {
+    origin_trie_.insert(prefix, asn);
+  }
+
+  by_dst_.resize(data_.size());
+  by_src_.resize(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) by_dst_[i] = by_src_[i] = i;
+  std::sort(by_dst_.begin(), by_dst_.end(), [this](std::size_t a, std::size_t b) {
+    if (data_[a].dst_ip != data_[b].dst_ip) {
+      return data_[a].dst_ip < data_[b].dst_ip;
+    }
+    return data_[a].time < data_[b].time;
+  });
+  std::sort(by_src_.begin(), by_src_.end(), [this](std::size_t a, std::size_t b) {
+    if (data_[a].src_ip != data_[b].src_ip) {
+      return data_[a].src_ip < data_[b].src_ip;
+    }
+    return data_[a].time < data_[b].time;
+  });
+}
+
+std::optional<bgp::Asn> Dataset::member_asn(net::Mac mac) const {
+  const auto it = mac_to_asn_.find(mac);
+  if (it == mac_to_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<bgp::Asn> Dataset::origin_asn(net::Ipv4 src) const {
+  const bgp::Asn* asn = origin_trie_.match(src);
+  if (asn == nullptr) return std::nullopt;
+  return *asn;
+}
+
+namespace {
+
+// Shared range-scan over an (ip, time)-sorted index.
+template <typename GetIp>
+std::vector<std::size_t> scan_index(const flow::FlowLog& data,
+                                    const std::vector<std::size_t>& index,
+                                    const net::Prefix& prefix,
+                                    util::TimeRange range, GetIp get_ip) {
+  std::vector<std::size_t> out;
+  const net::Ipv4 lo = prefix.network();
+  const net::Ipv4 hi = prefix.address_at(prefix.size() - 1);
+  auto begin = std::lower_bound(
+      index.begin(), index.end(), lo,
+      [&](std::size_t i, net::Ipv4 v) { return get_ip(data[i]) < v; });
+  for (auto it = begin; it != index.end(); ++it) {
+    const auto& rec = data[*it];
+    if (get_ip(rec) > hi) break;
+    if (range.contains(rec.time)) out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Dataset::flows_to(const net::Prefix& prefix,
+                                           util::TimeRange range) const {
+  return scan_index(data_, by_dst_, prefix, range,
+                    [](const flow::FlowRecord& r) { return r.dst_ip; });
+}
+
+std::vector<std::size_t> Dataset::flows_from(const net::Prefix& prefix,
+                                             util::TimeRange range) const {
+  return scan_index(data_, by_src_, prefix, range,
+                    [](const flow::FlowRecord& r) { return r.src_ip; });
+}
+
+Dataset::Summary Dataset::summary() const {
+  Summary s;
+  s.control_updates = control_.size();
+  s.blackhole_updates = blackhole_updates_.size();
+  s.blackholed_prefixes = rs_index_.prefix_count();
+  s.flow_records = data_.size();
+  for (const auto& r : data_) {
+    s.sampled_packets += r.packets;
+    s.sampled_bytes += r.bytes;
+    if (r.dropped()) {
+      s.dropped_packets += r.packets;
+      s.dropped_bytes += r.bytes;
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Binary persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x6277647330303031ULL;  // "bwds0001"
+
+template <typename T>
+void put(std::ofstream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T get(std::ifstream& is) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void put_u64(std::ofstream& os, std::uint64_t v) { put(os, v); }
+std::uint64_t get_u64(std::ifstream& is) { return get<std::uint64_t>(is); }
+
+}  // namespace
+
+void Dataset::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("Dataset::save: cannot open " + path);
+  put_u64(os, kMagic);
+  put(os, period_.begin);
+  put(os, period_.end);
+
+  put_u64(os, control_.size());
+  for (const auto& u : control_) {
+    put(os, u.time);
+    put(os, static_cast<std::uint8_t>(u.type));
+    put(os, u.sender_asn);
+    put(os, u.origin_asn);
+    put(os, u.prefix.network().value());
+    put(os, u.prefix.length());
+    put(os, u.next_hop.value());
+    put_u64(os, u.communities.size());
+    for (const auto& c : u.communities) {
+      put(os, c.global);
+      put(os, c.local);
+    }
+  }
+
+  put_u64(os, data_.size());
+  for (const auto& r : data_) {
+    put(os, r.time);
+    put(os, r.src_ip.value());
+    put(os, r.dst_ip.value());
+    put(os, static_cast<std::uint8_t>(r.proto));
+    put(os, r.src_port);
+    put(os, r.dst_port);
+    put(os, r.src_mac.value());
+    put(os, r.dst_mac.value());
+    put(os, r.packets);
+    put(os, r.bytes);
+  }
+
+  put_u64(os, mac_to_asn_.size());
+  for (const auto& [mac, asn] : mac_to_asn_) {
+    put(os, mac.value());
+    put(os, asn);
+  }
+
+  put_u64(os, origin_prefixes_.size());
+  for (const auto& [prefix, asn] : origin_prefixes_) {
+    put(os, prefix.network().value());
+    put(os, prefix.length());
+    put(os, asn);
+  }
+  if (!os) throw std::runtime_error("Dataset::save: write failed: " + path);
+}
+
+Dataset Dataset::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("Dataset::load: cannot open " + path);
+  if (get_u64(is) != kMagic) {
+    throw std::runtime_error("Dataset::load: bad magic in " + path);
+  }
+  util::TimeRange period;
+  period.begin = get<util::TimeMs>(is);
+  period.end = get<util::TimeMs>(is);
+
+  bgp::UpdateLog control(get_u64(is));
+  for (auto& u : control) {
+    u.time = get<util::TimeMs>(is);
+    u.type = static_cast<bgp::UpdateType>(get<std::uint8_t>(is));
+    u.sender_asn = get<bgp::Asn>(is);
+    u.origin_asn = get<bgp::Asn>(is);
+    const auto net_v = get<std::uint32_t>(is);
+    const auto len = get<std::uint8_t>(is);
+    u.prefix = net::Prefix(net::Ipv4(net_v), len);
+    u.next_hop = net::Ipv4(get<std::uint32_t>(is));
+    u.communities.resize(get_u64(is));
+    for (auto& c : u.communities) {
+      c.global = get<std::uint16_t>(is);
+      c.local = get<std::uint16_t>(is);
+    }
+  }
+
+  flow::FlowLog data(get_u64(is));
+  for (auto& r : data) {
+    r.time = get<util::TimeMs>(is);
+    r.src_ip = net::Ipv4(get<std::uint32_t>(is));
+    r.dst_ip = net::Ipv4(get<std::uint32_t>(is));
+    r.proto = static_cast<net::Proto>(get<std::uint8_t>(is));
+    r.src_port = get<net::Port>(is);
+    r.dst_port = get<net::Port>(is);
+    r.src_mac = net::Mac(get<std::uint64_t>(is));
+    r.dst_mac = net::Mac(get<std::uint64_t>(is));
+    r.packets = get<std::uint32_t>(is);
+    r.bytes = get<std::uint64_t>(is);
+  }
+
+  std::unordered_map<net::Mac, bgp::Asn> macs;
+  const std::uint64_t n_macs = get_u64(is);
+  for (std::uint64_t i = 0; i < n_macs; ++i) {
+    const auto mac = net::Mac(get<std::uint64_t>(is));
+    macs[mac] = get<bgp::Asn>(is);
+  }
+
+  std::vector<std::pair<net::Prefix, bgp::Asn>> origins(get_u64(is));
+  for (auto& [prefix, asn] : origins) {
+    const auto net_v = get<std::uint32_t>(is);
+    const auto len = get<std::uint8_t>(is);
+    prefix = net::Prefix(net::Ipv4(net_v), len);
+    asn = get<bgp::Asn>(is);
+  }
+  if (!is) throw std::runtime_error("Dataset::load: truncated file " + path);
+
+  return Dataset(std::move(control), std::move(data), std::move(macs),
+                 std::move(origins), period);
+}
+
+}  // namespace bw::core

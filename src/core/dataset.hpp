@@ -1,0 +1,115 @@
+// The joint measurement corpus (Section 3).
+//
+// A Dataset bundles exactly what the paper's analysts had: the route-server
+// BGP log (control plane), the sampled flow log (data plane), the MAC ->
+// member-AS mapping of the switching fabric, and a BGP-derived source-IP ->
+// origin-AS resolver. It additionally builds the indices every analysis
+// module needs: the route-server blackhole activity index and flow indices
+// sorted by destination and by source address.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/blackhole_index.hpp"
+#include "bgp/message.hpp"
+#include "flow/record.hpp"
+#include "ixp/platform.hpp"
+#include "net/mac.hpp"
+
+namespace bw::core {
+
+class Dataset {
+ public:
+  using OriginResolver = std::function<std::optional<bgp::Asn>(net::Ipv4)>;
+
+  /// Build from a platform replay. Copies the MAC table and origin table
+  /// out of the platform so the Dataset is self-contained afterwards.
+  static Dataset from_run(ixp::RunResult run, const ixp::Platform& platform);
+
+  /// Build from raw corpora (e.g. deserialised from disk).
+  Dataset(bgp::UpdateLog control, flow::FlowLog data,
+          std::unordered_map<net::Mac, bgp::Asn> mac_to_asn,
+          std::vector<std::pair<net::Prefix, bgp::Asn>> origin_prefixes,
+          util::TimeRange period);
+
+  // --- raw corpora ---
+  [[nodiscard]] const bgp::UpdateLog& control() const noexcept {
+    return control_;
+  }
+  [[nodiscard]] const flow::FlowLog& flows() const noexcept { return data_; }
+  [[nodiscard]] util::TimeRange period() const noexcept { return period_; }
+
+  /// Only the RTBH-related updates, in time order.
+  [[nodiscard]] const bgp::UpdateLog& blackhole_updates() const noexcept {
+    return blackhole_updates_;
+  }
+
+  /// Route-server blackhole activity rebuilt from the control log.
+  [[nodiscard]] const bgp::BlackholeIndex& rs_index() const noexcept {
+    return rs_index_;
+  }
+
+  // --- attribution ---
+  [[nodiscard]] std::optional<bgp::Asn> member_asn(net::Mac mac) const;
+  [[nodiscard]] std::optional<bgp::Asn> origin_asn(net::Ipv4 src) const;
+  [[nodiscard]] const std::unordered_map<net::Mac, bgp::Asn>& mac_table()
+      const noexcept {
+    return mac_to_asn_;
+  }
+  [[nodiscard]] const std::vector<std::pair<net::Prefix, bgp::Asn>>&
+  origin_prefixes() const noexcept {
+    return origin_prefixes_;
+  }
+
+  // --- flow indices ---
+  /// Indices (into flows()) of records destined to `prefix` within `range`,
+  /// ordered by (dst_ip, time).
+  [[nodiscard]] std::vector<std::size_t> flows_to(const net::Prefix& prefix,
+                                                  util::TimeRange range) const;
+  /// Same for records *from* `prefix` (source-address match).
+  [[nodiscard]] std::vector<std::size_t> flows_from(const net::Prefix& prefix,
+                                                    util::TimeRange range) const;
+  /// All records to an exact address over the whole period.
+  [[nodiscard]] std::vector<std::size_t> flows_to(net::Ipv4 addr) const {
+    return flows_to(net::Prefix::host(addr), period_);
+  }
+
+  // --- persistence (binary, versioned) ---
+  void save(const std::string& path) const;
+  static Dataset load(const std::string& path);
+
+  // --- summary ---
+  struct Summary {
+    std::size_t control_updates{0};
+    std::size_t blackhole_updates{0};
+    std::size_t blackholed_prefixes{0};
+    std::size_t flow_records{0};
+    std::uint64_t sampled_packets{0};
+    std::uint64_t sampled_bytes{0};
+    std::uint64_t dropped_packets{0};
+    std::uint64_t dropped_bytes{0};
+  };
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  void build_indices();
+
+  bgp::UpdateLog control_;
+  flow::FlowLog data_;
+  std::unordered_map<net::Mac, bgp::Asn> mac_to_asn_;
+  std::vector<std::pair<net::Prefix, bgp::Asn>> origin_prefixes_;
+  util::TimeRange period_;
+
+  bgp::UpdateLog blackhole_updates_;
+  bgp::BlackholeIndex rs_index_;
+  net::PrefixTrie<bgp::Asn> origin_trie_;
+  std::vector<std::size_t> by_dst_;  ///< flow indices sorted by (dst, time)
+  std::vector<std::size_t> by_src_;  ///< flow indices sorted by (src, time)
+};
+
+}  // namespace bw::core

@@ -1,0 +1,123 @@
+#include "core/drop_rate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bw::core {
+
+double DropRateReport::traffic_share(std::uint8_t length) const {
+  if (packets_all_lengths == 0) return 0.0;
+  for (const auto& s : by_length) {
+    if (s.length == length) {
+      return static_cast<double>(s.packets_total) /
+             static_cast<double>(packets_all_lengths);
+    }
+  }
+  return 0.0;
+}
+
+DropRateReport compute_drop_rates(const Dataset& dataset,
+                                  const std::vector<RtbhEvent>& events,
+                                  const DropRateConfig& config) {
+  DropRateReport report;
+  std::map<std::uint8_t, PrefixLenDropStats> by_length;
+  std::unordered_map<bgp::Asn, SourceAsReaction> sources32;
+
+  for (const auto& ev : events) {
+    std::uint64_t ev_total = 0;
+    std::uint64_t ev_dropped = 0;
+    for (const auto& active : ev.active) {
+      for (const std::size_t idx : dataset.flows_to(ev.prefix, active)) {
+        const auto& rec = dataset.flows()[idx];
+        auto& stats = by_length[ev.prefix.length()];
+        stats.length = ev.prefix.length();
+        stats.packets_total += rec.packets;
+        stats.bytes_total += rec.bytes;
+        ev_total += rec.packets;
+        if (rec.dropped()) {
+          stats.packets_dropped += rec.packets;
+          stats.bytes_dropped += rec.bytes;
+          ev_dropped += rec.packets;
+        }
+        if (ev.prefix.length() == 32) {
+          const auto asn = dataset.member_asn(rec.src_mac);
+          if (asn) {
+            auto& src = sources32[*asn];
+            src.asn = *asn;
+            src.packets_total += rec.packets;
+            if (rec.dropped()) src.packets_dropped += rec.packets;
+          }
+        }
+      }
+    }
+    if (ev_total >= config.min_event_samples) {
+      const double rate =
+          static_cast<double>(ev_dropped) / static_cast<double>(ev_total);
+      if (ev.prefix.length() == 32) report.event_rates_len32.push_back(rate);
+      if (ev.prefix.length() == 24) report.event_rates_len24.push_back(rate);
+    }
+  }
+
+  for (const auto& [len, stats] : by_length) {
+    report.by_length.push_back(stats);
+    report.packets_all_lengths += stats.packets_total;
+    report.bytes_all_lengths += stats.bytes_total;
+  }
+
+  report.sources_to_len32.reserve(sources32.size());
+  for (const auto& [asn, src] : sources32) {
+    report.sources_to_len32.push_back(src);
+  }
+  std::sort(report.sources_to_len32.begin(), report.sources_to_len32.end(),
+            [](const SourceAsReaction& a, const SourceAsReaction& b) {
+              return a.packets_total > b.packets_total;
+            });
+  return report;
+}
+
+TopSourceSummary summarize_top_sources(const DropRateReport& report,
+                                       std::size_t top_n) {
+  TopSourceSummary out;
+  std::uint64_t total = 0;
+  std::uint64_t top_total = 0;
+  for (const auto& s : report.sources_to_len32) total += s.packets_total;
+  const std::size_t n = std::min(top_n, report.sources_to_len32.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& s = report.sources_to_len32[i];
+    ++out.considered;
+    top_total += s.packets_total;
+    const double share = s.drop_share();
+    if (share > 0.99) ++out.full_droppers;
+    else if (share < 0.01) ++out.full_forwarders;
+    else ++out.inconsistent;
+  }
+  out.traffic_share_of_total =
+      total > 0 ? static_cast<double>(top_total) / static_cast<double>(total)
+                : 0.0;
+  return out;
+}
+
+std::vector<TypedReaction> type_top_sources(const DropRateReport& report,
+                                            const pdb::Registry& registry,
+                                            std::size_t top_n) {
+  std::map<pdb::OrgType, TypedReaction> by_type;
+  const std::size_t n = std::min(top_n, report.sources_to_len32.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& s = report.sources_to_len32[i];
+    const pdb::OrgType type = registry.type_of(s.asn);
+    auto& t = by_type[type];
+    t.type = type;
+    if (s.drop_share() > 0.99) ++t.droppers;
+    else ++t.others;
+  }
+  std::vector<TypedReaction> out;
+  out.reserve(by_type.size());
+  for (const auto& [type, t] : by_type) out.push_back(t);
+  std::sort(out.begin(), out.end(), [](const TypedReaction& a,
+                                       const TypedReaction& b) {
+    return a.droppers + a.others > b.droppers + b.others;
+  });
+  return out;
+}
+
+}  // namespace bw::core

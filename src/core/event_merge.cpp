@@ -1,0 +1,124 @@
+#include "core/event_merge.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bw::core {
+
+namespace {
+
+struct PrefixTimeline {
+  bgp::Asn sender{0};
+  bgp::Asn origin{0};
+  /// (announce, withdraw) pairs in time order; withdraw == period_end for
+  /// never-withdrawn blackholes.
+  std::vector<util::TimeRange> intervals;
+  std::size_t announcements{0};
+};
+
+std::unordered_map<net::Prefix, PrefixTimeline> build_timelines(
+    const bgp::UpdateLog& updates, util::TimeMs period_end) {
+  // Updates are expected sorted; enforce locally to stay robust.
+  bgp::UpdateLog sorted = updates;
+  bgp::sort_updates(sorted);
+
+  std::unordered_map<net::Prefix, PrefixTimeline> timelines;
+  std::unordered_map<net::Prefix, util::TimeMs> open;
+  for (const auto& u : sorted) {
+    auto& tl = timelines[u.prefix];
+    if (tl.announcements == 0) {
+      tl.sender = u.sender_asn;
+      tl.origin = u.origin_asn;
+    }
+    if (u.type == bgp::UpdateType::kAnnounce) {
+      ++tl.announcements;
+      open.emplace(u.prefix, u.time);  // ignore re-announce while open
+    } else {
+      const auto it = open.find(u.prefix);
+      if (it == open.end()) continue;  // withdraw without announce
+      tl.intervals.push_back({it->second, std::max(u.time, it->second)});
+      open.erase(it);
+    }
+  }
+  for (const auto& [prefix, begin] : open) {
+    timelines[prefix].intervals.push_back({begin, period_end});
+  }
+  for (auto& [prefix, tl] : timelines) {
+    std::sort(tl.intervals.begin(), tl.intervals.end(),
+              [](const util::TimeRange& a, const util::TimeRange& b) {
+                return a.begin < b.begin;
+              });
+  }
+  return timelines;
+}
+
+}  // namespace
+
+std::vector<RtbhEvent> merge_events(const bgp::UpdateLog& blackhole_updates,
+                                    util::TimeMs period_end,
+                                    util::DurationMs delta) {
+  const auto timelines = build_timelines(blackhole_updates, period_end);
+
+  std::vector<RtbhEvent> events;
+  for (const auto& [prefix, tl] : timelines) {
+    RtbhEvent current;
+    bool has_current = false;
+    for (const auto& iv : tl.intervals) {
+      if (has_current && iv.begin - current.span.end <= delta) {
+        current.active.push_back(iv);
+        current.span.end = std::max(current.span.end, iv.end);
+        ++current.announcements;
+        continue;
+      }
+      if (has_current) events.push_back(std::move(current));
+      current = RtbhEvent{};
+      current.prefix = prefix;
+      current.sender = tl.sender;
+      current.origin = tl.origin;
+      current.span = iv;
+      current.active = {iv};
+      current.announcements = 1;
+      has_current = true;
+    }
+    if (has_current) events.push_back(std::move(current));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const RtbhEvent& a, const RtbhEvent& b) {
+              if (a.span.begin != b.span.begin) {
+                return a.span.begin < b.span.begin;
+              }
+              return a.prefix < b.prefix;
+            });
+  return events;
+}
+
+std::vector<MergeSweepPoint> merge_sweep(
+    const bgp::UpdateLog& blackhole_updates, util::TimeMs period_end,
+    const std::vector<util::DurationMs>& deltas) {
+  std::size_t announcements = 0;
+  for (const auto& u : blackhole_updates) {
+    if (u.type == bgp::UpdateType::kAnnounce) ++announcements;
+  }
+  const double denom =
+      announcements > 0 ? static_cast<double>(announcements) : 1.0;
+
+  std::vector<MergeSweepPoint> out;
+  out.reserve(deltas.size() + 1);
+  for (const util::DurationMs d : deltas) {
+    MergeSweepPoint p;
+    p.delta = d;
+    p.events = merge_events(blackhole_updates, period_end, d).size();
+    p.event_fraction = static_cast<double>(p.events) / denom;
+    out.push_back(p);
+  }
+  // Δ = infinity: one event per unique prefix.
+  const auto timelines = build_timelines(blackhole_updates, period_end);
+  MergeSweepPoint inf;
+  inf.delta = -1;
+  inf.events = timelines.size();
+  inf.event_fraction = static_cast<double>(inf.events) / denom;
+  out.push_back(inf);
+  return out;
+}
+
+}  // namespace bw::core

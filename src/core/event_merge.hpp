@@ -1,0 +1,57 @@
+// RTBH event merging (Section 5.1).
+//
+// Operators announce and withdraw blackholes repeatedly during one attack
+// (Fig. 9) because dropped traffic yields no telemetry. To reason about
+// *attack events* rather than BGP churn, consecutive announcements of the
+// same prefix are merged into one RTBH event whenever the gap between a
+// withdrawal and the next announcement is at most Δ:
+//
+//     |bh_i[withdraw] - bh_{i+1}[announce]| <= Δ
+//
+// The paper fixes Δ = 10 minutes (the knee of Fig. 10), collapsing ~400k
+// announcements into ~34k events (8.5%).
+#pragma once
+
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "net/prefix.hpp"
+#include "util/time.hpp"
+
+namespace bw::core {
+
+/// One merged RTBH event.
+struct RtbhEvent {
+  net::Prefix prefix;
+  bgp::Asn sender{0};
+  bgp::Asn origin{0};
+  util::TimeRange span;  ///< first announce .. last withdraw (or period end)
+  /// Announce..withdraw intervals inside the event (gaps included in span).
+  std::vector<util::TimeRange> active;
+  std::size_t announcements{0};
+};
+
+/// The paper's Δ.
+inline constexpr util::DurationMs kDefaultMergeDelta = 10 * util::kMinute;
+
+/// Merge blackhole updates (announces/withdraws, any order) into events.
+/// `period_end` closes never-withdrawn blackholes (zombies).
+[[nodiscard]] std::vector<RtbhEvent> merge_events(
+    const bgp::UpdateLog& blackhole_updates, util::TimeMs period_end,
+    util::DurationMs delta = kDefaultMergeDelta);
+
+/// One point of the Fig. 10 sweep.
+struct MergeSweepPoint {
+  util::DurationMs delta{0};
+  std::size_t events{0};
+  double event_fraction{0.0};  ///< events / announcements
+};
+
+/// Sweep Δ over `deltas` and report the event counts (Fig. 10). The
+/// Δ = infinity lower bound (events == unique prefixes) is appended last
+/// with delta = -1.
+[[nodiscard]] std::vector<MergeSweepPoint> merge_sweep(
+    const bgp::UpdateLog& blackhole_updates, util::TimeMs period_end,
+    const std::vector<util::DurationMs>& deltas);
+
+}  // namespace bw::core

@@ -1,0 +1,46 @@
+#include "core/filtering.hpp"
+
+#include "net/ports.hpp"
+
+namespace bw::core {
+
+FilteringReport compute_filtering(const Dataset& dataset,
+                                  const std::vector<RtbhEvent>& events,
+                                  const PreRtbhReport& pre,
+                                  double full_threshold) {
+  FilteringReport report;
+  report.threshold = full_threshold;
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (e >= pre.per_event.size() || !pre.per_event[e].anomaly_within_10min) {
+      continue;
+    }
+    const auto& ev = events[e];
+    std::uint64_t total = 0;
+    std::uint64_t matched = 0;
+    for (const std::size_t idx : dataset.flows_to(ev.prefix, ev.span)) {
+      const auto& rec = dataset.flows()[idx];
+      total += rec.packets;
+      if (rec.proto == net::Proto::kUdp &&
+          net::is_amplification_port(rec.src_port)) {
+        matched += rec.packets;
+      }
+    }
+    if (total == 0) continue;
+    ++report.events_considered;
+    report.coverage.push_back(static_cast<double>(matched) /
+                              static_cast<double>(total));
+  }
+
+  if (!report.coverage.empty()) {
+    std::size_t full = 0;
+    for (const double c : report.coverage) {
+      if (c >= full_threshold) ++full;
+    }
+    report.fully_filterable_fraction =
+        static_cast<double>(full) / static_cast<double>(report.coverage.size());
+  }
+  return report;
+}
+
+}  // namespace bw::core

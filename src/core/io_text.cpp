@@ -1,0 +1,242 @@
+#include "core/io_text.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace bw::core {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+
+template <typename T>
+bool parse_int(const std::string& s, T& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+}  // namespace
+
+void write_control_csv(std::ostream& os, const bgp::UpdateLog& log) {
+  os << "time_ms,type,sender_asn,origin_asn,prefix,next_hop,communities\n";
+  for (const auto& u : log) {
+    os << u.time << ','
+       << (u.type == bgp::UpdateType::kAnnounce ? 'A' : 'W') << ','
+       << u.sender_asn << ',' << u.origin_asn << ',' << u.prefix.to_string()
+       << ',' << u.next_hop.to_string() << ',';
+    for (std::size_t i = 0; i < u.communities.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << u.communities[i].to_string();
+    }
+    os << '\n';
+  }
+}
+
+void write_flows_csv(std::ostream& os, const flow::FlowLog& flows) {
+  os << "time_ms,src_ip,dst_ip,proto,src_port,dst_port,src_mac,dst_mac,"
+        "packets,bytes\n";
+  for (const auto& r : flows) {
+    os << r.time << ',' << r.src_ip.to_string() << ',' << r.dst_ip.to_string()
+       << ',' << static_cast<int>(r.proto) << ',' << r.src_port << ','
+       << r.dst_port << ',' << r.src_mac.to_string() << ','
+       << r.dst_mac.to_string() << ',' << r.packets << ',' << r.bytes << '\n';
+  }
+}
+
+void write_macs_csv(std::ostream& os,
+                    const std::unordered_map<net::Mac, bgp::Asn>& macs) {
+  os << "mac,asn\n";
+  for (const auto& [mac, asn] : macs) {
+    os << mac.to_string() << ',' << asn << '\n';
+  }
+}
+
+void write_origins_csv(
+    std::ostream& os,
+    const std::vector<std::pair<net::Prefix, bgp::Asn>>& origins) {
+  os << "prefix,asn\n";
+  for (const auto& [prefix, asn] : origins) {
+    os << prefix.to_string() << ',' << asn << '\n';
+  }
+}
+
+void export_dataset_csv(const Dataset& dataset, const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  auto open = [&](const char* name) {
+    std::ofstream os(directory + "/" + name, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error(std::string("export_dataset_csv: cannot open ") +
+                               directory + "/" + name);
+    }
+    return os;
+  };
+  {
+    auto os = open("control.csv");
+    write_control_csv(os, dataset.control());
+  }
+  {
+    auto os = open("flows.csv");
+    write_flows_csv(os, dataset.flows());
+  }
+  {
+    auto os = open("macs.csv");
+    write_macs_csv(os, dataset.mac_table());
+  }
+  {
+    auto os = open("origins.csv");
+    write_origins_csv(os, dataset.origin_prefixes());
+  }
+  {
+    auto os = open("period.csv");
+    os << "begin_ms,end_ms\n"
+       << dataset.period().begin << ',' << dataset.period().end << '\n';
+  }
+}
+
+std::optional<bgp::UpdateLog> read_control_csv(std::istream& is) {
+  bgp::UpdateLog log;
+  std::string line;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line, ',');
+    if (f.size() != 7) return std::nullopt;
+    bgp::Update u;
+    if (!parse_int(f[0], u.time)) return std::nullopt;
+    if (f[1] == "A") u.type = bgp::UpdateType::kAnnounce;
+    else if (f[1] == "W") u.type = bgp::UpdateType::kWithdraw;
+    else return std::nullopt;
+    if (!parse_int(f[2], u.sender_asn)) return std::nullopt;
+    if (!parse_int(f[3], u.origin_asn)) return std::nullopt;
+    const auto prefix = net::Prefix::parse(f[4]);
+    const auto next_hop = net::Ipv4::parse(f[5]);
+    if (!prefix || !next_hop) return std::nullopt;
+    u.prefix = *prefix;
+    u.next_hop = *next_hop;
+    if (!f[6].empty()) {
+      for (const auto& c : split(f[6], ' ')) {
+        const auto community = bgp::Community::parse(c);
+        if (!community) return std::nullopt;
+        u.communities.push_back(*community);
+      }
+    }
+    log.push_back(std::move(u));
+  }
+  return log;
+}
+
+std::optional<flow::FlowLog> read_flows_csv(std::istream& is) {
+  flow::FlowLog flows;
+  std::string line;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line, ',');
+    if (f.size() != 10) return std::nullopt;
+    flow::FlowRecord r;
+    int proto = 0;
+    if (!parse_int(f[0], r.time) || !parse_int(f[3], proto) ||
+        !parse_int(f[4], r.src_port) || !parse_int(f[5], r.dst_port) ||
+        !parse_int(f[8], r.packets) || !parse_int(f[9], r.bytes)) {
+      return std::nullopt;
+    }
+    const auto src = net::Ipv4::parse(f[1]);
+    const auto dst = net::Ipv4::parse(f[2]);
+    const auto smac = net::Mac::parse(f[6]);
+    const auto dmac = net::Mac::parse(f[7]);
+    if (!src || !dst || !smac || !dmac) return std::nullopt;
+    r.src_ip = *src;
+    r.dst_ip = *dst;
+    r.proto = static_cast<net::Proto>(proto);
+    r.src_mac = *smac;
+    r.dst_mac = *dmac;
+    flows.push_back(r);
+  }
+  return flows;
+}
+
+std::optional<std::unordered_map<net::Mac, bgp::Asn>> read_macs_csv(
+    std::istream& is) {
+  std::unordered_map<net::Mac, bgp::Asn> macs;
+  std::string line;
+  std::getline(is, line);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line, ',');
+    if (f.size() != 2) return std::nullopt;
+    const auto mac = net::Mac::parse(f[0]);
+    bgp::Asn asn = 0;
+    if (!mac || !parse_int(f[1], asn)) return std::nullopt;
+    macs[*mac] = asn;
+  }
+  return macs;
+}
+
+std::optional<std::vector<std::pair<net::Prefix, bgp::Asn>>> read_origins_csv(
+    std::istream& is) {
+  std::vector<std::pair<net::Prefix, bgp::Asn>> origins;
+  std::string line;
+  std::getline(is, line);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto f = split(line, ',');
+    if (f.size() != 2) return std::nullopt;
+    const auto prefix = net::Prefix::parse(f[0]);
+    bgp::Asn asn = 0;
+    if (!prefix || !parse_int(f[1], asn)) return std::nullopt;
+    origins.emplace_back(*prefix, asn);
+  }
+  return origins;
+}
+
+Dataset import_dataset_csv(const std::string& directory) {
+  auto open = [&](const char* name) {
+    std::ifstream is(directory + "/" + name);
+    if (!is) {
+      throw std::runtime_error(std::string("import_dataset_csv: cannot open ") +
+                               directory + "/" + name);
+    }
+    return is;
+  };
+  auto control_is = open("control.csv");
+  auto control = read_control_csv(control_is);
+  auto flows_is = open("flows.csv");
+  auto flows = read_flows_csv(flows_is);
+  auto macs_is = open("macs.csv");
+  auto macs = read_macs_csv(macs_is);
+  auto origins_is = open("origins.csv");
+  auto origins = read_origins_csv(origins_is);
+  if (!control || !flows || !macs || !origins) {
+    throw std::runtime_error("import_dataset_csv: malformed CSV in " +
+                             directory);
+  }
+
+  util::TimeRange period{0, 0};
+  {
+    auto is = open("period.csv");
+    std::string line;
+    std::getline(is, line);  // header
+    if (!std::getline(is, line)) {
+      throw std::runtime_error("import_dataset_csv: missing period row");
+    }
+    const auto f = split(line, ',');
+    if (f.size() != 2 || !parse_int(f[0], period.begin) ||
+        !parse_int(f[1], period.end)) {
+      throw std::runtime_error("import_dataset_csv: malformed period.csv");
+    }
+  }
+  return Dataset(std::move(*control), std::move(*flows), std::move(*macs),
+                 std::move(*origins), period);
+}
+
+}  // namespace bw::core

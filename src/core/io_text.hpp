@@ -1,0 +1,53 @@
+// Text (CSV) interchange for measurement corpora.
+//
+// The binary .bwds format is compact but private; these readers/writers
+// speak plain CSV so (a) real control-plane/flow exports can be converted
+// into a Dataset with any scripting language, and (b) our synthetic corpora
+// can be inspected and plotted outside this library.
+//
+// Control plane (one row per BGP update):
+//   time_ms,type,sender_asn,origin_asn,prefix,next_hop,communities
+//   communities are space-separated "global:local" pairs.
+//
+// Flow records (one row per sampled packet record):
+//   time_ms,src_ip,dst_ip,proto,src_port,dst_port,src_mac,dst_mac,packets,bytes
+//
+// Attribution tables:
+//   mac,asn                (MAC -> member AS)
+//   prefix,asn             (source prefix -> origin AS)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/dataset.hpp"
+
+namespace bw::core {
+
+// --- writers ---
+void write_control_csv(std::ostream& os, const bgp::UpdateLog& log);
+void write_flows_csv(std::ostream& os, const flow::FlowLog& flows);
+void write_macs_csv(std::ostream& os,
+                    const std::unordered_map<net::Mac, bgp::Asn>& macs);
+void write_origins_csv(
+    std::ostream& os,
+    const std::vector<std::pair<net::Prefix, bgp::Asn>>& origins);
+
+/// Write all four files of a dataset under `directory` (created if absent):
+/// control.csv, flows.csv, macs.csv, origins.csv, period.csv.
+void export_dataset_csv(const Dataset& dataset, const std::string& directory);
+
+// --- readers (return nullopt on any malformed row) ---
+[[nodiscard]] std::optional<bgp::UpdateLog> read_control_csv(std::istream& is);
+[[nodiscard]] std::optional<flow::FlowLog> read_flows_csv(std::istream& is);
+[[nodiscard]] std::optional<std::unordered_map<net::Mac, bgp::Asn>>
+read_macs_csv(std::istream& is);
+[[nodiscard]] std::optional<std::vector<std::pair<net::Prefix, bgp::Asn>>>
+read_origins_csv(std::istream& is);
+
+/// Load a dataset from a directory written by export_dataset_csv.
+/// Throws std::runtime_error on missing files or malformed content.
+[[nodiscard]] Dataset import_dataset_csv(const std::string& directory);
+
+}  // namespace bw::core

@@ -1,0 +1,66 @@
+#include "core/load.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace bw::core {
+
+LoadReport compute_load(const Dataset& dataset, util::DurationMs slot) {
+  LoadReport report;
+  report.slot = std::max<util::DurationMs>(slot, 1);
+  const util::TimeRange period = dataset.period();
+  const auto slots = static_cast<std::size_t>(
+      (period.length() + report.slot - 1) / report.slot);
+  if (slots == 0) return report;
+
+  // Active-prefix counting via +1/-1 boundary diffs over the spans.
+  std::vector<std::int64_t> active_diff(slots + 1, 0);
+  dataset.rs_index().for_each(
+      [&](const net::Prefix&, const std::vector<bgp::BlackholeIndex::Span>& spans) {
+        for (const auto& s : spans) {
+          const auto b = static_cast<std::size_t>(std::clamp<std::int64_t>(
+              util::slot_index(s.range.begin - period.begin, report.slot), 0,
+              static_cast<std::int64_t>(slots)));
+          const auto e = static_cast<std::size_t>(std::clamp<std::int64_t>(
+              util::slot_index(s.range.end - period.begin, report.slot) + 1, 0,
+              static_cast<std::int64_t>(slots)));
+          if (e <= b) continue;
+          active_diff[b] += 1;
+          active_diff[e] -= 1;
+        }
+      });
+
+  std::vector<std::size_t> messages(slots, 0);
+  std::unordered_set<bgp::Asn> peers;
+  std::unordered_set<bgp::Asn> origins;
+  for (const auto& u : dataset.blackhole_updates()) {
+    const std::int64_t s = util::slot_index(u.time - period.begin, report.slot);
+    if (s >= 0 && s < static_cast<std::int64_t>(slots)) {
+      ++messages[static_cast<std::size_t>(s)];
+    }
+    peers.insert(u.sender_asn);
+    origins.insert(u.origin_asn);
+  }
+  report.announcing_peers = peers.size();
+  report.origin_ases = origins.size();
+
+  report.series.reserve(slots);
+  std::int64_t active = 0;
+  double sum_active = 0.0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    active += active_diff[s];
+    LoadPoint p;
+    p.time = period.begin + static_cast<util::TimeMs>(s) * report.slot;
+    p.active_prefixes = static_cast<std::size_t>(std::max<std::int64_t>(active, 0));
+    p.messages = messages[s];
+    report.series.push_back(p);
+    sum_active += static_cast<double>(p.active_prefixes);
+    report.max_active = std::max(report.max_active, p.active_prefixes);
+    report.max_messages_per_slot =
+        std::max(report.max_messages_per_slot, p.messages);
+  }
+  report.mean_active = sum_active / static_cast<double>(slots);
+  return report;
+}
+
+}  // namespace bw::core

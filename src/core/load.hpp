@@ -1,0 +1,31 @@
+// RTBH signalling load (Section 3.2, Fig. 3): number of concurrently
+// active blackhole prefixes over time, BGP message rate, and the number of
+// distinct announcing peers and origin ASes.
+#pragma once
+
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace bw::core {
+
+struct LoadPoint {
+  util::TimeMs time{0};
+  std::size_t active_prefixes{0};
+  std::size_t messages{0};  ///< RTBH-related BGP messages in this slot
+};
+
+struct LoadReport {
+  util::DurationMs slot{util::kMinute};
+  std::vector<LoadPoint> series;
+  double mean_active{0.0};
+  std::size_t max_active{0};
+  std::size_t max_messages_per_slot{0};
+  std::size_t announcing_peers{0};  ///< members that ever announced RTBH
+  std::size_t origin_ases{0};       ///< origin ASes ever blackholed
+};
+
+[[nodiscard]] LoadReport compute_load(const Dataset& dataset,
+                                      util::DurationMs slot = util::kMinute);
+
+}  // namespace bw::core

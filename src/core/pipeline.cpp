@@ -1,0 +1,97 @@
+#include "core/pipeline.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+
+namespace bw::core {
+
+AnalysisReport run_pipeline(const Dataset& dataset,
+                            const AnalysisConfig& config) {
+  AnalysisReport report;
+  report.summary = dataset.summary();
+  report.events = merge_events(dataset.blackhole_updates(),
+                               dataset.period().end, config.merge_delta);
+  report.pre = compute_pre_rtbh(dataset, report.events, config.pre);
+  report.drop = compute_drop_rates(dataset, report.events, config.drop);
+  report.protocols =
+      compute_protocol_mix(dataset, report.events, report.pre, config.protocols);
+  report.filtering = compute_filtering(dataset, report.events, report.pre);
+  report.participation =
+      compute_participation(dataset, report.events, report.pre);
+  report.ports = compute_port_stats(dataset, report.events, config.ports);
+  report.radviz = radviz_projection(report.ports, config.ports.min_days);
+  report.collateral = compute_collateral(dataset, report.events, report.ports,
+                                         config.sampling_rate);
+  report.classes =
+      classify_events(dataset, report.events, report.pre, config.classify);
+  return report;
+}
+
+namespace {
+
+std::string config_fingerprint(const gen::ScenarioConfig& cfg) {
+  std::ostringstream os;
+  os << "v5|" << cfg.sampling_rate << '|' << cfg.scale << '|' << cfg.seed
+     << '|' << cfg.period.begin << '|'
+     << cfg.period.end << '|' << cfg.members << '|' << cfg.blackholer_members
+     << '|' << cfg.victim_origin_as << '|' << cfg.amplifier_origins << '|'
+     << cfg.amplifiers << '|' << cfg.server_hosts << '|' << cfg.client_hosts
+     << '|' << cfg.idle_victims << '|' << cfg.rtbh_events << '|'
+     << cfg.attack_fraction << '|' << cfg.steady_fraction << '|'
+     << cfg.zombies << '|' << cfg.squatting_prefixes << '|'
+     << cfg.content_blocking << '|' << cfg.attack_packets_log_mean << '|'
+     << cfg.server_daily_packets << '|' << cfg.client_daily_packets;
+  const std::size_t h = std::hash<std::string>{}(os.str());
+  std::ostringstream name;
+  name << "scenario_" << std::hex << h << ".bwds";
+  return name.str();
+}
+
+}  // namespace
+
+ScenarioRun run_scenario(const gen::ScenarioConfig& config,
+                         std::optional<std::string> cache_dir) {
+  gen::Scenario scenario(config);
+  ixp::Platform platform(gen::Scenario::platform_config(config));
+  scenario.install(platform);
+
+  std::string cache_path;
+  if (!cache_dir.has_value()) {
+    const char* env = std::getenv("BW_CACHE_DIR");
+    cache_dir = env != nullptr ? std::string(env) : std::string("bw_cache");
+  }
+  if (!cache_dir->empty()) {
+    std::filesystem::create_directories(*cache_dir);
+    cache_path = *cache_dir + "/" + config_fingerprint(config);
+  }
+
+  auto finish = [&](Dataset dataset) {
+    ScenarioRun run{std::move(dataset), scenario.registry(),
+                    platform.route_server().peer_asns(), scenario.truth()};
+    return run;
+  };
+
+  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
+    return finish(Dataset::load(cache_path));
+  }
+
+  ixp::RunResult result =
+      platform.run(scenario.control(), scenario.traffic_source());
+  Dataset dataset = Dataset::from_run(std::move(result), platform);
+  if (!cache_path.empty()) dataset.save(cache_path);
+  return finish(std::move(dataset));
+}
+
+gen::ScenarioConfig default_benchmark_scenario() {
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.25;
+  if (const char* env = std::getenv("BW_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) cfg.scale = s;
+  }
+  return cfg;
+}
+
+}  // namespace bw::core

@@ -1,0 +1,80 @@
+// End-to-end analysis pipeline and scenario runner.
+//
+// `run_pipeline` executes the paper's full analysis chain over a Dataset;
+// `run_scenario` produces (or loads from cache) the synthetic measurement
+// corpus for a scenario configuration. Together they are what every
+// example and experiment harness builds on.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/classify.hpp"
+#include "core/collateral.hpp"
+#include "core/dataset.hpp"
+#include "core/drop_rate.hpp"
+#include "core/event_merge.hpp"
+#include "core/filtering.hpp"
+#include "core/load.hpp"
+#include "core/participation.hpp"
+#include "core/port_stats.hpp"
+#include "core/pre_rtbh.hpp"
+#include "core/protocol_mix.hpp"
+#include "core/radviz.hpp"
+#include "core/time_offset.hpp"
+#include "core/visibility.hpp"
+#include "gen/scenario.hpp"
+
+namespace bw::core {
+
+struct AnalysisConfig {
+  util::DurationMs merge_delta{kDefaultMergeDelta};
+  PreRtbhConfig pre{};
+  DropRateConfig drop{};
+  ProtocolMixConfig protocols{};
+  PortStatsConfig ports{};
+  ClassifyConfig classify{};
+  std::uint32_t sampling_rate{10000};
+};
+
+struct AnalysisReport {
+  Dataset::Summary summary;
+  std::vector<RtbhEvent> events;
+  PreRtbhReport pre;
+  DropRateReport drop;
+  ProtocolMixReport protocols;
+  FilteringReport filtering;
+  ParticipationReport participation;
+  PortStatsReport ports;
+  RadvizReport radviz;
+  CollateralReport collateral;
+  ClassificationReport classes;
+};
+
+/// Run the full chain: merge -> pre-RTBH -> drop rates -> protocol mix ->
+/// filtering -> participation -> port stats -> RadViz -> collateral ->
+/// classification.
+[[nodiscard]] AnalysisReport run_pipeline(const Dataset& dataset,
+                                          const AnalysisConfig& config = {});
+
+/// A generated scenario with everything benches/examples need.
+struct ScenarioRun {
+  Dataset dataset;
+  pdb::Registry registry;
+  std::vector<bgp::Asn> peer_asns;
+  gen::GroundTruth truth;  ///< generator ground truth (validation only)
+};
+
+/// Generate the corpus for `config`, reusing an on-disk cache of the
+/// Dataset when available (key: config fingerprint). The cache directory is
+/// $BW_CACHE_DIR, defaulting to "bw_cache" under the current directory; an
+/// empty cache_dir disables caching.
+[[nodiscard]] ScenarioRun run_scenario(
+    const gen::ScenarioConfig& config,
+    std::optional<std::string> cache_dir = std::nullopt);
+
+/// The scenario configuration used by all exp_* harnesses: paper-shaped
+/// counts at the scale given by $BW_SCALE (default 0.25).
+[[nodiscard]] gen::ScenarioConfig default_benchmark_scenario();
+
+}  // namespace bw::core

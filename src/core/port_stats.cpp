@@ -1,0 +1,175 @@
+#include "core/port_stats.hpp"
+
+#include <algorithm>
+
+namespace bw::core {
+
+std::string_view to_string(HostClass c) {
+  switch (c) {
+    case HostClass::kClient: return "client";
+    case HostClass::kServer: return "server";
+    case HostClass::kUnclassified: return "unclassified";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct Exclusions {
+  /// Begin-sorted, per host: RTBH event spans plus the reaction window.
+  std::vector<util::TimeRange> ranges;
+
+  [[nodiscard]] bool contains(util::TimeMs t) const {
+    auto it = std::upper_bound(ranges.begin(), ranges.end(), t,
+                               [](util::TimeMs v, const util::TimeRange& r) {
+                                 return v < r.begin;
+                               });
+    if (it == ranges.begin()) return false;
+    --it;
+    return it->contains(t);
+  }
+};
+
+struct Accumulator {
+  std::set<net::Port> src_in;
+  std::set<net::Port> dst_in;
+  std::set<net::Port> src_out;
+  std::set<net::Port> dst_out;
+  std::set<std::int64_t> days_in;
+  std::set<std::int64_t> days_out;
+  /// day -> (proto,port) -> packets, for the daily inbound top port.
+  std::map<std::int64_t, std::map<net::ProtoPort, std::uint64_t>> daily_in;
+};
+
+}  // namespace
+
+PortStatsReport compute_port_stats(const Dataset& dataset,
+                                   const std::vector<RtbhEvent>& events,
+                                   const PortStatsConfig& config) {
+  PortStatsReport report;
+
+  // Host universe: every /32 RTBH event address, with its exclusion windows.
+  std::unordered_map<net::Ipv4, Exclusions> exclusions;
+  std::unordered_map<net::Ipv4, std::optional<bgp::Asn>> host_origin;
+  for (const auto& ev : events) {
+    if (ev.prefix.length() != 32) continue;
+    auto& ex = exclusions[ev.prefix.network()];
+    ex.ranges.push_back(
+        {ev.span.begin - config.reaction_window, ev.span.end});
+    host_origin.emplace(ev.prefix.network(),
+                        ev.origin != 0 ? std::optional<bgp::Asn>(ev.origin)
+                                       : std::nullopt);
+  }
+  for (auto& [ip, ex] : exclusions) {
+    std::sort(ex.ranges.begin(), ex.ranges.end(),
+              [](const util::TimeRange& a, const util::TimeRange& b) {
+                return a.begin < b.begin;
+              });
+    // Merge overlaps so the binary-search predicate stays correct.
+    std::vector<util::TimeRange> merged;
+    for (const auto& r : ex.ranges) {
+      if (!merged.empty() && r.begin <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, r.end);
+      } else {
+        merged.push_back(r);
+      }
+    }
+    ex.ranges = std::move(merged);
+  }
+  report.blackholed_hosts_total = exclusions.size();
+
+  // Single pass over the flow log, attributing both directions.
+  std::unordered_map<net::Ipv4, Accumulator> acc;
+  const util::TimeMs epoch = dataset.period().begin;
+  for (const auto& rec : dataset.flows()) {
+    const std::int64_t day = util::slot_index(rec.time - epoch, util::kDay);
+    if (auto it = exclusions.find(rec.dst_ip); it != exclusions.end()) {
+      if (!it->second.contains(rec.time)) {
+        auto& a = acc[rec.dst_ip];
+        a.src_in.insert(rec.src_port);
+        a.dst_in.insert(rec.dst_port);
+        a.days_in.insert(day);
+        a.daily_in[day][{rec.proto, rec.dst_port}] += rec.packets;
+      }
+    }
+    if (auto it = exclusions.find(rec.src_ip); it != exclusions.end()) {
+      if (!it->second.contains(rec.time)) {
+        auto& a = acc[rec.src_ip];
+        a.src_out.insert(rec.src_port);
+        a.dst_out.insert(rec.dst_port);
+        a.days_out.insert(day);
+      }
+    }
+  }
+
+  for (auto& [ip, a] : acc) {
+    HostPortStats h;
+    h.ip = ip;
+    h.origin = host_origin[ip];
+    h.unique_src_ports_in = a.src_in.size();
+    h.unique_dst_ports_in = a.dst_in.size();
+    h.unique_src_ports_out = a.src_out.size();
+    h.unique_dst_ports_out = a.dst_out.size();
+    h.days_with_inbound = a.days_in.size();
+    h.days_with_outbound = a.days_out.size();
+    std::size_t both = 0;
+    for (const std::int64_t d : a.days_in) {
+      if (a.days_out.contains(d)) ++both;
+    }
+    h.days_bidirectional = both;
+
+    std::set<net::ProtoPort> tops;
+    for (const auto& [day, ports] : a.daily_in) {
+      const auto top = std::max_element(
+          ports.begin(), ports.end(),
+          [](const auto& x, const auto& y) { return x.second < y.second; });
+      tops.insert(top->first);
+    }
+    h.top_ports.assign(tops.begin(), tops.end());
+    h.port_variation =
+        h.days_with_inbound > 0
+            ? static_cast<double>(h.top_ports.size()) /
+                  static_cast<double>(h.days_with_inbound)
+            : 0.0;
+
+    if (h.days_bidirectional >= config.min_days) {
+      ++report.eligible_hosts;
+      if (h.port_variation >= config.client_variation_min) {
+        h.classification = HostClass::kClient;
+        ++report.clients;
+      } else {
+        h.classification = HostClass::kServer;
+        ++report.servers;
+      }
+    }
+    report.hosts.push_back(std::move(h));
+  }
+  std::sort(report.hosts.begin(), report.hosts.end(),
+            [](const HostPortStats& a, const HostPortStats& b) {
+              return a.ip < b.ip;
+            });
+  return report;
+}
+
+std::vector<AsnTypeRow> asn_type_table(const PortStatsReport& report,
+                                       const pdb::Registry& registry) {
+  std::map<pdb::OrgType, AsnTypeRow> rows;
+  for (const auto& h : report.hosts) {
+    if (h.classification == HostClass::kUnclassified) continue;
+    const pdb::OrgType type =
+        h.origin ? registry.type_of(*h.origin) : pdb::OrgType::kUnknown;
+    auto& row = rows[type];
+    row.type = type;
+    if (h.classification == HostClass::kClient) ++row.clients;
+    else ++row.servers;
+  }
+  std::vector<AsnTypeRow> out;
+  out.reserve(rows.size());
+  for (const auto& [type, row] : rows) out.push_back(row);
+  std::sort(out.begin(), out.end(), [](const AsnTypeRow& a, const AsnTypeRow& b) {
+    return a.clients + a.servers > b.clients + b.servers;
+  });
+  return out;
+}
+
+}  // namespace bw::core

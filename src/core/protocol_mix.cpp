@@ -1,0 +1,78 @@
+#include "core/protocol_mix.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/ports.hpp"
+
+namespace bw::core {
+
+ProtocolMixReport compute_protocol_mix(const Dataset& dataset,
+                                       const std::vector<RtbhEvent>& events,
+                                       const PreRtbhReport& pre,
+                                       const ProtocolMixConfig& config) {
+  ProtocolMixReport report;
+  std::uint64_t udp = 0;
+  std::uint64_t tcp = 0;
+  std::uint64_t icmp = 0;
+  std::uint64_t other = 0;
+  std::map<std::string, std::size_t> per_protocol_events;
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (e >= pre.per_event.size() || !pre.per_event[e].anomaly_within_10min) {
+      continue;
+    }
+    const auto& ev = events[e];
+    const auto indices = dataset.flows_to(ev.prefix, ev.span);
+    if (indices.empty()) continue;
+
+    ++report.events_considered;
+    std::uint64_t ev_packets = 0;
+    std::unordered_map<net::Port, std::uint64_t> amp_packets;
+    for (const std::size_t idx : indices) {
+      const auto& rec = dataset.flows()[idx];
+      ev_packets += rec.packets;
+      switch (rec.proto) {
+        case net::Proto::kUdp: udp += rec.packets; break;
+        case net::Proto::kTcp: tcp += rec.packets; break;
+        case net::Proto::kIcmp: icmp += rec.packets; break;
+        case net::Proto::kOther: other += rec.packets; break;
+      }
+      if (rec.proto == net::Proto::kUdp &&
+          net::is_amplification_port(rec.src_port)) {
+        amp_packets[rec.src_port] += rec.packets;
+      }
+    }
+
+    std::size_t protocols = 0;
+    for (const auto& [port, pkts] : amp_packets) {
+      if (pkts < config.min_packets) continue;
+      if (static_cast<double>(pkts) <
+          config.min_share * static_cast<double>(ev_packets)) {
+        continue;
+      }
+      ++protocols;
+      const auto name = net::amplification_name(port);
+      if (name) ++per_protocol_events[std::string(*name)];
+    }
+    ++report.amp_protocol_events[std::min<std::size_t>(protocols, 5)];
+  }
+
+  const std::uint64_t total = udp + tcp + icmp + other;
+  report.packets_total = total;
+  if (total > 0) {
+    const auto d = static_cast<double>(total);
+    report.udp_share = static_cast<double>(udp) / d;
+    report.tcp_share = static_cast<double>(tcp) / d;
+    report.icmp_share = static_cast<double>(icmp) / d;
+    report.other_share = static_cast<double>(other) / d;
+  }
+  report.protocol_event_counts.assign(per_protocol_events.begin(),
+                                      per_protocol_events.end());
+  std::sort(report.protocol_event_counts.begin(),
+            report.protocol_event_counts.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return report;
+}
+
+}  // namespace bw::core

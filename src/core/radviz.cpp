@@ -1,0 +1,48 @@
+#include "core/radviz.hpp"
+
+#include <cmath>
+
+namespace bw::core {
+
+RadvizReport radviz_projection(const PortStatsReport& stats,
+                               std::size_t min_days) {
+  RadvizReport report;
+  // Anchors equally spaced on the unit circle.
+  report.anchors = {{{1.0, 0.0},   // unique src ports, inbound  (server pull)
+                     {0.0, 1.0},   // unique dst ports, inbound  (client pull)
+                     {-1.0, 0.0},  // unique src ports, outbound (client pull)
+                     {0.0, -1.0}}};  // unique dst ports, outbound (server pull)
+  constexpr double kNorm = 1.0 / 65535.0;
+
+  for (const auto& h : stats.hosts) {
+    if (h.days_bidirectional < min_days) continue;
+    const std::array<double, 4> f{
+        static_cast<double>(h.unique_src_ports_in) * kNorm,
+        static_cast<double>(h.unique_dst_ports_in) * kNorm,
+        static_cast<double>(h.unique_src_ports_out) * kNorm,
+        static_cast<double>(h.unique_dst_ports_out) * kNorm};
+    double total = 0.0;
+    double x = 0.0;
+    double y = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      total += f[i];
+      x += f[i] * report.anchors[i].first;
+      y += f[i] * report.anchors[i].second;
+    }
+    if (total <= 0.0) continue;
+    RadvizPoint p;
+    p.ip = h.ip;
+    p.x = x / total;
+    p.y = y / total;
+    p.classification = h.classification;
+    // Client pull is towards the dst-in (0,1) and src-out (-1,0) anchors,
+    // i.e. the (-1,1) half-plane.
+    p.client_side = (-p.x + p.y) > 0.0;
+    if (p.client_side) ++report.client_side_count;
+    else ++report.server_side_count;
+    report.points.push_back(p);
+  }
+  return report;
+}
+
+}  // namespace bw::core

@@ -1,0 +1,42 @@
+// RadViz projection of host port-diversity features (Section 6.1, Fig. 16).
+//
+// RadViz (Hoffman et al.) places one anchor per feature on the unit circle
+// and attaches each data point to all anchors with spring stiffness
+// proportional to the (normalised) feature value; the point settles at the
+// stiffness-weighted mean of the anchor positions. With the four port-
+// diversity features, client-like hosts are pulled towards the
+// "unique destination ports in" / "unique source ports out" anchors and
+// server-like hosts towards the opposite pair.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/port_stats.hpp"
+
+namespace bw::core {
+
+struct RadvizPoint {
+  net::Ipv4 ip;
+  double x{0.0};
+  double y{0.0};
+  HostClass classification{HostClass::kUnclassified};
+  /// Dominant pull: true when the point sits in the client half-plane.
+  bool client_side{false};
+};
+
+struct RadvizReport {
+  /// Anchor order: src-ports-in, dst-ports-in, src-ports-out, dst-ports-out
+  /// at angles 0, 90, 180, 270 degrees.
+  std::array<std::pair<double, double>, 4> anchors;
+  std::vector<RadvizPoint> points;
+  std::size_t client_side_count{0};
+  std::size_t server_side_count{0};
+};
+
+/// Project every host with >= `min_days` bidirectional days. Feature values
+/// are normalised by the maximum port number (1/65535), as in the paper.
+[[nodiscard]] RadvizReport radviz_projection(const PortStatsReport& stats,
+                                             std::size_t min_days = 20);
+
+}  // namespace bw::core

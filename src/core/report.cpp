@@ -1,0 +1,145 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "core/whatif.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace bw::core {
+
+namespace {
+
+std::string pct(double f, int p = 1) { return util::fmt_percent(f, p); }
+std::string cnt(std::uint64_t v) {
+  return util::fmt_count(static_cast<std::int64_t>(v));
+}
+
+}  // namespace
+
+std::string render_markdown(const Dataset& dataset,
+                            const AnalysisReport& report,
+                            const WhatIfReport* whatif,
+                            const ReportOptions& options) {
+  std::ostringstream md;
+  const auto s = report.summary;
+  const double total_events =
+      std::max<double>(static_cast<double>(report.events.size()), 1.0);
+
+  md << "# " << options.title << "\n\n";
+  md << "Measurement period: " << util::format_duration(
+            dataset.period().length())
+     << " | " << cnt(s.control_updates) << " BGP updates ("
+     << cnt(s.blackhole_updates) << " RTBH-related) | " << cnt(s.flow_records)
+     << " sampled flow records\n\n";
+
+  md << "## Blackholing activity\n\n";
+  md << "- " << cnt(s.blackholed_prefixes) << " prefixes blackholed, merged "
+     << "into " << cnt(report.events.size()) << " RTBH events (Δ = 10 min)\n";
+  md << "- " << pct(static_cast<double>(s.dropped_packets) /
+                    std::max<double>(static_cast<double>(s.sampled_packets), 1))
+     << " of sampled packets were dropped\n\n";
+
+  md << "## DDoS correlation (pre-RTBH classification)\n\n";
+  md << "| class | events | share |\n|---|---|---|\n";
+  md << "| no sampled traffic before the event | " << cnt(report.pre.no_data)
+     << " | " << pct(static_cast<double>(report.pre.no_data) / total_events)
+     << " |\n";
+  md << "| traffic, no anomaly ≤ 10 min | " << cnt(report.pre.data_no_anomaly)
+     << " | "
+     << pct(static_cast<double>(report.pre.data_no_anomaly) / total_events)
+     << " |\n";
+  md << "| traffic + anomaly ≤ 10 min (DDoS-like) | "
+     << cnt(report.pre.data_anomaly_10m) << " | "
+     << pct(static_cast<double>(report.pre.data_anomaly_10m) / total_events)
+     << " |\n\n";
+
+  if (options.drop_table && !report.drop.by_length.empty()) {
+    md << "## Blackhole acceptance\n\n";
+    md << "| prefix length | traffic share | packets dropped |\n|---|---|---|\n";
+    for (const auto& len : report.drop.by_length) {
+      md << "| /" << static_cast<int>(len.length) << " | "
+         << pct(report.drop.traffic_share(len.length), 2) << " | "
+         << pct(len.packet_drop_rate()) << " |\n";
+    }
+    md << "\n";
+    if (!report.drop.event_rates_len32.empty()) {
+      md << "Per-event /32 drop-rate quartiles: "
+         << pct(util::quantile(report.drop.event_rates_len32, 0.25)) << " / "
+         << pct(util::quantile(report.drop.event_rates_len32, 0.50)) << " / "
+         << pct(util::quantile(report.drop.event_rates_len32, 0.75))
+         << " — host blackholes remain unpredictable.\n\n";
+    }
+    if (options.top_sources > 0 && !report.drop.sources_to_len32.empty()) {
+      const auto top = summarize_top_sources(report.drop, 100);
+      md << "Top-100 traffic sources towards /32 blackholes: "
+         << top.full_droppers << " drop >99%, " << top.full_forwarders
+         << " forward >99%, " << top.inconsistent << " inconsistent.\n\n";
+      md << "| rank | AS | packets | dropped |\n|---|---|---|---|\n";
+      const std::size_t n = std::min<std::size_t>(
+          options.top_sources, report.drop.sources_to_len32.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& src = report.drop.sources_to_len32[i];
+        md << "| " << (i + 1) << " | AS" << src.asn << " | "
+           << cnt(src.packets_total) << " | " << pct(src.drop_share()) << " |\n";
+      }
+      md << "\n";
+    }
+  }
+
+  md << "## Attack traffic\n\n";
+  md << "- Transport mix during attack-correlated events: "
+     << pct(report.protocols.udp_share) << " UDP, "
+     << pct(report.protocols.tcp_share) << " TCP\n";
+  if (!report.protocols.protocol_event_counts.empty()) {
+    md << "- Most common amplification protocols:";
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(3,
+                                   report.protocols.protocol_event_counts.size());
+         ++i) {
+      md << (i == 0 ? " " : ", ")
+         << report.protocols.protocol_event_counts[i].first;
+    }
+    md << "\n";
+  }
+  md << "- " << pct(report.filtering.fully_filterable_fraction)
+     << " of attack events fully coverable by a static amplification-port "
+        "filter\n\n";
+
+  md << "## Victims\n\n";
+  md << "- " << cnt(report.ports.clients) << " client-like and "
+     << cnt(report.ports.servers)
+     << " server-like blackholed hosts (port-stability classifier)\n";
+  md << "- " << cnt(report.collateral.events.size())
+     << " (server, event) pairs show service-port traffic during an active "
+        "blackhole — collateral damage\n\n";
+
+  md << "## Use-case classification\n\n";
+  md << "| class | events | share |\n|---|---|---|\n";
+  md << "| infrastructure protection | " << cnt(report.classes.infrastructure)
+     << " | "
+     << pct(static_cast<double>(report.classes.infrastructure) / total_events)
+     << " |\n";
+  md << "| squatting candidates | " << cnt(report.classes.squatting) << " | "
+     << pct(static_cast<double>(report.classes.squatting) / total_events)
+     << " |\n";
+  md << "| zombie candidates | " << cnt(report.classes.zombies) << " | "
+     << pct(static_cast<double>(report.classes.zombies) / total_events)
+     << " |\n";
+  md << "| other | " << cnt(report.classes.other) << " | "
+     << pct(static_cast<double>(report.classes.other) / total_events)
+     << " |\n\n";
+
+  if (options.include_whatif && whatif != nullptr) {
+    md << "## Mitigation what-if\n\n";
+    md << "| strategy | attack dropped | legitimate dropped |\n|---|---|---|\n";
+    for (const auto& o : whatif->outcomes) {
+      md << "| " << to_string(o.strategy) << " | " << pct(o.efficacy())
+         << " | " << pct(o.collateral()) << " |\n";
+    }
+    md << "\n";
+  }
+  return md.str();
+}
+
+}  // namespace bw::core

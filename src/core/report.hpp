@@ -1,0 +1,28 @@
+// Markdown report generation: renders a full AnalysisReport as a
+// self-contained operator-facing document mirroring the paper's structure
+// (corpus summary, Table 2, acceptance, attack mix, victims, Fig. 19).
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace bw::core {
+
+struct ReportOptions {
+  std::string title{"RTBH operational report"};
+  /// Include the per-prefix-length drop table.
+  bool drop_table{true};
+  /// Include the top-N source-AS reaction list.
+  std::size_t top_sources{10};
+  /// Include the mitigation what-if section (requires whatif to be set).
+  bool include_whatif{true};
+};
+
+/// Render the report as GitHub-flavoured markdown. `whatif` may be null.
+[[nodiscard]] std::string render_markdown(const Dataset& dataset,
+                                          const AnalysisReport& report,
+                                          const struct WhatIfReport* whatif,
+                                          const ReportOptions& options = {});
+
+}  // namespace bw::core

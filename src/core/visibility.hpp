@@ -1,0 +1,37 @@
+// Targeted-announcement visibility analysis (Section 4.1, Fig. 4).
+//
+// Using only the BGP communities recorded in the control-plane data, this
+// derives every peer's view of the set of blackholed prefixes over time and
+// reports which share of the announced blackholes is *not* visible to the
+// 100th/99th/50th percentile peer — i.e. how much operators actually use
+// selective distribution to limit collateral damage (answer: barely).
+#pragma once
+
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace bw::core {
+
+struct VisibilityPoint {
+  util::TimeMs time{0};
+  std::size_t announced{0};    ///< blackholes active at the route server
+  double missed_max{0.0};      ///< share not visible to the worst peer (100%)
+  double missed_p99{0.0};      ///< ... to 99% of peers
+  double missed_median{0.0};   ///< ... to the median peer
+};
+
+struct VisibilityReport {
+  util::DurationMs sample_interval{util::kHour};
+  std::vector<VisibilityPoint> series;
+  double overall_missed_max{0.0};
+  double overall_missed_median_peak{0.0};  ///< peak of the median series
+};
+
+/// `peers`: the member ASNs connected to the platform (the population the
+/// quantiles run over).
+[[nodiscard]] VisibilityReport compute_visibility(
+    const Dataset& dataset, const std::vector<bgp::Asn>& peers,
+    util::DurationMs sample_interval = util::kHour);
+
+}  // namespace bw::core

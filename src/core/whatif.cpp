@@ -1,0 +1,107 @@
+#include "core/whatif.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "net/ports.hpp"
+
+namespace bw::core {
+
+std::string_view to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kRtbhObserved: return "rtbh-observed";
+    case Strategy::kRtbhPerfect: return "rtbh-perfect";
+    case Strategy::kRtbhTargeted: return "rtbh-targeted";
+    case Strategy::kFlowspecAmpPorts: return "flowspec-amp-ports";
+    case Strategy::kAdvancedBlackholing: return "advanced-blackholing";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_attack_packet(const flow::FlowRecord& rec) {
+  if (rec.proto != net::Proto::kUdp) return false;
+  if (net::is_amplification_port(rec.src_port)) return true;
+  // UDP towards an ephemeral destination port during an attack event:
+  // reflection lands on the port the attacker spoofed, carpet floods sweep
+  // high ports. Gaming clients also live here — that ambiguity is exactly
+  // the whitelisting problem Section 7.2 describes.
+  return rec.dst_port >= 1024;
+}
+
+bool in_active_span(const RtbhEvent& ev, util::TimeMs t) {
+  auto it = std::upper_bound(ev.active.begin(), ev.active.end(), t,
+                             [](util::TimeMs v, const util::TimeRange& r) {
+                               return v < r.begin;
+                             });
+  if (it == ev.active.begin()) return false;
+  --it;
+  return it->contains(t);
+}
+
+}  // namespace
+
+WhatIfReport compute_whatif(const Dataset& dataset,
+                            const std::vector<RtbhEvent>& events,
+                            const PreRtbhReport& pre) {
+  WhatIfReport report;
+  for (std::size_t s = 0; s < kStrategyCount; ++s) {
+    report.outcomes[s].strategy = static_cast<Strategy>(s);
+  }
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    if (e >= pre.per_event.size() || !pre.per_event[e].anomaly_within_10min) {
+      continue;
+    }
+    const auto& ev = events[e];
+    const auto indices = dataset.flows_to(ev.prefix, ev.span);
+    if (indices.empty()) continue;
+    ++report.events_considered;
+
+    // Pass 1: which handover ASes carry attack traffic in this event?
+    std::unordered_set<bgp::Asn> attack_peers;
+    for (const std::size_t idx : indices) {
+      const auto& rec = dataset.flows()[idx];
+      if (!is_attack_packet(rec)) continue;
+      if (const auto asn = dataset.member_asn(rec.src_mac)) {
+        attack_peers.insert(*asn);
+      }
+    }
+
+    // Pass 2: evaluate every strategy per sampled packet.
+    for (const std::size_t idx : indices) {
+      const auto& rec = dataset.flows()[idx];
+      const bool attack = is_attack_packet(rec);
+      const bool active = in_active_span(ev, rec.time);
+      const auto handover = dataset.member_asn(rec.src_mac);
+
+      const bool amp_match = rec.proto == net::Proto::kUdp &&
+                             net::is_amplification_port(rec.src_port);
+      const bool advanced_match =
+          amp_match ||
+          (rec.proto == net::Proto::kUdp && rec.dst_port >= 1024);
+
+      const std::array<bool, kStrategyCount> dropped{
+          rec.dropped(),                                      // observed
+          active,                                             // perfect RTBH
+          active && handover && attack_peers.contains(*handover),  // targeted
+          amp_match,                                          // FlowSpec
+          advanced_match,                                     // advanced BH
+      };
+      for (std::size_t s = 0; s < kStrategyCount; ++s) {
+        auto& o = report.outcomes[s];
+        if (attack) {
+          o.attack_packets += rec.packets;
+          if (dropped[s]) o.attack_dropped += rec.packets;
+        } else {
+          o.legit_packets += rec.packets;
+          if (dropped[s]) o.legit_dropped += rec.packets;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace bw::core

@@ -1,0 +1,20 @@
+#include "flow/collector.hpp"
+
+#include <cmath>
+
+namespace bw::flow {
+
+void Collector::ingest(FlowRecord record) {
+  if (macs_->is_internal(record.src_mac) || macs_->is_internal(record.dst_mac)) {
+    ++internal_removed_;
+    return;
+  }
+  const double jitter =
+      clock_.jitter_sd_ms > 0.0 ? rng_.normal(0.0, clock_.jitter_sd_ms) : 0.0;
+  record.time += clock_.offset_ms + static_cast<util::DurationMs>(std::lround(jitter));
+  flows_.push_back(record);
+}
+
+void Collector::finalize() { sort_flows(flows_); }
+
+}  // namespace bw::flow

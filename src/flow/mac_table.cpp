@@ -1,0 +1,33 @@
+#include "flow/mac_table.hpp"
+
+#include <stdexcept>
+
+namespace bw::flow {
+
+void MacTable::register_member(MemberId member, net::Mac port_mac) {
+  mac_to_member_[port_mac] = member;
+  member_to_mac_[member] = port_mac;
+}
+
+void MacTable::register_internal(net::Mac mac) { internal_[mac] = true; }
+
+std::optional<MemberId> MacTable::member_of(net::Mac mac) const {
+  const auto it = mac_to_member_.find(mac);
+  if (it == mac_to_member_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MacTable::is_internal(net::Mac mac) const {
+  const auto it = internal_.find(mac);
+  return it != internal_.end() && it->second;
+}
+
+net::Mac MacTable::mac_of(MemberId member) const {
+  const auto it = member_to_mac_.find(member);
+  if (it == member_to_mac_.end()) {
+    throw std::out_of_range("MacTable: unknown member id");
+  }
+  return it->second;
+}
+
+}  // namespace bw::flow

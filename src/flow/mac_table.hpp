@@ -1,0 +1,45 @@
+// MAC → member attribution table.
+//
+// Section 3.1: "To identify the ASes that exchange the packets at the IXP,
+// we map source and destination MAC addresses of the sampled packets to the
+// router interface addresses of the ASes connected to the IXP switching
+// fabric." This table is that mapping, including the special non-forwarding
+// blackhole MAC and the IXP's internal system MACs (whose flows the paper
+// removes from the data set before analysis).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "flow/record.hpp"
+#include "net/mac.hpp"
+
+namespace bw::flow {
+
+class MacTable {
+ public:
+  /// Register a member's router port MAC. Later registrations overwrite.
+  void register_member(MemberId member, net::Mac port_mac);
+
+  /// Register an IXP-internal system device (route server, monitoring, ...).
+  void register_internal(net::Mac mac);
+
+  [[nodiscard]] std::optional<MemberId> member_of(net::Mac mac) const;
+  [[nodiscard]] bool is_internal(net::Mac mac) const;
+  [[nodiscard]] bool is_blackhole(net::Mac mac) const {
+    return mac == net::Mac::blackhole();
+  }
+
+  [[nodiscard]] net::Mac mac_of(MemberId member) const;
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return member_to_mac_.size();
+  }
+
+ private:
+  std::unordered_map<net::Mac, MemberId> mac_to_member_;
+  std::unordered_map<MemberId, net::Mac> member_to_mac_;
+  std::unordered_map<net::Mac, bool> internal_;
+};
+
+}  // namespace bw::flow

@@ -1,0 +1,14 @@
+#include "flow/record.hpp"
+
+#include <algorithm>
+
+namespace bw::flow {
+
+void sort_flows(FlowLog& flows) {
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              return a.time < b.time;
+            });
+}
+
+}  // namespace bw::flow

@@ -1,0 +1,60 @@
+// Data-plane record types.
+//
+// `TrafficBurst` is the generator-side ground truth: a homogeneous run of
+// packets between two endpoints inside a time window. The fabric samples
+// bursts 1:10,000 (Section 3.1) into `FlowRecord`s — the only data the
+// analysis pipeline is allowed to see, mirroring the paper's IPFIX corpus:
+// packet sizes, src/dst MAC, IP addresses, and transport ports. Payload is
+// never modelled (the paper has none either, for privacy reasons).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+#include "net/ports.hpp"
+#include "util/time.hpp"
+
+namespace bw::flow {
+
+/// Identifier of an IXP member (dense index assigned by the platform).
+using MemberId = std::uint32_t;
+
+/// Generator-side ground truth, pre-sampling.
+struct TrafficBurst {
+  util::TimeRange window;
+  net::Ipv4 src_ip;
+  net::Ipv4 dst_ip;
+  net::Proto proto{net::Proto::kUdp};
+  net::Port src_port{0};
+  net::Port dst_port{0};
+  std::int64_t packets{0};
+  std::int32_t avg_packet_bytes{500};
+  MemberId handover{0};  ///< member port where the traffic enters the fabric
+};
+
+/// One sampled IPFIX record as exported by the IXP monitoring system.
+struct FlowRecord {
+  util::TimeMs time{0};  ///< export timestamp (data-plane clock!)
+  net::Ipv4 src_ip;
+  net::Ipv4 dst_ip;
+  net::Proto proto{net::Proto::kUdp};
+  net::Port src_port{0};
+  net::Port dst_port{0};
+  net::Mac src_mac;  ///< handover member router port
+  net::Mac dst_mac;  ///< egress member port, or the blackhole MAC
+  std::uint32_t packets{1};
+  std::uint64_t bytes{0};
+
+  /// True when the packet was redirected to the non-forwarding blackhole
+  /// MAC, i.e. dropped by the RTBH service (Section 3.1).
+  [[nodiscard]] bool dropped() const { return dst_mac == net::Mac::blackhole(); }
+};
+
+using FlowLog = std::vector<FlowRecord>;
+
+/// Chronological sort by data-plane timestamp.
+void sort_flows(FlowLog& flows);
+
+}  // namespace bw::flow

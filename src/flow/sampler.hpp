@@ -1,0 +1,40 @@
+// 1:N packet sampler.
+//
+// The IXP exports IPFIX samples of 1 out of 10,000 packets (Section 3.1).
+// For a burst of `n` packets the number of sampled packets is
+// Binomial(n, 1/N) — statistically identical to flipping a coin per packet —
+// and sample times are uniform within the burst window (packets within a
+// burst are homogeneous by construction). This is what lets the simulator
+// carry paper-scale traffic volumes without materialising every packet.
+#pragma once
+
+#include <vector>
+
+#include "flow/record.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace bw::flow {
+
+class IpfixSampler {
+ public:
+  IpfixSampler(std::uint32_t one_in_n, util::Rng rng)
+      : n_(one_in_n == 0 ? 1 : one_in_n), rng_(rng) {}
+
+  [[nodiscard]] std::uint32_t rate() const noexcept { return n_; }
+  [[nodiscard]] double probability() const noexcept { return 1.0 / n_; }
+
+  /// Draw the sampled-packet timestamps for one burst, sorted ascending.
+  [[nodiscard]] std::vector<util::TimeMs> sample_times(const TrafficBurst& burst);
+
+  /// Expected number of samples for a burst (for tests and sanity checks).
+  [[nodiscard]] double expected_samples(const TrafficBurst& burst) const {
+    return static_cast<double>(burst.packets) * probability();
+  }
+
+ private:
+  std::uint32_t n_;
+  util::Rng rng_;
+};
+
+}  // namespace bw::flow

@@ -1,0 +1,97 @@
+#include "gen/amplification.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::gen {
+
+AmplifierPool::AmplifierPool(const AmplifierPoolConfig& config,
+                             std::vector<flow::MemberId> handover_members,
+                             util::Rng rng) {
+  const std::size_t origin_count = std::max<std::size_t>(config.origin_as_count, 1);
+  const std::size_t amp_count = std::max<std::size_t>(config.amplifier_count, 1);
+
+  // --- Origin ASes with heavy-tailed amplifier counts. ---
+  origins_.reserve(origin_count);
+  std::vector<double> origin_weight(origin_count);
+  for (std::size_t i = 0; i < origin_count; ++i) {
+    OriginInfo info;
+    info.asn = config.first_origin_asn + static_cast<bgp::Asn>(i);
+    // Source space: one /16 per origin under 64.0.0.0.
+    info.prefix = net::Prefix(
+        net::Ipv4(0x40000000u + (static_cast<std::uint32_t>(i) << 16)), 16);
+    // Round-robin over the eligible members: amplifier origins spread
+    // evenly across handover ASes (the paper's "highly distributed" usage).
+    info.handover = handover_members.empty()
+                        ? 0
+                        : handover_members[i % handover_members.size()];
+    origins_.push_back(info);
+    origin_weight[i] = rng.pareto(1.0, config.origin_size_shape);
+  }
+  dominant_origin_ = origins_.front().asn;
+  // Force the dominant origin's share of the total weight.
+  double rest = 0.0;
+  for (std::size_t i = 1; i < origin_count; ++i) rest += origin_weight[i];
+  origin_weight[0] =
+      rest * config.dominant_origin_share / (1.0 - config.dominant_origin_share);
+
+  // --- Amplifiers: assign origin by weight and protocol by paper mix. ---
+  // cLDAP, NTP and DNS are the most common per-event amplification
+  // protocols (Section 5.4); the remaining Table 3 protocols share the tail.
+  const auto protocols = net::amplification_protocols();
+  std::vector<double> proto_weight;
+  proto_weight.reserve(protocols.size());
+  for (const auto& p : protocols) {
+    double w = 0.02;
+    if (p.name == "cLDAP") w = 0.28;
+    else if (p.name == "NTP") w = 0.24;
+    else if (p.name == "DNS") w = 0.20;
+    else if (p.name == "Memcache") w = 0.04;
+    else if (p.name == "SSDP") w = 0.04;
+    else if (p.name == "CharGEN") w = 0.03;
+    else if (p.name == "Fragmentation") w = 0.0;  // not a reflector service
+    proto_weight.push_back(w);
+  }
+
+  amplifiers_.reserve(amp_count);
+  for (std::size_t i = 0; i < amp_count; ++i) {
+    const std::size_t oi = rng.weighted_index(origin_weight);
+    const auto& origin = origins_[oi];
+    Amplifier a;
+    a.origin = origin.asn;
+    a.handover = origin.handover;
+    a.ip = origin.prefix.address_at(
+        static_cast<std::uint64_t>(rng.uniform_int(1, 65534)));
+    a.udp_port = protocols[rng.weighted_index(proto_weight)].udp_port;
+    amplifiers_.push_back(a);
+  }
+
+  // --- Port index. ---
+  for (const auto& p : protocols) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < amplifiers_.size(); ++i) {
+      if (amplifiers_[i].udp_port == p.udp_port) idx.push_back(i);
+    }
+    if (!idx.empty()) by_port_.emplace_back(p.udp_port, std::move(idx));
+  }
+}
+
+std::vector<const Amplifier*> AmplifierPool::draw(net::Port udp_port,
+                                                  std::size_t count,
+                                                  util::Rng& rng) const {
+  std::vector<const Amplifier*> out;
+  const std::vector<std::size_t>* pool = nullptr;
+  for (const auto& [port, idx] : by_port_) {
+    if (port == udp_port) {
+      pool = &idx;
+      break;
+    }
+  }
+  if (pool == nullptr || pool->empty()) return out;
+  const auto picks = rng.sample_indices(pool->size(), count);
+  out.reserve(picks.size());
+  for (const std::size_t pi : picks) out.push_back(&amplifiers_[(*pool)[pi]]);
+  return out;
+}
+
+}  // namespace bw::gen

@@ -1,0 +1,86 @@
+// Amplifier population model.
+//
+// UDP reflection attacks bounce off real, unspoofed amplifiers (open DNS
+// resolvers, NTP servers, ...). Section 5.5 of the paper exploits exactly
+// this: because reflector source addresses are genuine, the *origin AS* of
+// attack traffic can be determined, and the amplifier population turns out
+// to be highly distributed (11,124 origin ASes; on average 1,086 amplifiers
+// per attack; one AS participating in ~60% of all attacks).
+//
+// This pool reproduces that structure: amplifiers spread over many origin
+// ASes with a heavy-tailed size distribution and one dominant
+// amplifier-rich origin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/community.hpp"
+#include "flow/record.hpp"
+#include "net/ipv4.hpp"
+#include "net/ports.hpp"
+#include "net/prefix.hpp"
+#include "util/rng.hpp"
+
+namespace bw::gen {
+
+struct Amplifier {
+  net::Ipv4 ip;
+  bgp::Asn origin{0};          ///< real (unspoofed) origin AS
+  flow::MemberId handover{0};  ///< IXP member carrying this origin
+  net::Port udp_port{0};       ///< amplification protocol port
+};
+
+struct AmplifierPoolConfig {
+  std::size_t origin_as_count{1100};
+  std::size_t amplifier_count{20000};
+  /// Pareto shape for amplifiers-per-origin (smaller = heavier tail).
+  /// 3.0 yields a skewed but not single-origin-dominated population, in
+  /// line with the paper's "highly distributed" amplifier usage.
+  double origin_size_shape{3.0};
+  /// Fraction of all amplifiers hosted by the single dominant origin AS —
+  /// drives the "one AS in 60% of attacks" effect of Fig. 15.
+  double dominant_origin_share{0.06};
+  bgp::Asn first_origin_asn{210000};
+};
+
+class AmplifierPool {
+ public:
+  /// Build the pool. `handover_members` are the member ids eligible to
+  /// carry amplifier origins (each origin is pinned to one of them).
+  AmplifierPool(const AmplifierPoolConfig& config,
+                std::vector<flow::MemberId> handover_members, util::Rng rng);
+
+  /// Draw `count` distinct amplifiers speaking `udp_port`. When the pool
+  /// has fewer, all of them are returned. The dominant origin is included
+  /// with probability `dominant_origin_share`-weighted draws, reproducing
+  /// its outsized participation.
+  [[nodiscard]] std::vector<const Amplifier*> draw(net::Port udp_port,
+                                                   std::size_t count,
+                                                   util::Rng& rng) const;
+
+  [[nodiscard]] const std::vector<Amplifier>& all() const noexcept {
+    return amplifiers_;
+  }
+  /// Origin ASes with their source prefixes, for platform registration.
+  struct OriginInfo {
+    bgp::Asn asn{0};
+    net::Prefix prefix;
+    flow::MemberId handover{0};
+  };
+  [[nodiscard]] const std::vector<OriginInfo>& origins() const noexcept {
+    return origins_;
+  }
+  [[nodiscard]] bgp::Asn dominant_origin() const noexcept {
+    return dominant_origin_;
+  }
+
+ private:
+  std::vector<Amplifier> amplifiers_;
+  std::vector<OriginInfo> origins_;
+  /// Indices into amplifiers_ per amplification port.
+  std::vector<std::pair<net::Port, std::vector<std::size_t>>> by_port_;
+  bgp::Asn dominant_origin_{0};
+};
+
+}  // namespace bw::gen

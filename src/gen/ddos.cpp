@@ -1,0 +1,141 @@
+#include "gen/ddos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::gen {
+
+void DdosGenerator::emit(const AttackSpec& spec,
+                         std::span<const flow::MemberId> spoofed_ingress,
+                         const ixp::Platform::BurstSink& sink) {
+  if (spec.total_packets <= 0 || spec.vectors.empty()) return;
+  double share_total = 0.0;
+  for (const auto& v : spec.vectors) share_total += std::max(v.volume_share, 0.0);
+  if (share_total <= 0.0) return;
+
+  for (const auto& vec : spec.vectors) {
+    const auto vector_packets = static_cast<std::int64_t>(
+        static_cast<double>(spec.total_packets) *
+        std::max(vec.volume_share, 0.0) / share_total);
+    if (vector_packets <= 0) continue;
+    switch (vec.kind) {
+      case VectorKind::kUdpAmplification:
+        emit_amplification(spec, vec, vector_packets, sink);
+        break;
+      case VectorKind::kSynFlood:
+        emit_syn_flood(spec, vector_packets, spoofed_ingress, sink);
+        break;
+      case VectorKind::kUdpRandomPorts:
+        emit_udp_carpet(spec, vector_packets, spoofed_ingress, false, sink);
+        break;
+      case VectorKind::kUdpIncreasingPorts:
+        emit_udp_carpet(spec, vector_packets, spoofed_ingress, true, sink);
+        break;
+    }
+  }
+}
+
+void DdosGenerator::emit_amplification(const AttackSpec& spec,
+                                       const AttackVector& vec,
+                                       std::int64_t vector_packets,
+                                       const ixp::Platform::BurstSink& sink) {
+  const auto amps = pool_->draw(vec.amp_port, spec.amplifier_count, rng_);
+  if (amps.empty()) return;
+
+  // Heavy-tailed per-amplifier volume split: a handful of big reflectors
+  // dominate each attack, so the per-event drop rate is governed by a few
+  // handover peers' policies — the source of Fig. 6's wide /32 spread.
+  std::vector<double> weight(amps.size());
+  for (double& w : weight) w = rng_.pareto(1.0, 0.7);
+  double total_w = 0.0;
+  for (double w : weight) total_w += w;
+
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const auto packets = static_cast<std::int64_t>(
+        static_cast<double>(vector_packets) * weight[i] / total_w);
+    if (packets <= 0) continue;
+    flow::TrafficBurst b;
+    b.window = spec.window;
+    b.src_ip = amps[i]->ip;
+    b.dst_ip = spec.victim;
+    b.proto = net::Proto::kUdp;
+    b.src_port = amps[i]->udp_port;  // reflected from the service port
+    // Victims receive reflections on the port the attacker spoofed as
+    // source — in the wild a random (often fixed-per-attack) high port.
+    b.dst_port = static_cast<net::Port>(rng_.uniform_int(1024, 65535));
+    b.packets = packets;
+    b.avg_packet_bytes = spec.packet_bytes;
+    b.handover = amps[i]->handover;
+    sink(b);
+  }
+}
+
+void DdosGenerator::emit_syn_flood(const AttackSpec& spec,
+                                   std::int64_t vector_packets,
+                                   std::span<const flow::MemberId> ingress,
+                                   const ixp::Platform::BurstSink& sink) {
+  if (ingress.empty()) return;
+  // A SYN flood arrives via a handful of ingress members; sources are
+  // spoofed (unattributable origins), destination is one service port.
+  const auto dst_port =
+      rng_.chance(0.6) ? net::kHttps
+                       : static_cast<net::Port>(rng_.uniform_int(1, 1024));
+  const std::size_t ingress_count =
+      std::min<std::size_t>(ingress.size(), 1 + rng_.index(4));
+  const auto member_picks = rng_.sample_indices(ingress.size(), ingress_count);
+  // Sources rotate: emit several bursts per ingress with random /8 sources.
+  const std::size_t bursts_per_ingress = 8;
+  const std::int64_t per_burst = std::max<std::int64_t>(
+      vector_packets / static_cast<std::int64_t>(ingress_count * bursts_per_ingress),
+      1);
+  for (const std::size_t mi : member_picks) {
+    for (std::size_t k = 0; k < bursts_per_ingress; ++k) {
+      flow::TrafficBurst b;
+      b.window = spec.window;
+      b.src_ip = net::Ipv4(static_cast<std::uint32_t>(
+          0xC0000000u | rng_.uniform_int(0, 0x00FFFFFF)));  // spoofed 192/8
+      b.dst_ip = spec.victim;
+      b.proto = net::Proto::kTcp;
+      b.src_port = static_cast<net::Port>(rng_.uniform_int(1024, 65535));
+      b.dst_port = dst_port;
+      b.packets = per_burst;
+      b.avg_packet_bytes = 60;  // bare SYNs
+      b.handover = ingress[mi];
+      sink(b);
+    }
+  }
+}
+
+void DdosGenerator::emit_udp_carpet(const AttackSpec& spec,
+                                    std::int64_t vector_packets,
+                                    std::span<const flow::MemberId> ingress,
+                                    bool increasing,
+                                    const ixp::Platform::BurstSink& sink) {
+  if (ingress.empty()) return;
+  const std::size_t bursts = 24;
+  const std::int64_t per_burst =
+      std::max<std::int64_t>(vector_packets / static_cast<std::int64_t>(bursts), 1);
+  net::Port sweep = static_cast<net::Port>(rng_.uniform_int(1, 30000));
+  const flow::MemberId member = ingress[rng_.index(ingress.size())];
+  for (std::size_t k = 0; k < bursts; ++k) {
+    flow::TrafficBurst b;
+    b.window = spec.window;
+    b.src_ip = net::Ipv4(static_cast<std::uint32_t>(
+        0xC0000000u | rng_.uniform_int(0, 0x00FFFFFF)));
+    b.dst_ip = spec.victim;
+    b.proto = net::Proto::kUdp;
+    b.src_port = static_cast<net::Port>(rng_.uniform_int(1024, 65535));
+    if (increasing) {
+      sweep = static_cast<net::Port>(sweep + 97);
+      b.dst_port = sweep;
+    } else {
+      b.dst_port = static_cast<net::Port>(rng_.uniform_int(1, 65535));
+    }
+    b.packets = per_burst;
+    b.avg_packet_bytes = 500;
+    b.handover = member;
+    sink(b);
+  }
+}
+
+}  // namespace bw::gen

@@ -1,0 +1,72 @@
+// DDoS attack traffic generator.
+//
+// Produces the attack-side data plane of Section 2.2 / Section 5: UDP
+// reflection-amplification floods built from the Table 3 protocol list
+// (unspoofed reflector sources, random victim destination ports), TCP SYN
+// floods (spoofed random sources), and the hard-to-filter 10% of Section
+// 5.5: random-port UDP floods, increasing-port sweeps, and multi-protocol
+// mixes.
+#pragma once
+
+#include <vector>
+
+#include "gen/amplification.hpp"
+#include "ixp/platform.hpp"
+#include "net/ipv4.hpp"
+#include "net/ports.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace bw::gen {
+
+enum class VectorKind : std::uint8_t {
+  kUdpAmplification,  ///< reflected; src port = amplification service
+  kSynFlood,          ///< TCP SYN; spoofed random sources
+  kUdpRandomPorts,    ///< UDP flood over random src/dst ports
+  kUdpIncreasingPorts ///< UDP flood sweeping increasing dst ports
+};
+
+struct AttackVector {
+  VectorKind kind{VectorKind::kUdpAmplification};
+  net::Port amp_port{0};  ///< for kUdpAmplification: the reflector port
+  /// Share of the attack's packet volume carried by this vector.
+  double volume_share{1.0};
+};
+
+struct AttackSpec {
+  net::Ipv4 victim;
+  util::TimeRange window;       ///< attack active period (true time)
+  std::int64_t total_packets{0};
+  std::vector<AttackVector> vectors;
+  std::size_t amplifier_count{60};  ///< reflectors participating
+  std::int32_t packet_bytes{1200};  ///< amplified payloads are large
+};
+
+class DdosGenerator {
+ public:
+  DdosGenerator(const AmplifierPool& pool, util::Rng rng)
+      : pool_(&pool), rng_(rng) {}
+
+  /// Emit the bursts of one attack into the sink. Reflected vectors draw
+  /// real amplifiers (unspoofed origin attribution works); SYN floods and
+  /// carpet vectors enter at random members with spoofed sources.
+  void emit(const AttackSpec& spec,
+            std::span<const flow::MemberId> spoofed_ingress_members,
+            const ixp::Platform::BurstSink& sink);
+
+ private:
+  void emit_amplification(const AttackSpec& spec, const AttackVector& vec,
+                          std::int64_t vector_packets,
+                          const ixp::Platform::BurstSink& sink);
+  void emit_syn_flood(const AttackSpec& spec, std::int64_t vector_packets,
+                      std::span<const flow::MemberId> ingress,
+                      const ixp::Platform::BurstSink& sink);
+  void emit_udp_carpet(const AttackSpec& spec, std::int64_t vector_packets,
+                       std::span<const flow::MemberId> ingress, bool increasing,
+                       const ixp::Platform::BurstSink& sink);
+
+  const AmplifierPool* pool_;
+  util::Rng rng_;
+};
+
+}  // namespace bw::gen

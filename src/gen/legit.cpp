@@ -1,0 +1,168 @@
+#include "gen/legit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::gen {
+
+namespace {
+
+constexpr double kInboundShare = 0.55;
+
+}  // namespace
+
+void LegitGenerator::emit_day(const HostProfile& host, int day,
+                              const ixp::Platform::BurstSink& sink) {
+  if (host.role == HostRole::kIdle) return;
+  if (!rng_.chance(host.daily_activity)) return;
+  const util::TimeMs day_start = static_cast<util::TimeMs>(day) * util::kDay;
+  if (host.role == HostRole::kServer) {
+    emit_server_day(host, day_start, sink);
+  } else {
+    emit_client_day(host, day_start, sink);
+  }
+}
+
+util::TimeRange LegitGenerator::burst_window(util::TimeMs day_start) {
+  // Diurnal bias: most traffic between 08:00 and 24:00 local time.
+  const double hour = rng_.chance(0.85) ? rng_.uniform(8.0, 24.0)
+                                        : rng_.uniform(0.0, 8.0);
+  const util::TimeMs begin = day_start + util::hours(hour);
+  const util::DurationMs len = util::minutes(rng_.uniform(5.0, 60.0));
+  return {begin, begin + len};
+}
+
+
+std::size_t LegitGenerator::sticky_remote(net::Ipv4 host_ip,
+                                          std::size_t pool_size) {
+  if (pool_size == 0) return 0;
+  // splitmix64 over (host, slot) with a handful of slots per host.
+  constexpr std::size_t kRemotesPerHost = 3;
+  std::uint64_t z = host_ip.value() +
+                    0x9e3779b97f4a7c15ULL * (1 + rng_.index(kRemotesPerHost));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>((z ^ (z >> 31)) % pool_size);
+}
+
+void LegitGenerator::emit_server_day(const HostProfile& host,
+                                     util::TimeMs day_start,
+                                     const ixp::Platform::BurstSink& sink) {
+  if (host.services.empty() || remotes_.client_ips.empty()) return;
+  const double day_packets =
+      host.mean_daily_packets * rng_.lognormal(0.0, 0.35);
+
+  // --- Inbound: many remote clients hitting the (stable) service ports. ---
+  const std::size_t in_bursts = 3 + rng_.index(6);
+  const double in_packets = day_packets * kInboundShare;
+  for (std::size_t i = 0; i < in_bursts; ++i) {
+    const std::size_t r = sticky_remote(host.ip, remotes_.client_ips.size());
+    flow::TrafficBurst b;
+    b.window = burst_window(day_start);
+    b.src_ip = remotes_.client_ips[r];
+    b.dst_ip = host.ip;
+    // The dominant service carries ~85% of inbound; tiny background noise
+    // hits non-listening ports (scan-like bias the paper notes in §6.3).
+    const net::ProtoPort service =
+        rng_.chance(0.85) ? host.services.front()
+                          : host.services[rng_.index(host.services.size())];
+    if (rng_.chance(0.03)) {
+      b.proto = net::Proto::kTcp;
+      b.dst_port = static_cast<net::Port>(rng_.uniform_int(1, 65535));
+    } else {
+      b.proto = service.proto;
+      b.dst_port = service.port;
+    }
+    b.src_port = static_cast<net::Port>(
+        rng_.uniform_int(net::kEphemeralBase, 65535));
+    b.packets = std::max<std::int64_t>(
+        static_cast<std::int64_t>(in_packets / static_cast<double>(in_bursts)), 1);
+    b.avg_packet_bytes = 700;
+    b.handover = remotes_.client_ingress[r];
+    sink(b);
+  }
+
+  // --- Outbound: replies from the service ports to ephemeral ports. ---
+  const std::size_t out_bursts = 2 + rng_.index(5);
+  const double out_packets = day_packets * (1.0 - kInboundShare);
+  for (std::size_t i = 0; i < out_bursts; ++i) {
+    const std::size_t r = sticky_remote(host.ip, remotes_.client_ips.size());
+    const net::ProtoPort service =
+        rng_.chance(0.85) ? host.services.front()
+                          : host.services[rng_.index(host.services.size())];
+    flow::TrafficBurst b;
+    b.window = burst_window(day_start);
+    b.src_ip = host.ip;
+    b.dst_ip = remotes_.client_ips[r];
+    b.proto = service.proto;
+    b.src_port = service.port;
+    b.dst_port = static_cast<net::Port>(
+        rng_.uniform_int(net::kEphemeralBase, 65535));
+    b.packets = std::max<std::int64_t>(
+        static_cast<std::int64_t>(out_packets / static_cast<double>(out_bursts)),
+        1);
+    b.avg_packet_bytes = 900;
+    b.handover = host.home_member;
+    sink(b);
+  }
+}
+
+void LegitGenerator::emit_client_day(const HostProfile& host,
+                                     util::TimeMs day_start,
+                                     const ixp::Platform::BurstSink& sink) {
+  if (remotes_.server_ips.empty()) return;
+  const double day_packets =
+      host.mean_daily_packets * rng_.lognormal(0.0, 0.5);
+
+  // The client's ephemeral port(s) of the day: its inbound "top port"
+  // changes daily — the signature Fig. 17 keys on.
+  const auto today_port = static_cast<net::Port>(
+      rng_.uniform_int(net::kEphemeralBase, 61000));
+  // Remote services a DSL client talks to: web, QUIC, game servers.
+  constexpr net::Port kRemoteServices[] = {443, 443, 80, 3074, 27015, 53};
+
+  const std::size_t sessions = 2 + rng_.index(4);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const std::size_t r = sticky_remote(host.ip, remotes_.server_ips.size());
+    const net::Port remote_port =
+        kRemoteServices[rng_.index(std::size(kRemoteServices))];
+    const bool udp = remote_port == 3074 || remote_port == 27015 ||
+                     (remote_port == 443 && rng_.chance(0.3));
+    const auto proto = udp ? net::Proto::kUdp : net::Proto::kTcp;
+    const auto session_port = static_cast<net::Port>(today_port + i);
+
+    // Inbound: the remote service answering towards today's ephemeral port.
+    flow::TrafficBurst in;
+    in.window = burst_window(day_start);
+    in.src_ip = remotes_.server_ips[r];
+    in.dst_ip = host.ip;
+    in.proto = proto;
+    in.src_port = remote_port;
+    in.dst_port = session_port;
+    in.packets = std::max<std::int64_t>(
+        static_cast<std::int64_t>(day_packets * 0.6 /
+                                  static_cast<double>(sessions)),
+        1);
+    in.avg_packet_bytes = 1000;  // downloads dominate inbound volume
+    in.handover = remotes_.server_ingress[r];
+    sink(in);
+
+    // Outbound: requests from the ephemeral port to the remote service.
+    flow::TrafficBurst out;
+    out.window = in.window;
+    out.src_ip = host.ip;
+    out.dst_ip = remotes_.server_ips[r];
+    out.proto = proto;
+    out.src_port = session_port;
+    out.dst_port = remote_port;
+    out.packets = std::max<std::int64_t>(
+        static_cast<std::int64_t>(day_packets * 0.4 /
+                                  static_cast<double>(sessions)),
+        1);
+    out.avg_packet_bytes = 200;  // requests/ACKs
+    out.handover = host.home_member;
+    sink(out);
+  }
+}
+
+}  // namespace bw::gen

@@ -1,0 +1,78 @@
+// Legitimate-traffic generator.
+//
+// Produces the steady client/server patterns of Section 6: servers receive
+// traffic on few stable listening ports from many ephemeral client ports
+// (stable "top ports"), clients receive traffic on ephemeral ports that
+// change daily (top-port variation ~1). Both directions are generated so
+// the RadViz features (Fig. 16) and the port-variation classifier (Fig. 17)
+// have the structure the paper measures.
+#pragma once
+
+#include <vector>
+
+#include "ixp/platform.hpp"
+#include "net/ipv4.hpp"
+#include "net/ports.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace bw::gen {
+
+enum class HostRole : std::uint8_t {
+  kServer,  ///< stable service ports, daily inbound/outbound traffic
+  kClient,  ///< ephemeral ports, daily traffic, e.g. DSL gaming hosts
+  kIdle,    ///< (nearly) no IXP-visible traffic
+};
+
+struct HostProfile {
+  net::Ipv4 ip;
+  HostRole role{HostRole::kIdle};
+  flow::MemberId home_member{0};  ///< member announcing the host's prefix
+  bgp::Asn origin_asn{0};         ///< origin AS of the host's prefix
+  std::vector<net::ProtoPort> services;  ///< listening ports (servers)
+  double daily_activity{0.9};     ///< probability of traffic on a given day
+  double mean_daily_packets{5e4}; ///< true packets/day (1:10k sampling!)
+};
+
+struct RemoteEndpoints {
+  /// Pool of remote (non-monitored) hosts that talk to our hosts; each has
+  /// an ingress member (for inbound) and the members owning their space
+  /// (for outbound destinations).
+  std::vector<net::Ipv4> client_ips;
+  std::vector<flow::MemberId> client_ingress;  ///< parallel to client_ips
+  std::vector<net::Ipv4> server_ips;
+  std::vector<flow::MemberId> server_ingress;  ///< parallel to server_ips
+};
+
+class LegitGenerator {
+ public:
+  LegitGenerator(RemoteEndpoints remotes, util::Rng rng)
+      : remotes_(std::move(remotes)), rng_(rng) {}
+
+  /// Emit one host's traffic for one day (inbound and outbound bursts).
+  /// `day` indexes from the period start. Does nothing when the host draws
+  /// an inactive day or is idle.
+  void emit_day(const HostProfile& host, int day,
+                const ixp::Platform::BurstSink& sink);
+
+ private:
+  void emit_server_day(const HostProfile& host, util::TimeMs day_start,
+                       const ixp::Platform::BurstSink& sink);
+  void emit_client_day(const HostProfile& host, util::TimeMs day_start,
+                       const ixp::Platform::BurstSink& sink);
+
+  /// Diurnal window inside the day for one burst (biased to daytime).
+  [[nodiscard]] util::TimeRange burst_window(util::TimeMs day_start);
+
+  /// A host talks to a small, *stable* subset of remote endpoints (its CDN
+  /// nodes, its game servers, its regular clients). This keeps each host's
+  /// ingress-member mix consistent over time — and with it, the per-event
+  /// drop-rate spread the paper observes.
+  [[nodiscard]] std::size_t sticky_remote(net::Ipv4 host_ip,
+                                          std::size_t pool_size);
+
+  RemoteEndpoints remotes_;
+  util::Rng rng_;
+};
+
+}  // namespace bw::gen

@@ -1,0 +1,71 @@
+#include "gen/operator_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::gen {
+
+OperatorModel::Mitigation OperatorModel::mitigate(
+    const net::Prefix& prefix, bgp::Asn sender, bgp::Asn origin,
+    util::TimeMs detection_time, util::DurationMs attack_duration,
+    util::TimeMs not_after, const MitigationBehavior& behavior,
+    std::vector<bgp::Community> extra) {
+  Mitigation out;
+
+  const double latency_s =
+      rng_.lognormal(behavior.latency_log_mean, behavior.latency_log_sd);
+  util::TimeMs t = detection_time + util::seconds(latency_s);
+  if (t >= not_after) t = std::max(detection_time, not_after - util::kMinute);
+  out.span.begin = t;
+
+  const auto cycles = static_cast<int>(
+      1 + rng_.poisson(std::max(behavior.mean_cycles - 1.0, 0.0)));
+  const util::TimeMs target_end =
+      std::min(detection_time + attack_duration, not_after);
+
+  for (int c = 0; c < cycles && t < not_after; ++c) {
+    out.updates.push_back(
+        service_->make_announce(t, sender, origin, prefix, extra));
+    ++out.announcements;
+
+    const double hold_s =
+        rng_.lognormal(behavior.hold_log_mean, behavior.hold_log_sd);
+    util::TimeMs withdraw_at = t + util::seconds(std::max(hold_s, 10.0));
+    // Operators keep the final blackhole up until the attack has faded.
+    if (c == cycles - 1 && withdraw_at < target_end) withdraw_at = target_end;
+    withdraw_at = std::min(withdraw_at, not_after);
+    out.updates.push_back(
+        service_->make_withdraw(withdraw_at, sender, origin, prefix, extra));
+    out.span.end = withdraw_at;
+
+    double gap_s = rng_.lognormal(behavior.gap_log_mean, behavior.gap_log_sd);
+    if (rng_.chance(behavior.long_gap_probability)) {
+      gap_s = rng_.uniform(15.0 * 60.0, 4.0 * 3600.0);  // pause, new event
+    }
+    t = withdraw_at + util::seconds(std::max(gap_s, 1.0));
+  }
+
+  if (out.updates.empty()) {
+    // Degenerate window: fall back to a single momentary blackhole.
+    out.updates.push_back(
+        service_->make_announce(out.span.begin, sender, origin, prefix, extra));
+    out.updates.push_back(service_->make_withdraw(
+        out.span.begin + util::kMinute, sender, origin, prefix, extra));
+    out.announcements = 1;
+    out.span.end = out.span.begin + util::kMinute;
+  }
+  return out;
+}
+
+bgp::UpdateLog OperatorModel::long_lived(const net::Prefix& prefix,
+                                         bgp::Asn sender, bgp::Asn origin,
+                                         util::TimeRange span, bool withdraw) {
+  bgp::UpdateLog log;
+  log.push_back(service_->make_announce(span.begin, sender, origin, prefix));
+  if (withdraw) {
+    log.push_back(service_->make_withdraw(span.end, sender, origin, prefix));
+  }
+  return log;
+}
+
+}  // namespace bw::gen

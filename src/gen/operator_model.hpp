@@ -1,0 +1,74 @@
+// Operator behaviour models: who announces RTBHs, when, and how.
+//
+// Encodes the operational practices the paper catalogues:
+//  * DDoS mitigation: automatic triggering seconds-to-minutes after attack
+//    detection, then repeated announce/withdraw cycles to probe whether the
+//    attack is still ongoing (Fig. 9) — blackholed victims are blind.
+//  * Long-lived blackholes: prefix-squatting protection (months, <= /24),
+//    content blocking (weeks-months, /32), and forgotten "RTBH zombies"
+//    (announced once, never withdrawn — Section 7.3).
+//  * Targeted announcements: almost never used; temporarily elevated in
+//    early October at the paper's vantage point (Fig. 4).
+#pragma once
+
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "ixp/blackhole_service.hpp"
+#include "util/rng.hpp"
+
+namespace bw::gen {
+
+struct MitigationBehavior {
+  /// Reaction latency between detection and first announcement (lognormal,
+  /// in seconds). Defaults give a ~90 s median, matching the automatic
+  /// triggering the paper infers from Fig. 12.
+  double latency_log_mean{4.5};
+  double latency_log_sd{0.9};
+  /// Mean number of announce cycles per mitigation (Fig. 9 on/off probing).
+  double mean_cycles{22.0};
+  /// Hold time per announce (lognormal, seconds; median ~8 min).
+  double hold_log_mean{6.2};
+  double hold_log_sd{0.8};
+  /// Gap between withdraw and re-announce (lognormal, seconds; median
+  /// ~90 s — the Fig. 10 merge-threshold knee lives here).
+  double gap_log_mean{4.5};
+  double gap_log_sd{0.8};
+  /// Probability that a gap is a long pause (minutes-hours) splitting the
+  /// mitigation into what Δ-merging counts as separate events.
+  double long_gap_probability{0.008};
+};
+
+class OperatorModel {
+ public:
+  OperatorModel(const ixp::BlackholeService& service, util::Rng rng)
+      : service_(&service), rng_(rng) {}
+
+  struct Mitigation {
+    bgp::UpdateLog updates;
+    util::TimeRange span;           ///< first announce .. last withdraw
+    std::size_t announcements{0};
+  };
+
+  /// RTBH updates for one DDoS mitigation: reaction latency, then on/off
+  /// announce cycles roughly covering `attack_duration` (never beyond
+  /// `not_after`). `extra_communities` carries targeted-announcement
+  /// actions when the (rare) operator uses them.
+  [[nodiscard]] Mitigation mitigate(
+      const net::Prefix& prefix, bgp::Asn sender, bgp::Asn origin,
+      util::TimeMs detection_time, util::DurationMs attack_duration,
+      util::TimeMs not_after, const MitigationBehavior& behavior,
+      std::vector<bgp::Community> extra_communities = {});
+
+  /// A long-lived blackhole: single announcement at `span.begin`; withdrawn
+  /// at `span.end` only when `withdraw` is true (zombies never withdraw).
+  [[nodiscard]] bgp::UpdateLog long_lived(const net::Prefix& prefix,
+                                          bgp::Asn sender, bgp::Asn origin,
+                                          util::TimeRange span, bool withdraw);
+
+ private:
+  const ixp::BlackholeService* service_;
+  util::Rng rng_;
+};
+
+}  // namespace bw::gen

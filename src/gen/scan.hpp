@@ -1,0 +1,37 @@
+// Internet background radiation and scan traffic (Section 2.2): low-volume
+// probes towards monitored address space. Scans bias the inbound port
+// statistics (Section 6.3, "incoming traffic is biased by scans") and give
+// squatting-protection RTBHs their characteristic trickle of traffic.
+#pragma once
+
+#include <span>
+
+#include "ixp/platform.hpp"
+#include "net/prefix.hpp"
+#include "util/rng.hpp"
+
+namespace bw::gen {
+
+struct ScanConfig {
+  /// Expected scan bursts per monitored /32 per day.
+  double bursts_per_ip_day{0.012};
+  /// Packets per scan burst (SYN probes, small UDP probes).
+  std::int64_t packets_per_burst{8000};
+};
+
+class ScanGenerator {
+ public:
+  ScanGenerator(ScanConfig config, util::Rng rng) : cfg_(config), rng_(rng) {}
+
+  /// Emit scan traffic towards every address of `targets` (sampled per
+  /// day over `period`), entering via random `ingress` members.
+  void emit(std::span<const net::Ipv4> targets,
+            std::span<const flow::MemberId> ingress, util::TimeRange period,
+            const ixp::Platform::BurstSink& sink);
+
+ private:
+  ScanConfig cfg_;
+  util::Rng rng_;
+};
+
+}  // namespace bw::gen

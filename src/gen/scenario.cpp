@@ -1,0 +1,772 @@
+#include "gen/scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace bw::gen {
+
+namespace {
+
+// Rng fork tags — one independent stream per concern so adding draws to one
+// generator never perturbs another.
+enum : std::uint64_t {
+  kTagMembers = 1,
+  kTagOrigins,
+  kTagHosts,
+  kTagRemotes,
+  kTagAmplifiers,
+  kTagRegistry,
+  kTagEvents,
+  kTagLegit,
+  kTagScan,
+  kTagAttackBase = 1000000,
+};
+
+constexpr std::uint32_t kMemberSpaceBase = 0x10000000;  // 16.0.0.0
+constexpr std::uint32_t kVictimSpaceBase = 0x18000000;  // 24.0.0.0
+constexpr std::uint32_t kSquatSpaceBase = 0x1C000000;   // 28.0.0.0
+
+}  // namespace
+
+std::string_view to_string(UseCase u) {
+  switch (u) {
+    case UseCase::kInfrastructureProtection: return "infrastructure-protection";
+    case UseCase::kOtherSteady: return "other-steady";
+    case UseCase::kOtherIdle: return "other-idle";
+    case UseCase::kZombie: return "zombie";
+    case UseCase::kSquattingProtection: return "squatting-protection";
+    case UseCase::kContentBlocking: return "content-blocking";
+  }
+  return "unknown";
+}
+
+std::size_t ScenarioConfig::scaled(std::size_t n) const {
+  if (n == 0) return 0;
+  const double s = std::max(scale, 0.0);
+  return std::max<std::size_t>(
+      static_cast<std::size_t>(std::llround(static_cast<double>(n) * s)), 1);
+}
+
+ixp::PlatformConfig Scenario::platform_config(const ScenarioConfig& cfg) {
+  ixp::PlatformConfig p;
+  p.period = cfg.period;
+  p.sampling_rate = cfg.sampling_rate;
+  p.clock.offset_ms = -40;  // the paper's estimated control/data skew
+  p.clock.jitter_sd_ms = 10.0;
+  p.seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
+  return p;
+}
+
+void Scenario::install(ixp::Platform& platform) {
+  if (installed_) throw std::logic_error("Scenario: install() called twice");
+  installed_ = true;
+  build_members(platform);
+  build_victim_origins(platform);
+  build_hosts();
+  build_remotes(platform);
+  build_amplifiers(platform);
+  build_registry();
+  build_events(platform);
+  bgp::sort_updates(control_);
+}
+
+// ---------------------------------------------------------------------------
+// Population
+// ---------------------------------------------------------------------------
+
+void Scenario::build_members(ixp::Platform& platform) {
+  util::Rng rng(util::Rng(cfg_.seed).fork(kTagMembers));
+  const std::size_t n = cfg_.scaled(cfg_.members);
+  const std::array<double, 5> policy_weights{
+      cfg_.policy_accept_all, cfg_.policy_whitelist_host,
+      cfg_.policy_classful_only, cfg_.policy_reject_all,
+      cfg_.policy_inconsistent};
+  constexpr std::array<bgp::BlackholeAcceptance, 5> kPolicies{
+      bgp::BlackholeAcceptance::kAcceptAll,
+      bgp::BlackholeAcceptance::kWhitelistHost,
+      bgp::BlackholeAcceptance::kClassfulOnly,
+      bgp::BlackholeAcceptance::kRejectAll,
+      bgp::BlackholeAcceptance::kInconsistent};
+
+  // Stratified assignment: exact policy proportions at every scale, in a
+  // shuffled order, so small populations still carry the calibrated mix.
+  double weight_total = 0.0;
+  for (const double w : policy_weights) weight_total += w;
+  std::vector<bgp::BlackholeAcceptance> assignment;
+  assignment.reserve(n);
+  std::array<double, 5> owed{};
+  while (assignment.size() < n) {
+    // Largest-remainder: give the next slot to the most underfed policy.
+    std::size_t best = 0;
+    double best_deficit = -1e300;
+    for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+      const double deficit =
+          policy_weights[k] / weight_total * (static_cast<double>(n)) -
+          owed[k];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = k;
+      }
+    }
+    owed[best] += 1.0;
+    assignment.push_back(kPolicies[best]);
+  }
+  std::shuffle(assignment.begin(), assignment.end(), rng.engine());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    bgp::PeerPolicy policy;
+    policy.blackhole = assignment[i];
+    policy.inconsistent_accept_fraction = rng.uniform(0.2, 0.8);
+    policy.salt = rng.fork(i).seed();
+    const auto asn = static_cast<bgp::Asn>(1000 + i);
+    const net::Prefix space(
+        net::Ipv4(kMemberSpaceBase + (static_cast<std::uint32_t>(i) << 16)), 16);
+    const flow::MemberId id = platform.add_member(asn, policy, {space});
+    all_members_.push_back(id);
+    member_asns_.push_back(asn);
+  }
+
+  // Blackholers: the first scaled(78) members trigger RTBHs.
+  const std::size_t nb = std::min(cfg_.scaled(cfg_.blackholer_members), n);
+  blackholers_.assign(all_members_.begin(),
+                      all_members_.begin() + static_cast<std::ptrdiff_t>(nb));
+
+  // Handover-eligible members (carry amplifier origins / attack ingress).
+  // Stratified per policy class so the handover population preserves the
+  // calibrated import-policy mix at every scale.
+  std::array<std::vector<flow::MemberId>, 5> by_policy;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < kPolicies.size(); ++k) {
+      if (assignment[i] == kPolicies[k]) {
+        by_policy[k].push_back(all_members_[i]);
+        break;
+      }
+    }
+  }
+  for (auto& group : by_policy) {
+    std::shuffle(group.begin(), group.end(), rng.engine());
+    const auto take = static_cast<std::size_t>(std::llround(
+        cfg_.handover_member_fraction * static_cast<double>(group.size())));
+    for (std::size_t i = 0; i < take; ++i) {
+      handover_members_.push_back(group[i]);
+    }
+  }
+  std::shuffle(handover_members_.begin(), handover_members_.end(),
+               rng.engine());
+  if (handover_members_.empty()) handover_members_.push_back(all_members_.front());
+}
+
+void Scenario::build_victim_origins(ixp::Platform& platform) {
+  util::Rng rng(util::Rng(cfg_.seed).fork(kTagOrigins));
+  const std::size_t n = cfg_.scaled(cfg_.victim_origin_as);
+  victim_origins_.reserve(n);
+  // PeeringDB class pools among victim origins (drives Table 4).
+  for (std::size_t j = 0; j < n; ++j) {
+    VictimOrigin vo;
+    vo.asn = static_cast<bgp::Asn>(50000 + j);
+    vo.prefix = net::Prefix(
+        net::Ipv4(kVictimSpaceBase + (static_cast<std::uint32_t>(j) << 16)), 16);
+    vo.home = blackholers_[j % blackholers_.size()];
+    victim_origins_.push_back(vo);
+
+    const double u = rng.uniform();
+    if (u < 0.40) dsl_origin_idx_.push_back(j);
+    else if (u < 0.60) content_origin_idx_.push_back(j);
+    else if (u < 0.78) nsp_origin_idx_.push_back(j);
+    else if (u < 0.83) enterprise_origin_idx_.push_back(j);
+    else absent_origin_idx_.push_back(j);
+
+    // The home member announces the origin's space into the IXP.
+    platform.announce_prefix(vo.home, vo.prefix);
+    platform.register_origin(vo.prefix, vo.asn, vo.home);
+  }
+  // Guarantee non-empty pools at tiny scales.
+  if (dsl_origin_idx_.empty()) dsl_origin_idx_.push_back(0);
+  if (content_origin_idx_.empty()) content_origin_idx_.push_back(0);
+  if (nsp_origin_idx_.empty()) nsp_origin_idx_.push_back(0);
+  if (enterprise_origin_idx_.empty()) enterprise_origin_idx_.push_back(0);
+  if (absent_origin_idx_.empty()) absent_origin_idx_.push_back(0);
+}
+
+net::Ipv4 Scenario::next_host_ip(std::size_t origin_index) {
+  VictimOrigin& vo = victim_origins_[origin_index];
+  // Spread hosts across the /16 (stride coprime to 2^16) so a /24 RTBH
+  // around one victim covers only a few other active hosts — keeping the
+  // Fig. 5 traffic distribution dominated by /32 blackholes.
+  const net::Ipv4 ip = vo.prefix.address_at((vo.next_host * 257u) % 65536u);
+  ++vo.next_host;
+  return ip;
+}
+
+void Scenario::build_hosts() {
+  util::Rng rng(util::Rng(cfg_.seed).fork(kTagHosts));
+
+  auto pick_origin = [&](HostRole role) -> std::size_t {
+    // Table 4 marginals: clients 60% Cable/DSL, 14% NSP, 2% Content, 1%
+    // Enterprise, 23% Unknown; servers 34% Content, 14% DSL, 13% NSP, 1%
+    // Enterprise, 38% Unknown.
+    const double u = rng.uniform();
+    const std::vector<std::size_t>* pool = nullptr;
+    if (role == HostRole::kClient) {
+      if (u < 0.60) pool = &dsl_origin_idx_;
+      else if (u < 0.74) pool = &nsp_origin_idx_;
+      else if (u < 0.76) pool = &content_origin_idx_;
+      else if (u < 0.77) pool = &enterprise_origin_idx_;
+      else pool = &absent_origin_idx_;
+    } else {
+      if (u < 0.34) pool = &content_origin_idx_;
+      else if (u < 0.48) pool = &dsl_origin_idx_;
+      else if (u < 0.61) pool = &nsp_origin_idx_;
+      else if (u < 0.62) pool = &enterprise_origin_idx_;
+      else pool = &absent_origin_idx_;
+    }
+    return (*pool)[rng.index(pool->size())];
+  };
+
+  auto draw_services = [&]() {
+    std::vector<net::ProtoPort> services;
+    const double u = rng.uniform();
+    if (u < 0.40) services.push_back({net::Proto::kTcp, net::kHttps});
+    else if (u < 0.65) services.push_back({net::Proto::kTcp, net::kHttp});
+    else if (u < 0.75) services.push_back({net::Proto::kUdp, net::kDns});
+    else if (u < 0.82) services.push_back({net::Proto::kTcp, net::kSsh});
+    else if (u < 0.89) services.push_back({net::Proto::kTcp, net::kSmtp});
+    else if (u < 0.95) services.push_back({net::Proto::kUdp, 27015});  // game
+    else services.push_back({net::Proto::kTcp, net::kRdp});
+    if (rng.chance(0.5)) services.push_back({net::Proto::kTcp, net::kHttp});
+    if (rng.chance(0.2)) services.push_back({net::Proto::kTcp, net::kImap});
+    return services;
+  };
+
+  const std::size_t n_servers = cfg_.scaled(cfg_.server_hosts);
+  const std::size_t n_clients = cfg_.scaled(cfg_.client_hosts);
+  const std::size_t n_idle = cfg_.scaled(cfg_.idle_victims);
+
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    const std::size_t oi = pick_origin(HostRole::kServer);
+    HostProfile h;
+    h.ip = next_host_ip(oi);
+    h.role = HostRole::kServer;
+    h.home_member = victim_origins_[oi].home;
+    h.origin_asn = victim_origins_[oi].asn;
+    h.services = draw_services();
+    h.daily_activity = rng.uniform(0.55, 0.98);
+    h.mean_daily_packets = cfg_.server_daily_packets * rng.lognormal(0.0, 0.7);
+    server_host_idx_.push_back(truth_.hosts.size());
+    truth_.hosts.push_back(std::move(h));
+  }
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    const std::size_t oi = pick_origin(HostRole::kClient);
+    HostProfile h;
+    h.ip = next_host_ip(oi);
+    h.role = HostRole::kClient;
+    h.home_member = victim_origins_[oi].home;
+    h.origin_asn = victim_origins_[oi].asn;
+    h.daily_activity = rng.uniform(0.45, 0.95);
+    h.mean_daily_packets = cfg_.client_daily_packets * rng.lognormal(0.0, 0.6);
+    client_host_idx_.push_back(truth_.hosts.size());
+    truth_.hosts.push_back(std::move(h));
+  }
+  for (std::size_t i = 0; i < n_idle; ++i) {
+    const std::size_t oi = rng.index(victim_origins_.size());
+    HostProfile h;
+    h.ip = next_host_ip(oi);
+    h.role = HostRole::kIdle;
+    h.home_member = victim_origins_[oi].home;
+    h.origin_asn = victim_origins_[oi].asn;
+    h.daily_activity = 0.0;
+    h.mean_daily_packets = 0.0;
+    idle_host_idx_.push_back(truth_.hosts.size());
+    truth_.hosts.push_back(std::move(h));
+  }
+  truth_.client_count = n_clients;
+  truth_.server_count = n_servers;
+}
+
+void Scenario::build_remotes(ixp::Platform& platform) {
+  util::Rng rng(util::Rng(cfg_.seed).fork(kTagRemotes));
+  const auto& members = platform.members();
+  auto add_remote = [&](std::vector<net::Ipv4>& ips,
+                        std::vector<flow::MemberId>& ingress) {
+    const auto& m = members[rng.index(members.size())];
+    // Remote endpoints live in the member's own /16 space.
+    ips.push_back(m.owned.front().address_at(
+        static_cast<std::uint64_t>(rng.uniform_int(1, 65534))));
+    ingress.push_back(m.id);
+  };
+  const std::size_t nc = cfg_.scaled(cfg_.remote_clients);
+  const std::size_t ns = cfg_.scaled(cfg_.remote_servers);
+  for (std::size_t i = 0; i < nc; ++i) {
+    add_remote(remotes_.client_ips, remotes_.client_ingress);
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    add_remote(remotes_.server_ips, remotes_.server_ingress);
+  }
+}
+
+void Scenario::build_amplifiers(ixp::Platform& platform) {
+  util::Rng rng(util::Rng(cfg_.seed).fork(kTagAmplifiers));
+  AmplifierPoolConfig pc;
+  pc.origin_as_count = cfg_.scaled(cfg_.amplifier_origins);
+  pc.amplifier_count = cfg_.scaled(cfg_.amplifiers);
+  // The dominant origin's amplifier share is tuned so that, with ~60
+  // reflectors per attack, it participates in ~60% of events (Fig. 15)
+  // while carrying only a few percent of the traffic.
+  pc.dominant_origin_share = 0.015;
+  pool_ = std::make_unique<AmplifierPool>(pc, handover_members_, rng.fork(1));
+  for (const auto& origin : pool_->origins()) {
+    platform.register_origin(origin.prefix, origin.asn, origin.handover);
+  }
+}
+
+void Scenario::build_registry() {
+  util::Rng rng(util::Rng(cfg_.seed).fork(kTagRegistry));
+  // Victim origins: typed per the pools drawn in build_victim_origins.
+  auto add_pool = [&](const std::vector<std::size_t>& pool, pdb::OrgType type) {
+    for (const std::size_t j : pool) {
+      pdb::OrgRecord rec;
+      rec.asn = victim_origins_[j].asn;
+      rec.type = type;
+      rec.scope = type == pdb::OrgType::kCableDslIsp ? pdb::Scope::kRegional
+                                                     : pdb::Scope::kEurope;
+      registry_.upsert(rec);
+    }
+  };
+  add_pool(dsl_origin_idx_, pdb::OrgType::kCableDslIsp);
+  add_pool(content_origin_idx_, pdb::OrgType::kContent);
+  add_pool(nsp_origin_idx_, pdb::OrgType::kNsp);
+  add_pool(enterprise_origin_idx_, pdb::OrgType::kEnterprise);
+  // absent pool: intentionally not registered (Table 4 "Unknown").
+
+  // Member ASes: NSP-heavy, as the Fig. 8 top-100 source mix shows.
+  for (const bgp::Asn asn : member_asns_) {
+    const double u = rng.uniform();
+    if (u > 0.85) continue;  // not in PeeringDB
+    pdb::OrgRecord rec;
+    rec.asn = asn;
+    if (u < 0.40) {
+      rec.type = pdb::OrgType::kNsp;
+      rec.scope = rng.chance(0.5) ? pdb::Scope::kGlobal : pdb::Scope::kEurope;
+    } else if (u < 0.60) {
+      rec.type = pdb::OrgType::kCableDslIsp;
+      rec.scope = pdb::Scope::kRegional;
+    } else if (u < 0.75) {
+      rec.type = pdb::OrgType::kContent;
+      rec.scope = rng.chance(0.3) ? pdb::Scope::kGlobal : pdb::Scope::kEurope;
+    } else if (u < 0.80) {
+      rec.type = pdb::OrgType::kEnterprise;
+      rec.scope = pdb::Scope::kEurope;
+    } else {
+      rec.type = pdb::OrgType::kEducational;
+      rec.scope = pdb::Scope::kEurope;
+    }
+    registry_.upsert(rec);
+  }
+  // Amplifier origins: mostly access/NSP networks hosting open services.
+  for (const auto& origin : pool_->origins()) {
+    if (!rng.chance(0.7)) continue;
+    pdb::OrgRecord rec;
+    rec.asn = origin.asn;
+    rec.type = rng.chance(0.55) ? pdb::OrgType::kCableDslIsp : pdb::OrgType::kNsp;
+    rec.scope = rng.chance(0.25) ? pdb::Scope::kGlobal : pdb::Scope::kRegional;
+    registry_.upsert(rec);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event schedule
+// ---------------------------------------------------------------------------
+
+std::uint8_t Scenario::draw_event_prefix_len(util::Rng& rng) const {
+  const std::array<double, 4> w{cfg_.event_len32, cfg_.event_len24,
+                                cfg_.event_len25_31, cfg_.event_len22_23};
+  switch (rng.weighted_index(w)) {
+    case 0: return 32;
+    case 1: return 24;
+    case 2: return static_cast<std::uint8_t>(rng.uniform_int(25, 31));
+    default: return static_cast<std::uint8_t>(rng.uniform_int(22, 23));
+  }
+}
+
+std::vector<bgp::Community> Scenario::draw_targeted_communities(
+    util::TimeMs at, util::Rng& rng) const {
+  const double p = cfg_.targeted_phase.contains(at)
+                       ? cfg_.targeted_probability_phase
+                       : cfg_.targeted_probability_base;
+  if (!rng.chance(p)) return {};
+  // Exclude a random subset of peers from distribution.
+  std::vector<std::uint16_t> excluded;
+  const double exclude_share = rng.uniform(0.2, 0.7);
+  for (const bgp::Asn asn : member_asns_) {
+    if (rng.chance(exclude_share)) {
+      excluded.push_back(static_cast<std::uint16_t>(asn & 0xFFFF));
+    }
+  }
+  bgp::TargetedAnnouncement targeted(platform_config(cfg_).rs_asn);
+  return targeted.exclude(excluded);
+}
+
+void Scenario::build_events(ixp::Platform& platform) {
+  util::Rng rng(util::Rng(cfg_.seed).fork(kTagEvents));
+  OperatorModel op(platform.service(), rng.fork(1));
+
+  const auto protocols = net::amplification_protocols();
+  // Per-event amplification-vector count (generates Table 3's columns).
+  const std::array<double, 5> vector_count_w{0.47, 0.43, 0.08, 0.015, 0.005};
+  // Per-protocol popularity: cLDAP, NTP, DNS dominate (Section 5.4).
+  std::vector<double> proto_w;
+  proto_w.reserve(protocols.size());
+  for (const auto& p : protocols) {
+    double w = 0.015;
+    if (p.name == "cLDAP") w = 0.30;
+    else if (p.name == "NTP") w = 0.26;
+    else if (p.name == "DNS") w = 0.22;
+    else if (p.name == "Memcache") w = 0.05;
+    else if (p.name == "SSDP") w = 0.04;
+    else if (p.name == "Fragmentation") w = 0.0;
+    proto_w.push_back(w);
+  }
+
+  const std::size_t n_events = cfg_.scaled(cfg_.rtbh_events);
+  truth_.events.reserve(n_events + cfg_.scaled(cfg_.zombies) + 64);
+
+  // Partition the idle pool: zombie prefixes are announced once and never
+  // withdrawn, so they must not collide with other events on the same
+  // prefix (a later withdraw would close the forgotten blackhole).
+  const std::size_t n_zombies = cfg_.scaled(cfg_.zombies);
+  const std::size_t zombie_cut = std::min(n_zombies, idle_host_idx_.size() / 2);
+  const std::vector<std::size_t> zombie_pool(
+      idle_host_idx_.begin(),
+      idle_host_idx_.begin() + static_cast<std::ptrdiff_t>(zombie_cut));
+  const std::vector<std::size_t> idle_pool(
+      idle_host_idx_.begin() + static_cast<std::ptrdiff_t>(zombie_cut),
+      idle_host_idx_.end());
+
+  for (std::size_t i = 0; i < n_events; ++i) {
+    EventTruth ev;
+    ev.id = truth_.events.size();
+
+    const double cls = rng.uniform();
+    const bool is_attack = cls < cfg_.attack_fraction;
+    const bool is_steady =
+        !is_attack && cls < cfg_.attack_fraction + cfg_.steady_fraction;
+
+    // --- victim selection ---
+    const HostProfile* victim = nullptr;
+    if (is_attack) {
+      const double v = rng.uniform();
+      if (v < 0.60 && !client_host_idx_.empty()) {
+        victim = &truth_.hosts[client_host_idx_[rng.index(client_host_idx_.size())]];
+      } else if (v < 0.85 && !server_host_idx_.empty()) {
+        victim = &truth_.hosts[server_host_idx_[rng.index(server_host_idx_.size())]];
+      } else {
+        victim = &truth_.hosts[idle_pool[rng.index(idle_pool.size())]];
+      }
+    } else if (is_steady) {
+      const double v = rng.uniform();
+      if (v < 0.78 && !client_host_idx_.empty()) {
+        victim = &truth_.hosts[client_host_idx_[rng.index(client_host_idx_.size())]];
+      } else {
+        victim = &truth_.hosts[server_host_idx_[rng.index(server_host_idx_.size())]];
+      }
+    } else {
+      victim = &truth_.hosts[idle_pool[rng.index(idle_pool.size())]];
+    }
+
+    const std::uint8_t len = draw_event_prefix_len(rng);
+    ev.prefix = net::Prefix(victim->ip, len);
+    ev.sender = platform.member(victim->home_member).asn;
+    ev.origin = victim->origin_asn;
+
+    // --- timing ---
+    const util::TimeMs start = cfg_.period.begin + rng.uniform_int(
+        util::kHour, cfg_.period.length() - util::kHour);
+
+    if (is_attack) {
+      ev.use_case = UseCase::kInfrastructureProtection;
+      ev.has_attack = true;
+      ev.manual_reaction = rng.chance(cfg_.manual_reaction_fraction);
+      ev.attack_stops_at_rtbh = rng.chance(cfg_.attack_stops_fraction);
+
+      const double duration_s = rng.lognormal(cfg_.attack_duration_log_mean,
+                                              cfg_.attack_duration_log_sd);
+      ev.attack_window.begin = start;
+      ev.attack_window.end =
+          std::min(start + util::seconds(std::max(duration_s, 120.0)),
+                   cfg_.period.end);
+      ev.attack_packets = static_cast<std::int64_t>(rng.lognormal(
+          cfg_.attack_packets_log_mean, cfg_.attack_packets_log_sd));
+
+      // --- attack vectors ---
+      if (rng.chance(cfg_.attack_non_amp_fraction)) {
+        ev.has_carpet_vector = true;  // SYN or carpet; no amp protocols
+      } else {
+        const std::size_t k = 1 + rng.weighted_index(vector_count_w);
+        std::vector<double> w = proto_w;
+        for (std::size_t v = 0; v < k; ++v) {
+          const std::size_t pi = rng.weighted_index(w);
+          ev.amp_ports.push_back(protocols[pi].udp_port);
+          w[pi] = 0.0;  // no duplicate protocol per event
+        }
+        ev.has_carpet_vector = rng.chance(cfg_.attack_carpet_mix_fraction);
+      }
+
+      // Some victims mitigate exclusively via bilateral blackholing: the
+      // route server never hears about it, but the fabric still drops.
+      if (rng.chance(cfg_.private_only_fraction)) {
+        ev.private_only = true;
+        ev.privately_blackholed = true;
+        const util::TimeMs from =
+            ev.attack_window.begin + util::minutes(rng.uniform(1.0, 5.0));
+        platform.service().add_private_blackhole(
+            net::Prefix::host(victim->ip),
+            {from, ev.attack_window.end + util::kHour});
+        ev.rtbh_span = {from, ev.attack_window.end};
+        truth_.events.push_back(std::move(ev));
+        continue;
+      }
+
+      // --- mitigation schedule ---
+      MitigationBehavior behavior = cfg_.mitigation;
+      if (ev.manual_reaction) {
+        behavior.latency_log_mean = 7.1;  // ~20 min median, manual trigger
+        behavior.latency_log_sd = 0.45;
+      }
+      auto extra = draw_targeted_communities(start, rng);
+      auto mit = op.mitigate(ev.prefix, ev.sender, ev.origin,
+                             ev.attack_window.begin,
+                             ev.attack_window.length(), cfg_.period.end,
+                             behavior, std::move(extra));
+      control_.insert(control_.end(), mit.updates.begin(), mit.updates.end());
+      ev.rtbh_span = mit.span;
+      ev.announcements = mit.announcements;
+      if (ev.attack_stops_at_rtbh) {
+        // Very short attack or upstream scrubbing: traffic fades right as
+        // the blackhole goes up.
+        ev.attack_window.end =
+            std::min(ev.attack_window.end,
+                     ev.rtbh_span.begin + util::minutes(rng.uniform(0.0, 2.0)));
+      }
+      if (rng.chance(cfg_.private_blackhole_fraction)) {
+        ev.privately_blackholed = true;
+        platform.service().add_private_blackhole(
+            net::Prefix::host(victim->ip),
+            {ev.rtbh_span.begin, ev.attack_window.end + util::kHour});
+      }
+    } else {
+      ev.use_case = is_steady ? UseCase::kOtherSteady : UseCase::kOtherIdle;
+      MitigationBehavior behavior = cfg_.mitigation;
+      behavior.mean_cycles = is_steady ? 6.0 : 10.0;
+      behavior.hold_log_mean = is_steady ? 7.5 : 8.3;
+      behavior.hold_log_sd = is_steady ? 1.5 : 1.6;
+      const double span_s =
+          rng.lognormal(is_steady ? 9.3 : 10.2, is_steady ? 1.5 : 1.6);
+      auto extra = draw_targeted_communities(start, rng);
+      auto mit = op.mitigate(ev.prefix, ev.sender, ev.origin, start,
+                             util::seconds(span_s), cfg_.period.end, behavior,
+                             std::move(extra));
+      control_.insert(control_.end(), mit.updates.begin(), mit.updates.end());
+      ev.rtbh_span = mit.span;
+      ev.announcements = mit.announcements;
+    }
+    truth_.events.push_back(std::move(ev));
+  }
+
+  // --- zombies: announced once, never withdrawn (Section 7.3) ---
+  for (std::size_t i = 0; i < zombie_pool.size(); ++i) {
+    const HostProfile& victim = truth_.hosts[zombie_pool[i]];
+    EventTruth ev;
+    ev.id = truth_.events.size();
+    ev.use_case = UseCase::kZombie;
+    ev.prefix = net::Prefix::host(victim.ip);
+    ev.sender = platform.member(victim.home_member).asn;
+    ev.origin = victim.origin_asn;
+    const util::TimeMs at =
+        cfg_.period.begin + rng.uniform_int(0, util::days(18));
+    ev.rtbh_span = {at, cfg_.period.end};
+    ev.announcements = 1;
+    auto log = op.long_lived(ev.prefix, ev.sender, ev.origin, ev.rtbh_span,
+                             /*withdraw=*/false);
+    control_.insert(control_.end(), log.begin(), log.end());
+    truth_.zombie_addresses.push_back(victim.ip);
+    truth_.events.push_back(std::move(ev));
+  }
+
+  // --- prefix-squatting protection: <= /24, months, 4 origin ASes ---
+  const std::size_t n_squat = cfg_.scale >= 0.999
+                                  ? cfg_.squatting_prefixes
+                                  : cfg_.scaled(cfg_.squatting_prefixes);
+  const std::size_t n_squat_as = std::max<std::size_t>(
+      std::min(cfg_.squatting_as, n_squat), 1);
+  for (std::size_t i = 0; i < n_squat; ++i) {
+    EventTruth ev;
+    ev.id = truth_.events.size();
+    ev.use_case = UseCase::kSquattingProtection;
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(20, 24));
+    ev.prefix = net::Prefix(
+        net::Ipv4(kSquatSpaceBase + (static_cast<std::uint32_t>(i) << 12)), len);
+    const std::size_t as_idx = i % n_squat_as;
+    ev.origin = static_cast<bgp::Asn>(51000 + as_idx);
+    ev.sender =
+        platform.member(blackholers_[as_idx % blackholers_.size()]).asn;
+    const util::TimeMs at =
+        cfg_.period.begin + rng.uniform_int(0, util::days(10));
+    ev.rtbh_span = {at, cfg_.period.end};
+    ev.announcements = 1;
+    auto log = op.long_lived(ev.prefix, ev.sender, ev.origin, ev.rtbh_span,
+                             /*withdraw=*/false);
+    control_.insert(control_.end(), log.begin(), log.end());
+    truth_.squatting_prefixes.push_back(ev.prefix);
+    truth_.events.push_back(std::move(ev));
+  }
+
+  // --- content blocking: /32, weeks-months, normal traffic patterns ---
+  const std::size_t n_content = cfg_.scaled(cfg_.content_blocking);
+  for (std::size_t i = 0; i < n_content && !server_host_idx_.empty(); ++i) {
+    const HostProfile& victim =
+        truth_.hosts[server_host_idx_[rng.index(server_host_idx_.size())]];
+    EventTruth ev;
+    ev.id = truth_.events.size();
+    ev.use_case = UseCase::kContentBlocking;
+    ev.prefix = net::Prefix::host(victim.ip);
+    // Blocked by some *other* member (not the victim's home).
+    ev.sender = platform
+                    .member(blackholers_[rng.index(blackholers_.size())])
+                    .asn;
+    ev.origin = victim.origin_asn;
+    const util::TimeMs at =
+        cfg_.period.begin + rng.uniform_int(0, util::days(40));
+    const util::TimeMs until =
+        std::min(at + util::days(rng.uniform(20.0, 70.0)), cfg_.period.end);
+    ev.rtbh_span = {at, until};
+    ev.announcements = 1;
+    auto log = op.long_lived(ev.prefix, ev.sender, ev.origin, ev.rtbh_span,
+                             /*withdraw=*/until < cfg_.period.end);
+    control_.insert(control_.end(), log.begin(), log.end());
+    truth_.events.push_back(std::move(ev));
+  }
+
+  // --- the early-October targeted-announcement experiment (Fig. 4) ---
+  // One member runs ~120 long-lived blackholes with per-peer exclusions
+  // during the targeted phase, producing the visibility dip.
+  const std::size_t n_targeted = cfg_.scaled(120);
+  bgp::TargetedAnnouncement targeted(platform_config(cfg_).rs_asn);
+  for (std::size_t i = 0; i < n_targeted; ++i) {
+    const HostProfile& victim =
+        truth_.hosts[idle_pool[rng.index(idle_pool.size())]];
+    EventTruth ev;
+    ev.id = truth_.events.size();
+    ev.use_case = UseCase::kOtherIdle;
+    ev.prefix = net::Prefix::host(victim.ip);
+    ev.sender = platform.member(victim.home_member).asn;
+    ev.origin = victim.origin_asn;
+    const util::TimeMs at = cfg_.targeted_phase.begin +
+                            rng.uniform_int(0, util::days(2));
+    const util::TimeMs until = cfg_.targeted_phase.end -
+                               rng.uniform_int(0, util::days(2));
+    ev.rtbh_span = {at, std::max(until, at + util::kHour)};
+    ev.announcements = 1;
+    std::vector<std::uint16_t> excluded;
+    for (const bgp::Asn asn : member_asns_) {
+      if (rng.chance(0.55)) {
+        excluded.push_back(static_cast<std::uint16_t>(asn & 0xFFFF));
+      }
+    }
+    auto extra = targeted.exclude(excluded);
+    control_.push_back(platform.service().make_announce(
+        ev.rtbh_span.begin, ev.sender, ev.origin, ev.prefix, extra));
+    control_.push_back(platform.service().make_withdraw(
+        ev.rtbh_span.end, ev.sender, ev.origin, ev.prefix, std::move(extra)));
+    truth_.events.push_back(std::move(ev));
+  }
+
+  // Scan targets: idle victims, zombies, squatting space, some active hosts.
+  for (const std::size_t hi : idle_host_idx_) {
+    scan_targets_.push_back(truth_.hosts[hi].ip);
+  }
+  for (const auto& p : truth_.squatting_prefixes) {
+    for (int k = 1; k <= 3; ++k) {
+      scan_targets_.push_back(p.address_at(static_cast<std::uint64_t>(k)));
+    }
+  }
+  for (const std::size_t hi : server_host_idx_) {
+    if (rng.chance(0.10)) scan_targets_.push_back(truth_.hosts[hi].ip);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traffic
+// ---------------------------------------------------------------------------
+
+ixp::Platform::TrafficSource Scenario::traffic_source() const {
+  if (!installed_) {
+    throw std::logic_error("Scenario: traffic_source() before install()");
+  }
+  return [this](const ixp::Platform::BurstSink& sink) {
+    const int total_days =
+        static_cast<int>(cfg_.period.length() / util::kDay);
+
+    // --- legitimate daily traffic ---
+    LegitGenerator legit(remotes_, util::Rng(cfg_.seed).fork(kTagLegit));
+    for (const HostProfile& host : truth_.hosts) {
+      for (int day = 0; day < total_days; ++day) {
+        legit.emit_day(host, day, sink);
+      }
+    }
+
+    // --- attacks ---
+    for (const EventTruth& ev : truth_.events) {
+      if (!ev.has_attack || ev.attack_packets <= 0) continue;
+      util::Rng ev_rng(util::Rng(cfg_.seed).fork(kTagAttackBase + ev.id));
+      DdosGenerator ddos(*pool_, ev_rng.fork(1));
+
+      AttackSpec spec;
+      spec.victim = ev.prefix.network();  // host events use the host address
+      spec.window = ev.attack_window;
+      spec.total_packets = ev.attack_packets;
+      spec.amplifier_count = static_cast<std::size_t>(std::max<std::int64_t>(
+          ev_rng.uniform_int(
+              static_cast<std::int64_t>(cfg_.amplifiers_per_attack / 2),
+              static_cast<std::int64_t>(cfg_.amplifiers_per_attack * 2)),
+          4));
+
+      if (ev.amp_ports.empty()) {
+        // Non-amplification attack: mostly UDP carpets, occasionally a SYN
+        // flood (TCP stays a sliver of attack traffic, as in Table 3).
+        AttackVector v;
+        v.kind = ev_rng.chance(0.25) ? VectorKind::kSynFlood
+                 : ev_rng.chance(0.5) ? VectorKind::kUdpRandomPorts
+                                      : VectorKind::kUdpIncreasingPorts;
+        v.volume_share = 1.0;
+        spec.vectors.push_back(v);
+      } else {
+        double remaining = 1.0;
+        for (std::size_t i = 0; i < ev.amp_ports.size(); ++i) {
+          AttackVector v;
+          v.kind = VectorKind::kUdpAmplification;
+          v.amp_port = ev.amp_ports[i];
+          const bool last = i + 1 == ev.amp_ports.size();
+          v.volume_share =
+              last ? remaining : remaining * ev_rng.uniform(0.35, 0.75);
+          remaining -= last ? 0.0 : v.volume_share;
+          spec.vectors.push_back(v);
+        }
+        if (ev.has_carpet_vector) {
+          AttackVector v;
+          v.kind = ev_rng.chance(0.5) ? VectorKind::kUdpRandomPorts
+                                      : VectorKind::kUdpIncreasingPorts;
+          v.volume_share = ev_rng.uniform(0.15, 0.45);
+          spec.vectors.push_back(v);
+        }
+      }
+      ddos.emit(spec, handover_members_, sink);
+    }
+
+    // --- scans / background radiation ---
+    ScanGenerator scans(cfg_.scan, util::Rng(cfg_.seed).fork(kTagScan));
+    scans.emit(scan_targets_, handover_members_, cfg_.period, sink);
+  };
+}
+
+}  // namespace bw::gen

@@ -1,0 +1,229 @@
+// Full 104-day scenario driver.
+//
+// Assembles the complete synthetic vantage point of DESIGN.md Section 5:
+// the member population with its import-policy pathology, the victim host
+// population (servers, DSL clients, idle space), the amplifier ecosystem,
+// the RTBH event schedule across all use cases of Table 1, and the traffic
+// that goes with each. Every knob defaults to a value taken from (or
+// calibrated against) a number the paper reports; `scale` shrinks the
+// population/event counts proportionally without touching the time axis or
+// any per-event distribution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/amplification.hpp"
+#include "gen/ddos.hpp"
+#include "gen/legit.hpp"
+#include "gen/operator_model.hpp"
+#include "gen/scan.hpp"
+#include "ixp/platform.hpp"
+#include "peeringdb/registry.hpp"
+
+namespace bw::gen {
+
+/// Ground-truth use case of one RTBH event (what the generator intended;
+/// the analysis pipeline never sees this — it is used only for validation).
+enum class UseCase : std::uint8_t {
+  kInfrastructureProtection,  ///< DDoS mitigation (attack present)
+  kOtherSteady,               ///< no attack; victim has steady traffic
+  kOtherIdle,                 ///< no attack; victim has (almost) no traffic
+  kZombie,                    ///< forgotten blackhole, active to period end
+  kSquattingProtection,       ///< <= /24, months, unannounced address space
+  kContentBlocking,           ///< /32, weeks-months, normal traffic
+};
+
+[[nodiscard]] std::string_view to_string(UseCase u);
+
+struct EventTruth {
+  std::size_t id{0};
+  net::Prefix prefix;
+  UseCase use_case{UseCase::kOtherIdle};
+  bool has_attack{false};
+  bool attack_stops_at_rtbh{false};  ///< short-lived / scrubbed upstream
+  bool manual_reaction{false};       ///< slow (manual) trigger, 10-60 min
+  util::TimeRange attack_window{};   ///< true time; empty when no attack
+  util::TimeRange rtbh_span{};       ///< first announce .. last withdraw
+  std::int64_t attack_packets{0};    ///< true packet volume of the attack
+  std::size_t announcements{0};
+  std::vector<net::Port> amp_ports;  ///< amplification vectors used
+  bool has_carpet_vector{false};     ///< random/increasing-port component
+  bool privately_blackholed{false};  ///< additional non-RS drop source
+  bool private_only{false};          ///< mitigated bilaterally, no RS record
+  bgp::Asn sender{0};
+  bgp::Asn origin{0};
+};
+
+struct GroundTruth {
+  std::vector<EventTruth> events;
+  std::vector<HostProfile> hosts;  ///< all victim hosts (incl. idle)
+  std::size_t client_count{0};
+  std::size_t server_count{0};
+  std::vector<net::Prefix> squatting_prefixes;
+  std::vector<net::Ipv4> zombie_addresses;
+};
+
+struct ScenarioConfig {
+  double scale{0.35};
+  std::uint64_t seed{20191021};
+  util::TimeRange period{0, util::days(104)};
+  /// IPFIX sampling: 1 out of N packets (paper: 10,000). Exposed for the
+  /// sampling-sensitivity ablation.
+  std::uint32_t sampling_rate{10000};
+
+  // --- population (counts at scale = 1.0) ---
+  std::size_t members{830};
+  std::size_t blackholer_members{78};
+  std::size_t victim_origin_as{170};
+  std::size_t amplifier_origins{1100};
+  std::size_t amplifiers{18000};
+  std::size_t server_hosts{1036};
+  std::size_t client_hosts{4057};
+  std::size_t idle_victims{10000};
+  std::size_t remote_clients{4000};
+  std::size_t remote_servers{1500};
+  /// Fraction of members eligible to carry amplifier origins (paper: 55%
+  /// of members handed over attack traffic at least once).
+  double handover_member_fraction{0.58};
+
+  // --- member import-policy mix (Fig. 7 calibration) ---
+  double policy_accept_all{0.12};
+  double policy_whitelist_host{0.30};
+  double policy_classful_only{0.40};
+  double policy_reject_all{0.05};
+  double policy_inconsistent{0.13};
+
+  // --- RTBH event schedule (counts at scale = 1.0) ---
+  std::size_t rtbh_events{33000};  ///< short/mid-term events
+  double attack_fraction{0.33};    ///< infra-protection (w/ DDoS traffic)
+  double steady_fraction{0.21};    ///< active victim, no attack
+  double manual_reaction_fraction{0.18};  ///< of attacks: slow trigger
+  double attack_stops_fraction{0.33};     ///< of attacks: no traffic in RTBH
+  std::size_t zombies{1050};
+  std::size_t squatting_prefixes{21};
+  std::size_t squatting_as{4};
+  std::size_t content_blocking{8};
+
+  // --- RTBH prefix-length mix for host events (Fig. 5) ---
+  double event_len32{0.988};
+  double event_len24{0.007};
+  double event_len25_31{0.003};
+  double event_len22_23{0.002};
+
+  // --- attack shape ---
+  double attack_packets_log_mean{15.4};  ///< ln(true packets); ~4.9M median
+  double attack_packets_log_sd{1.3};
+  double attack_duration_log_mean{8.4};  ///< ln(seconds); ~74 min median
+  double attack_duration_log_sd{1.1};
+  std::size_t amplifiers_per_attack{60};
+  /// Of attack events: share with no amplification vector at all (SYN or
+  /// carpet only) — the Table 3 "0 protocols" column.
+  double attack_non_amp_fraction{0.06};
+  /// Of amplification attacks: share that mixes in a carpet vector
+  /// (Fig. 14's hard-to-filter tail).
+  double attack_carpet_mix_fraction{0.045};
+
+  // --- legitimate traffic ---
+  double server_daily_packets{8e4};
+  double client_daily_packets{3e4};
+
+  // --- targeted announcements (Fig. 4) ---
+  util::TimeRange targeted_phase{util::days(8), util::days(20)};
+  double targeted_probability_base{0.002};
+  double targeted_probability_phase{0.06};
+
+  /// Fraction of attack events that are *additionally* dropped by a
+  /// bilateral (non route-server) blackhole — Section 3.1's 5% of dropped
+  /// bytes from other RTBH sources. Private drops only apply at peers whose
+  /// policies honour host blackholes (see ixp::Fabric).
+  double private_blackhole_fraction{0.06};
+  /// Fraction of attacks mitigated *exclusively* via bilateral blackholing:
+  /// the drops appear on the data plane with no route-server announcement
+  /// at all (the rest of Section 3.1's "other RTBH sources").
+  double private_only_fraction{0.03};
+
+  MitigationBehavior mitigation{};
+  ScanConfig scan{};
+
+  /// Scaled count helper (at least 1 when `n` > 0).
+  [[nodiscard]] std::size_t scaled(std::size_t n) const;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config) : cfg_(std::move(config)) {}
+
+  /// Platform configuration matching this scenario (period, clock skew of
+  /// -40 ms as estimated in Fig. 2, paper sampling rate).
+  [[nodiscard]] static ixp::PlatformConfig platform_config(
+      const ScenarioConfig& cfg);
+
+  /// Register the population with the platform and generate the full event
+  /// schedule + control-plane log. Must be called exactly once, before
+  /// control()/traffic_source()/truth().
+  void install(ixp::Platform& platform);
+
+  [[nodiscard]] const bgp::UpdateLog& control() const noexcept {
+    return control_;
+  }
+
+  /// Streaming traffic source for Platform::run. Valid only after
+  /// install(); regenerates the identical burst stream on every call.
+  [[nodiscard]] ixp::Platform::TrafficSource traffic_source() const;
+
+  [[nodiscard]] const GroundTruth& truth() const noexcept { return truth_; }
+  [[nodiscard]] const pdb::Registry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct VictimOrigin {
+    bgp::Asn asn{0};
+    net::Prefix prefix;       ///< /16 victim space
+    flow::MemberId home{0};   ///< blackholer member announcing it
+    std::uint32_t next_host{1};
+  };
+
+  void build_members(ixp::Platform& platform);
+  void build_victim_origins(ixp::Platform& platform);
+  void build_hosts();
+  void build_remotes(ixp::Platform& platform);
+  void build_amplifiers(ixp::Platform& platform);
+  void build_registry();
+  void build_events(ixp::Platform& platform);
+
+  [[nodiscard]] net::Ipv4 next_host_ip(std::size_t origin_index);
+  [[nodiscard]] std::uint8_t draw_event_prefix_len(util::Rng& rng) const;
+  [[nodiscard]] std::vector<bgp::Community> draw_targeted_communities(
+      util::TimeMs at, util::Rng& rng) const;
+
+  ScenarioConfig cfg_;
+  GroundTruth truth_;
+  bgp::UpdateLog control_;
+  pdb::Registry registry_;
+
+  // Population state (filled by install()).
+  std::vector<flow::MemberId> all_members_;
+  std::vector<flow::MemberId> blackholers_;
+  std::vector<flow::MemberId> handover_members_;
+  std::vector<bgp::Asn> member_asns_;
+  std::vector<VictimOrigin> victim_origins_;
+  std::vector<std::size_t> dsl_origin_idx_;
+  std::vector<std::size_t> content_origin_idx_;
+  std::vector<std::size_t> nsp_origin_idx_;
+  std::vector<std::size_t> enterprise_origin_idx_;
+  std::vector<std::size_t> absent_origin_idx_;
+  std::vector<std::size_t> client_host_idx_;
+  std::vector<std::size_t> server_host_idx_;
+  std::vector<std::size_t> idle_host_idx_;
+  std::unique_ptr<AmplifierPool> pool_;
+  RemoteEndpoints remotes_;
+  std::vector<net::Ipv4> scan_targets_;
+  bool installed_{false};
+};
+
+}  // namespace bw::gen

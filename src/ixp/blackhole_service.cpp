@@ -1,0 +1,44 @@
+#include "ixp/blackhole_service.hpp"
+
+namespace bw::ixp {
+
+namespace {
+
+std::vector<bgp::Community> with_blackhole_communities(
+    std::vector<bgp::Community> extra) {
+  extra.push_back(bgp::kBlackhole);
+  extra.push_back(bgp::kNoExport);
+  return extra;
+}
+
+}  // namespace
+
+bgp::Update BlackholeService::make_announce(
+    util::TimeMs time, bgp::Asn sender, bgp::Asn origin,
+    const net::Prefix& prefix, std::vector<bgp::Community> extra) const {
+  bgp::Update u;
+  u.time = time;
+  u.type = bgp::UpdateType::kAnnounce;
+  u.sender_asn = sender;
+  u.origin_asn = origin;
+  u.prefix = prefix;
+  u.next_hop = next_hop_;
+  u.communities = with_blackhole_communities(std::move(extra));
+  return u;
+}
+
+bgp::Update BlackholeService::make_withdraw(
+    util::TimeMs time, bgp::Asn sender, bgp::Asn origin,
+    const net::Prefix& prefix, std::vector<bgp::Community> extra) const {
+  bgp::Update u = make_announce(time, sender, origin, prefix, std::move(extra));
+  u.type = bgp::UpdateType::kWithdraw;
+  return u;
+}
+
+void BlackholeService::add_private_blackhole(const net::Prefix& prefix,
+                                             util::TimeRange range) {
+  private_.open(prefix, range.begin);
+  private_.close(prefix, range.end);
+}
+
+}  // namespace bw::ixp

@@ -1,0 +1,60 @@
+#include "ixp/fabric.hpp"
+
+namespace bw::ixp {
+
+void Fabric::carry(const flow::TrafficBurst& burst) {
+  ++acct_.bursts;
+  acct_.true_packets += static_cast<std::uint64_t>(
+      burst.packets > 0 ? burst.packets : 0);
+
+  // Squatting-protection prefixes are *only* announced as RTBH routes: with
+  // no owner, traffic can still cross the fabric into the blackhole, but a
+  // packet that is neither owned nor blackholed never enters the IXP.
+  const flow::MemberId* victim = ownership_->match(burst.dst_ip);
+  if (victim == nullptr) ++acct_.unroutable_bursts;
+
+  const auto times = sampler_.sample_times(burst);
+  if (times.empty()) return;
+
+  const bgp::Asn handover_asn = member_asn_(burst.handover);
+  const net::Mac src_mac = macs_->mac_of(burst.handover);
+  const net::Mac victim_mac =
+      victim != nullptr ? macs_->mac_of(*victim) : net::Mac{};
+
+  // Bilateral (non route-server) blackholing only exists with peers that
+  // honour host blackhole routes in the first place — a stock-configured
+  // peer has no session to install the private route on.
+  const bool peer_supports_private =
+      rs_->policy_of(handover_asn)
+          .accepts_blackhole(net::Prefix::host(burst.dst_ip));
+
+  for (const util::TimeMs t : times) {
+    const bool rs_dropped =
+        rs_->blackholed_for_peer(handover_asn, burst.dst_ip, t);
+    const bool private_dropped = !rs_dropped && peer_supports_private &&
+                                 service_->privately_dropped(burst.dst_ip, t);
+    const bool dropped = rs_dropped || private_dropped;
+    if (victim == nullptr && !dropped) continue;
+
+    flow::FlowRecord rec;
+    rec.time = t;
+    rec.src_ip = burst.src_ip;
+    rec.dst_ip = burst.dst_ip;
+    rec.proto = burst.proto;
+    rec.src_port = burst.src_port;
+    rec.dst_port = burst.dst_port;
+    rec.src_mac = src_mac;
+    rec.dst_mac = dropped ? service_->blackhole_mac() : victim_mac;
+    rec.packets = 1;
+    rec.bytes = static_cast<std::uint64_t>(
+        burst.avg_packet_bytes > 0 ? burst.avg_packet_bytes : 1);
+
+    ++acct_.sampled_packets;
+    if (dropped) ++acct_.sampled_dropped;
+    if (private_dropped) ++acct_.sampled_dropped_private;
+
+    collector_->ingest(rec);
+  }
+}
+
+}  // namespace bw::ixp

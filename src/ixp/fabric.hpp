@@ -1,0 +1,68 @@
+// The IXP switching fabric.
+//
+// Carries traffic bursts between member ports. For every sampled packet the
+// fabric makes the forwarding decision of Figure 1: if the handover peer's
+// RIB holds an accepted RTBH route covering the destination (or a private
+// blackhole applies), the packet's destination MAC is rewritten to the
+// non-forwarding blackhole MAC and it is dropped; otherwise it egresses at
+// the port of the member that announced the covering prefix.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "bgp/route_server.hpp"
+#include "flow/collector.hpp"
+#include "flow/mac_table.hpp"
+#include "flow/sampler.hpp"
+#include "ixp/blackhole_service.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace bw::ixp {
+
+class Fabric {
+ public:
+  /// Resolves a member id to the member's ASN (provided by the platform).
+  using AsnResolver = std::function<bgp::Asn(flow::MemberId)>;
+
+  Fabric(const flow::MacTable& macs, const bgp::RouteServer& rs,
+         const BlackholeService& service,
+         const net::PrefixTrie<flow::MemberId>& ownership,
+         AsnResolver member_asn, flow::IpfixSampler sampler,
+         flow::Collector& collector)
+      : macs_(&macs),
+        rs_(&rs),
+        service_(&service),
+        ownership_(&ownership),
+        member_asn_(std::move(member_asn)),
+        sampler_(std::move(sampler)),
+        collector_(&collector) {}
+
+  /// Carry one burst across the fabric: sample it, decide forwarding per
+  /// sampled packet, and hand records to the collector.
+  void carry(const flow::TrafficBurst& burst);
+
+  /// Ground-truth byte/packet accounting (for calibration and tests only;
+  /// the analysis pipeline never reads these).
+  struct Accounting {
+    std::uint64_t bursts{0};
+    std::uint64_t true_packets{0};
+    std::uint64_t sampled_packets{0};
+    std::uint64_t sampled_dropped{0};
+    std::uint64_t sampled_dropped_private{0};
+    std::uint64_t unroutable_bursts{0};  ///< destination owned by no member
+  };
+  [[nodiscard]] const Accounting& accounting() const noexcept { return acct_; }
+
+ private:
+  const flow::MacTable* macs_;
+  const bgp::RouteServer* rs_;
+  const BlackholeService* service_;
+  const net::PrefixTrie<flow::MemberId>* ownership_;
+  AsnResolver member_asn_;
+  flow::IpfixSampler sampler_;
+  flow::Collector* collector_;
+  Accounting acct_;
+};
+
+}  // namespace bw::ixp

@@ -1,0 +1,15 @@
+#include "ixp/member.hpp"
+
+#include <sstream>
+
+namespace bw::ixp {
+
+std::string Member::to_string() const {
+  std::ostringstream os;
+  os << "member#" << id << " AS" << asn << " mac " << port_mac.to_string()
+     << " prefixes " << owned.size() << " policy "
+     << bgp::to_string(policy.blackhole);
+  return os.str();
+}
+
+}  // namespace bw::ixp

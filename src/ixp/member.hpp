@@ -1,0 +1,26 @@
+// An IXP member: an AS connected to the peering platform with a router
+// port on the switching fabric, a set of prefixes it originates or carries
+// into the IXP, and a BGP import policy towards the route server.
+#pragma once
+
+#include <vector>
+
+#include "bgp/policy.hpp"
+#include "flow/record.hpp"
+#include "net/mac.hpp"
+#include "net/prefix.hpp"
+
+namespace bw::ixp {
+
+struct Member {
+  flow::MemberId id{0};
+  bgp::Asn asn{0};
+  net::Mac port_mac;
+  /// Prefixes this member announces into the IXP (destinations it carries).
+  std::vector<net::Prefix> owned;
+  bgp::PeerPolicy policy;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace bw::ixp

@@ -1,0 +1,138 @@
+#include "ixp/platform.hpp"
+
+#include <stdexcept>
+
+namespace bw::ixp {
+
+Platform::Platform(PlatformConfig cfg)
+    : cfg_(cfg),
+      rs_(cfg.rs_asn),
+      service_(cfg.rs_asn),
+      internal_mac_(net::Mac(0x02'42'FF'00'00'01ULL)) {
+  macs_.register_internal(internal_mac_);
+}
+
+flow::MemberId Platform::add_member(bgp::Asn asn, bgp::PeerPolicy policy,
+                                    std::vector<net::Prefix> owned) {
+  if (ran_) throw std::logic_error("Platform: cannot add members after run()");
+  if (asn_to_member_.contains(asn)) {
+    throw std::invalid_argument("Platform: duplicate member ASN");
+  }
+  const auto id = static_cast<flow::MemberId>(members_.size());
+  Member m;
+  m.id = id;
+  m.asn = asn;
+  m.port_mac = net::Mac::for_member_port(id);
+  m.owned = std::move(owned);
+  m.policy = policy;
+  for (const auto& p : m.owned) ownership_.insert(p, id);
+  macs_.register_member(id, m.port_mac);
+  rs_.add_peer(asn, policy);
+  asn_to_member_[asn] = id;
+  members_.push_back(std::move(m));
+  return id;
+}
+
+void Platform::register_origin(const net::Prefix& src_prefix, bgp::Asn origin,
+                               flow::MemberId handover) {
+  origin_table_.insert(src_prefix, origin);
+  origin_handover_.emplace(origin, handover);
+}
+
+void Platform::announce_prefix(flow::MemberId member,
+                               const net::Prefix& prefix) {
+  Member& m = members_.at(member);
+  m.owned.push_back(prefix);
+  ownership_.insert(prefix, member);
+}
+
+const Member& Platform::member(flow::MemberId id) const {
+  return members_.at(id);
+}
+
+std::optional<flow::MemberId> Platform::member_by_asn(bgp::Asn asn) const {
+  const auto it = asn_to_member_.find(asn);
+  if (it == asn_to_member_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<flow::MemberId> Platform::owner_of(net::Ipv4 addr) const {
+  const flow::MemberId* id = ownership_.match(addr);
+  if (id == nullptr) return std::nullopt;
+  return *id;
+}
+
+std::optional<bgp::Asn> Platform::origin_of(net::Ipv4 addr) const {
+  const bgp::Asn* asn = origin_table_.match(addr);
+  if (asn == nullptr) return std::nullopt;
+  return *asn;
+}
+
+std::vector<std::pair<net::Prefix, bgp::Asn>> Platform::origin_prefix_table()
+    const {
+  std::vector<std::pair<net::Prefix, bgp::Asn>> out;
+  out.reserve(origin_handover_.size());
+  origin_table_.for_each([&](const net::Prefix& p, const bgp::Asn& asn) {
+    out.emplace_back(p, asn);
+  });
+  return out;
+}
+
+std::optional<flow::MemberId> Platform::handover_of(bgp::Asn origin) const {
+  const auto it = origin_handover_.find(origin);
+  if (it == origin_handover_.end()) return std::nullopt;
+  return it->second;
+}
+
+RunResult Platform::run(bgp::UpdateLog control, const TrafficSource& traffic) {
+  if (ran_) throw std::logic_error("Platform: run() already called");
+  ran_ = true;
+
+  util::Rng rng(cfg_.seed);
+
+  // --- Control plane: replay every update through the route server. ---
+  rs_.process_all(std::move(control));
+  rs_.finalize(cfg_.period.end);
+
+  // --- Data plane: carry traffic across the fabric into the collector. ---
+  flow::Collector collector(macs_, cfg_.clock, rng.fork(1));
+  flow::IpfixSampler sampler(cfg_.sampling_rate, rng.fork(2));
+  Fabric fabric(
+      macs_, rs_, service_, ownership_,
+      [this](flow::MemberId id) { return members_.at(id).asn; },
+      std::move(sampler), collector);
+
+  traffic([&fabric](const flow::TrafficBurst& b) { fabric.carry(b); });
+
+  // Inject IXP-internal monitoring flows that preprocessing must strip
+  // (Section 3.1 removes 0.01% internal records before analysis).
+  if (cfg_.internal_flow_fraction > 0.0 && !members_.empty()) {
+    const auto n = static_cast<std::uint64_t>(
+        static_cast<double>(collector.flows().size()) *
+        cfg_.internal_flow_fraction);
+    util::Rng irng = rng.fork(3);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      flow::FlowRecord rec;
+      rec.time = cfg_.period.begin +
+                 irng.uniform_int(0, cfg_.period.length() - 1);
+      rec.src_mac = internal_mac_;
+      rec.dst_mac = members_[irng.index(members_.size())].port_mac;
+      rec.src_ip = net::Ipv4(10, 0, 0, 1);
+      rec.dst_ip = net::Ipv4(10, 0, 0, 2);
+      rec.proto = net::Proto::kTcp;
+      rec.bytes = 64;
+      collector.ingest(rec);
+    }
+  }
+
+  collector.finalize();
+
+  RunResult result;
+  result.control = rs_.log();
+  result.internal_flows_removed = collector.internal_flows_removed();
+  result.accounting = fabric.accounting();
+  result.data = collector.take_flows();
+  return result;
+}
+
+}  // namespace bw::ixp

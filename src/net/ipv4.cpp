@@ -1,0 +1,36 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace bw::net {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    // Reject leading zeros like "01" (ambiguous octal-style notation).
+    if (next - p > 1 && *p == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4(value);
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+}  // namespace bw::net

@@ -1,0 +1,44 @@
+// IPv4 address value type. The paper restricts itself to IPv4 (>95% of IXP
+// traffic, >98% of RTBH events at the vantage point), and so do we.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bw::net {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+}  // namespace bw::net
+
+template <>
+struct std::hash<bw::net::Ipv4> {
+  std::size_t operator()(bw::net::Ipv4 a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

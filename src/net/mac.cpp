@@ -1,0 +1,45 @@
+#include "net/mac.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace bw::net {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Mac> Mac::parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  std::uint64_t bits = 0;
+  for (int group = 0; group < 6; ++group) {
+    const std::size_t base = static_cast<std::size_t>(group) * 3;
+    const int hi = hex_digit(text[base]);
+    const int lo = hex_digit(text[base + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    if (group < 5 && text[base + 2] != ':') return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint64_t>(hi * 16 + lo);
+  }
+  return Mac(bits);
+}
+
+std::string Mac::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((value_ >> 40) & 0xFF),
+                static_cast<unsigned>((value_ >> 32) & 0xFF),
+                static_cast<unsigned>((value_ >> 24) & 0xFF),
+                static_cast<unsigned>((value_ >> 16) & 0xFF),
+                static_cast<unsigned>((value_ >> 8) & 0xFF),
+                static_cast<unsigned>(value_ & 0xFF));
+  return buf;
+}
+
+}  // namespace bw::net

@@ -1,0 +1,51 @@
+// MAC address value type. At the IXP, sampled packets are attributed to
+// member ASes by mapping source/destination MACs to router interfaces
+// (Section 3.1); dropped traffic is identified by a unique blackhole MAC.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bw::net {
+
+class Mac {
+ public:
+  constexpr Mac() = default;
+  constexpr explicit Mac(std::uint64_t bits) : value_(bits & kMask) {}
+
+  /// Parse colon-separated hex notation "aa:bb:cc:dd:ee:ff".
+  static std::optional<Mac> parse(std::string_view text);
+
+  /// Deterministically derive the router-interface MAC of an IXP member
+  /// port. Uses a locally-administered OUI so synthetic MACs are marked.
+  static constexpr Mac for_member_port(std::uint32_t member_id) noexcept {
+    return Mac((std::uint64_t{0x02'42'00} << 24) | member_id);
+  }
+
+  /// The IXP's dedicated non-forwarding blackhole MAC (Section 3.1:
+  /// "a unique (blackhole) MAC address that does not forward data").
+  static constexpr Mac blackhole() noexcept { return Mac(0x06'66'00'00'00'66ULL); }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Mac, Mac) = default;
+
+ private:
+  static constexpr std::uint64_t kMask = 0xFFFF'FFFF'FFFFULL;
+  std::uint64_t value_{0};
+};
+
+}  // namespace bw::net
+
+template <>
+struct std::hash<bw::net::Mac> {
+  std::size_t operator()(bw::net::Mac m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.value());
+  }
+};

@@ -1,0 +1,66 @@
+#include "net/ports.hpp"
+
+#include <array>
+
+namespace bw::net {
+
+std::string_view to_string(Proto p) {
+  switch (p) {
+    case Proto::kIcmp: return "ICMP";
+    case Proto::kTcp: return "TCP";
+    case Proto::kUdp: return "UDP";
+    case Proto::kOther: return "OTHER";
+  }
+  return "UNKNOWN";
+}
+
+std::string to_string(const ProtoPort& pp) {
+  return std::string(to_string(pp.proto)) + "/" + std::to_string(pp.port);
+}
+
+namespace {
+
+// Paper Table 3 footnote. Port 0 stands in for non-initial fragments, which
+// carry no transport header and are classified as "Fragmentation" traffic.
+constexpr std::array<AmplificationProtocol, 18> kAmpProtocols{{
+    {"QOTD", 17, 140.3},
+    {"CharGEN", 19, 358.8},
+    {"DNS", 53, 54.6},
+    {"TFTP", 69, 60.0},
+    {"NTP", 123, 556.9},
+    {"NetBIOS", 138, 3.8},
+    {"SNMPv2", 161, 6.3},
+    {"cLDAP", 389, 56.9},
+    {"RIPv1", 520, 131.2},
+    {"SSDP", 1900, 30.8},
+    {"Game/3478", 3478, 4.6},
+    {"Game/3659", 3659, 10.0},
+    {"SIP", 5060, 3.8},
+    {"BitTorrent", 6881, 3.8},
+    {"Memcache", 11211, 10000.0},
+    {"Game/27005", 27005, 5.0},
+    {"Game/28960", 28960, 7.0},
+    {"Fragmentation", 0, 1.0},
+}};
+
+}  // namespace
+
+std::span<const AmplificationProtocol> amplification_protocols() {
+  return kAmpProtocols;
+}
+
+bool is_amplification_port(Port port) {
+  for (const auto& p : kAmpProtocols) {
+    if (p.udp_port == port) return true;
+  }
+  return false;
+}
+
+std::optional<std::string_view> amplification_name(Port port) {
+  for (const auto& p : kAmpProtocols) {
+    if (p.udp_port == port) return p.name;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bw::net

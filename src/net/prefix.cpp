@@ -1,0 +1,30 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+
+namespace bw::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    const auto addr = Ipv4::parse(text);
+    if (!addr) return std::nullopt;
+    return Prefix::host(*addr);
+  }
+  const auto addr = Ipv4::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  unsigned len = 0;
+  const auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() || len > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace bw::net

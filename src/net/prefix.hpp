@@ -1,0 +1,78 @@
+// IPv4 prefix (CIDR) value type. Prefix length is central to the paper's
+// acceptance analysis (Section 4.2): /24 RTBHs are widely accepted while
+// /25-/32 require explicit whitelisting and often are not.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+
+namespace bw::net {
+
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Construct from any address inside the prefix; host bits are zeroed.
+  constexpr Prefix(Ipv4 addr, std::uint8_t length)
+      : addr_(Ipv4(addr.value() & mask_bits(length))),
+        length_(length <= 32 ? length : 32) {}
+
+  /// Parse "a.b.c.d/len"; a bare address parses as a /32.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  /// Host route for a single address.
+  static constexpr Prefix host(Ipv4 addr) noexcept { return Prefix(addr, 32); }
+
+  [[nodiscard]] constexpr Ipv4 network() const noexcept { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return mask_bits(length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4 addr) const noexcept {
+    return (addr.value() & mask()) == addr_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  /// Number of addresses covered (2^(32-len)).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The i-th address inside the prefix (i taken modulo size()).
+  [[nodiscard]] constexpr Ipv4 address_at(std::uint64_t i) const noexcept {
+    return Ipv4(addr_.value() + static_cast<std::uint32_t>(i % size()));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_bits(std::uint8_t length) noexcept {
+    return length == 0 ? 0u
+                       : ~std::uint32_t{0} << (32 - (length <= 32 ? length : 32));
+  }
+
+  Ipv4 addr_{};
+  std::uint8_t length_{0};
+};
+
+}  // namespace bw::net
+
+template <>
+struct std::hash<bw::net::Prefix> {
+  std::size_t operator()(const bw::net::Prefix& p) const noexcept {
+    const std::uint64_t key =
+        (std::uint64_t{p.network().value()} << 8) | p.length();
+    return std::hash<std::uint64_t>{}(key);
+  }
+};

@@ -1,0 +1,13 @@
+#include "net/prefix_trie.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace bw::net {
+
+// Explicit instantiations for the value types the library uses, keeping the
+// template compiled (and its warnings surfaced) even in header-only usage.
+template class PrefixTrie<std::uint32_t>;
+template class PrefixTrie<std::string>;
+
+}  // namespace bw::net

@@ -1,0 +1,159 @@
+// Binary radix trie over IPv4 prefixes with longest-prefix-match lookup.
+// Used by the per-peer RIBs (best-route selection per destination) and by
+// the analysis pipeline to attribute sampled packets to blackholed prefixes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace bw::net {
+
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite the value at `prefix`. Returns true when the
+  /// prefix was newly inserted, false when an existing value was replaced.
+  bool insert(const Prefix& prefix, V value) {
+    Node* node = descend_create(prefix);
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Remove the value at exactly `prefix`. Returns true when removed.
+  bool erase(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const V* find(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return node != nullptr && node->value.has_value() ? &*node->value : nullptr;
+  }
+  [[nodiscard]] V* find(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    return node != nullptr && node->value.has_value() ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for a single address; nullptr when nothing covers
+  /// the address.
+  [[nodiscard]] const V* match(Ipv4 addr) const {
+    const Node* node = root_.get();
+    const V* best = node->value ? &*node->value : nullptr;
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node != nullptr && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Longest matching prefix (with its value) for an address.
+  [[nodiscard]] std::optional<std::pair<Prefix, V>> match_entry(Ipv4 addr) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, V>> best;
+    if (node->value) best = {Prefix(addr, 0), *node->value};
+    std::uint32_t bits = 0;
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      bits = (bits << 1) | static_cast<std::uint32_t>(bit);
+      node = node->child[bit].get();
+      if (node != nullptr && node->value) {
+        const auto len = static_cast<std::uint8_t>(depth + 1);
+        const std::uint32_t network = bits << (32 - len);
+        best = {Prefix(Ipv4(network), len), *node->value};
+      }
+    }
+    return best;
+  }
+
+  /// All (prefix, value) pairs that cover `addr`, shortest first.
+  [[nodiscard]] std::vector<std::pair<Prefix, const V*>> matches(Ipv4 addr) const {
+    std::vector<std::pair<Prefix, const V*>> out;
+    const Node* node = root_.get();
+    if (node->value) out.emplace_back(Prefix(Ipv4(0), 0), &*node->value);
+    std::uint32_t bits = 0;
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      bits = (bits << 1) | static_cast<std::uint32_t>(bit);
+      node = node->child[bit].get();
+      if (node != nullptr && node->value) {
+        const auto len = static_cast<std::uint8_t>(depth + 1);
+        out.emplace_back(Prefix(Ipv4(bits << (32 - len)), len), &*node->value);
+      }
+    }
+    return out;
+  }
+
+  /// Visit every stored (prefix, value) pair in trie (lexicographic) order.
+  void for_each(const std::function<void(const Prefix&, const V&)>& fn) const {
+    walk(root_.get(), 0, 0, fn);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* descend_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  [[nodiscard]] const Node* descend(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (int depth = 0; depth < prefix.length() && node != nullptr; ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+  [[nodiscard]] Node* descend(const Prefix& prefix) {
+    return const_cast<Node*>(std::as_const(*this).descend(prefix));
+  }
+
+  static void walk(const Node* node, std::uint32_t bits, int depth,
+                   const std::function<void(const Prefix&, const V&)>& fn) {
+    if (node == nullptr) return;
+    if (node->value) {
+      const std::uint32_t network = depth == 0 ? 0u : bits << (32 - depth);
+      fn(Prefix(Ipv4(network), static_cast<std::uint8_t>(depth)), *node->value);
+    }
+    if (depth == 32) return;
+    walk(node->child[0].get(), bits << 1, depth + 1, fn);
+    walk(node->child[1].get(), (bits << 1) | 1u, depth + 1, fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_{0};
+};
+
+}  // namespace bw::net

@@ -1,0 +1,84 @@
+#include "peeringdb/registry.hpp"
+
+#include <array>
+
+namespace bw::pdb {
+
+std::string_view to_string(OrgType t) {
+  switch (t) {
+    case OrgType::kContent: return "Content";
+    case OrgType::kCableDslIsp: return "Cable/DSL/ISP";
+    case OrgType::kNsp: return "NSP";
+    case OrgType::kEnterprise: return "Enterprise";
+    case OrgType::kEducational: return "Educational/Research";
+    case OrgType::kNonProfit: return "Non-Profit";
+    case OrgType::kRouteServer: return "Route Server";
+    case OrgType::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+std::string_view to_string(Scope s) {
+  switch (s) {
+    case Scope::kGlobal: return "Global";
+    case Scope::kEurope: return "Europe";
+    case Scope::kNorthAmerica: return "North America";
+    case Scope::kAsiaPacific: return "Asia Pacific";
+    case Scope::kRegional: return "Regional";
+    case Scope::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+void Registry::upsert(const OrgRecord& record) { records_[record.asn] = record; }
+
+std::optional<OrgRecord> Registry::find(Asn asn) const {
+  const auto it = records_.find(asn);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+OrgType Registry::type_of(Asn asn) const {
+  const auto rec = find(asn);
+  return rec ? rec->type : OrgType::kUnknown;
+}
+
+Scope Registry::scope_of(Asn asn) const {
+  const auto rec = find(asn);
+  return rec ? rec->scope : Scope::kUnknown;
+}
+
+Registry Registry::synthesize(std::span<const Asn> asns,
+                              const Marginals& m, util::Rng& rng) {
+  Registry registry;
+  const std::array<double, 7> weights{m.content,    m.cable_dsl_isp, m.nsp,
+                                      m.enterprise, m.educational,   m.non_profit,
+                                      m.absent};
+  constexpr std::array<OrgType, 6> types{
+      OrgType::kContent,    OrgType::kCableDslIsp, OrgType::kNsp,
+      OrgType::kEnterprise, OrgType::kEducational, OrgType::kNonProfit};
+  constexpr std::array<Scope, 5> scopes{Scope::kGlobal, Scope::kEurope,
+                                        Scope::kNorthAmerica,
+                                        Scope::kAsiaPacific, Scope::kRegional};
+  // NSPs lean global, access ISPs lean regional; the exact split only has to
+  // produce a plausible Fig. 8 style mix.
+  for (const Asn asn : asns) {
+    const std::size_t pick = rng.weighted_index(weights);
+    if (pick == 6) continue;  // absent from the registry
+    OrgRecord rec;
+    rec.asn = asn;
+    rec.type = types[pick];
+    if (rec.type == OrgType::kNsp) {
+      rec.scope = rng.chance(0.45) ? Scope::kGlobal
+                                   : scopes[1 + rng.index(scopes.size() - 1)];
+    } else if (rec.type == OrgType::kCableDslIsp) {
+      rec.scope = rng.chance(0.8) ? Scope::kRegional : Scope::kEurope;
+    } else {
+      rec.scope = scopes[rng.index(scopes.size())];
+    }
+    registry.upsert(rec);
+  }
+  return registry;
+}
+
+}  // namespace bw::pdb

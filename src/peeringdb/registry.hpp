@@ -1,0 +1,92 @@
+// Synthetic PeeringDB substitute.
+//
+// The paper joins its traffic-derived AS sets against PeeringDB to group
+// ASes by organisation type (Fig. 8) and to type client/server victims
+// (Table 4). PeeringDB itself is an online, user-maintained database we
+// cannot ship; this registry reproduces its *join semantics*: a partial
+// (some ASes are simply absent → "Unknown"), typed, scoped AS directory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bw::pdb {
+
+using Asn = std::uint32_t;
+
+/// PeeringDB "info_type" categories used by the paper.
+enum class OrgType : std::uint8_t {
+  kContent,
+  kCableDslIsp,
+  kNsp,           ///< network service provider (transit)
+  kEnterprise,
+  kEducational,
+  kNonProfit,
+  kRouteServer,
+  kUnknown,       ///< AS not present in the registry / type not disclosed
+};
+
+/// PeeringDB "info_scope" categories (Fig. 8 splits NSPs by scope).
+enum class Scope : std::uint8_t {
+  kGlobal,
+  kEurope,
+  kNorthAmerica,
+  kAsiaPacific,
+  kRegional,
+  kUnknown,
+};
+
+[[nodiscard]] std::string_view to_string(OrgType t);
+[[nodiscard]] std::string_view to_string(Scope s);
+
+struct OrgRecord {
+  Asn asn{0};
+  OrgType type{OrgType::kUnknown};
+  Scope scope{Scope::kUnknown};
+};
+
+class Registry {
+ public:
+  /// Insert or replace a record.
+  void upsert(const OrgRecord& record);
+
+  /// Lookup; nullopt when the AS is not listed (the paper maps these to
+  /// "Unknown" in Table 4).
+  [[nodiscard]] std::optional<OrgRecord> find(Asn asn) const;
+
+  /// Type lookup that folds missing ASes into kUnknown.
+  [[nodiscard]] OrgType type_of(Asn asn) const;
+  [[nodiscard]] Scope scope_of(Asn asn) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Marginal distribution for synthesising a realistic registry. Weights
+  /// need not sum to 1.
+  struct Marginals {
+    double content{0.12};
+    double cable_dsl_isp{0.35};
+    double nsp{0.22};
+    double enterprise{0.06};
+    double educational{0.04};
+    double non_profit{0.03};
+    /// Probability that an AS is missing from the registry entirely
+    /// (PeeringDB coverage is far from complete).
+    double absent{0.18};
+  };
+
+  /// Populate the registry with `asns`, drawing types from `marginals`.
+  /// ASes that draw "absent" are left out of the registry.
+  static Registry synthesize(std::span<const Asn> asns,
+                             const Marginals& marginals, util::Rng& rng);
+
+ private:
+  std::unordered_map<Asn, OrgRecord> records_;
+};
+
+}  // namespace bw::pdb

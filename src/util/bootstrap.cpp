@@ -1,0 +1,63 @@
+#include "util/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace bw::util {
+
+ConfidenceInterval bootstrap_ci(std::span<const double> sample,
+                                const Statistic& statistic,
+                                const BootstrapConfig& config) {
+  ConfidenceInterval ci;
+  ci.level = config.level;
+  if (sample.empty()) return ci;
+  ci.estimate = statistic(sample);
+
+  Rng rng(config.seed);
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(config.resamples);
+  for (std::size_t b = 0; b < config.resamples; ++b) {
+    for (double& v : resample) v = sample[rng.index(sample.size())];
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - config.level) / 2.0;
+  ci.lo = quantile(stats, alpha);
+  ci.hi = quantile(stats, 1.0 - alpha);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_quantile_ci(std::span<const double> sample,
+                                         double q,
+                                         const BootstrapConfig& config) {
+  return bootstrap_ci(
+      sample, [q](std::span<const double> s) { return quantile(s, q); },
+      config);
+}
+
+ConfidenceInterval bootstrap_share_ci(std::uint64_t successes, std::uint64_t n,
+                                      const BootstrapConfig& config) {
+  ConfidenceInterval ci;
+  ci.level = config.level;
+  if (n == 0) return ci;
+  const double p = static_cast<double>(successes) / static_cast<double>(n);
+  ci.estimate = p;
+  // Binomial resampling is equivalent to bootstrapping the indicator sample
+  // and avoids materialising it.
+  Rng rng(config.seed);
+  std::vector<double> stats;
+  stats.reserve(config.resamples);
+  for (std::size_t b = 0; b < config.resamples; ++b) {
+    stats.push_back(static_cast<double>(rng.binomial(
+                        static_cast<std::int64_t>(n), p)) /
+                    static_cast<double>(n));
+  }
+  const double alpha = (1.0 - config.level) / 2.0;
+  ci.lo = quantile(stats, alpha);
+  ci.hi = quantile(stats, 1.0 - alpha);
+  return ci;
+}
+
+}  // namespace bw::util

@@ -1,0 +1,48 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// The paper reports point estimates (drop-rate medians, class shares) from
+// one measurement period. For the reproduction we attach percentile-
+// bootstrap CIs so EXPERIMENTS.md comparisons distinguish real deviations
+// from sampling noise.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bw::util {
+
+struct ConfidenceInterval {
+  double estimate{0.0};
+  double lo{0.0};
+  double hi{0.0};
+  double level{0.95};
+};
+
+/// Statistic evaluated on a (re)sample.
+using Statistic = std::function<double(std::span<const double>)>;
+
+struct BootstrapConfig {
+  std::size_t resamples{1000};
+  double level{0.95};
+  std::uint64_t seed{0xb0075'74a9ULL};
+};
+
+/// Percentile bootstrap for an arbitrary statistic of an i.i.d. sample.
+/// Empty input yields a degenerate zero interval.
+[[nodiscard]] ConfidenceInterval bootstrap_ci(std::span<const double> sample,
+                                              const Statistic& statistic,
+                                              const BootstrapConfig& config = {});
+
+/// Convenience: CI for a quantile of the sample.
+[[nodiscard]] ConfidenceInterval bootstrap_quantile_ci(
+    std::span<const double> sample, double q, const BootstrapConfig& config = {});
+
+/// Convenience: CI for the proportion of successes in `n` Bernoulli trials
+/// (bootstraps the indicator sample implicitly).
+[[nodiscard]] ConfidenceInterval bootstrap_share_ci(
+    std::uint64_t successes, std::uint64_t n, const BootstrapConfig& config = {});
+
+}  // namespace bw::util

@@ -1,0 +1,30 @@
+// Minimal CSV writer so every experiment can dump its series for external
+// plotting, mirroring how the paper's figures would be regenerated.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace bw::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header line. Throws
+  /// std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a row; fields containing separators/quotes are quoted per
+  /// RFC 4180. Row width is not enforced (callers own their schema).
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t rows_{0};
+};
+
+}  // namespace bw::util

@@ -1,0 +1,37 @@
+#include "util/cusum.hpp"
+
+#include <algorithm>
+
+namespace bw::util {
+
+CusumDetector::CusumDetector(CusumConfig config)
+    : cfg_(config),
+      baseline_(EwmaConfig{.window = config.window,
+                           .threshold_sd = 1e12,  // baseline only, no alarms
+                           .min_sd = config.min_sd}) {}
+
+bool CusumDetector::push(double x) {
+  if (!baseline_.window_full()) {
+    baseline_.push(x);
+    return false;
+  }
+  const double mu = baseline_.current_average();
+  const double sd = std::max(baseline_.current_stddev(), cfg_.min_sd);
+  s_ = std::max(0.0, s_ + (x - mu - cfg_.slack_k * sd));
+
+  const bool alarm = s_ > cfg_.threshold_h * sd;
+  if (alarm) {
+    s_ = 0.0;  // restart accumulation after reporting
+  }
+  // Freeze the baseline while a potential burst is accumulating, so the
+  // anomaly does not inflate its own reference. Updates resume once calm.
+  if (s_ == 0.0 && !alarm) baseline_.push(x);
+  return alarm;
+}
+
+void CusumDetector::reset() {
+  baseline_.reset();
+  s_ = 0.0;
+}
+
+}  // namespace bw::util

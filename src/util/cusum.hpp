@@ -1,0 +1,49 @@
+// One-sided CUSUM change detector — the classic alternative to the paper's
+// EWMA thresholding, included for the detector-sensitivity ablation.
+//
+// The statistic accumulates positive deviations from a running baseline:
+//
+//   S_t = max(0, S_{t-1} + (x_t - mu_t - k * sigma_t))
+//
+// and alarms when S_t exceeds h * sigma_t. Baseline mean/SD are tracked
+// with the same exponentially-weighted window the EWMA detector uses, and
+// frozen while the statistic is non-zero so an ongoing burst does not poison
+// its own baseline.
+#pragma once
+
+#include <cstddef>
+
+#include "util/ewma.hpp"
+
+namespace bw::util {
+
+struct CusumConfig {
+  std::size_t window{288};   ///< baseline window (slots)
+  double slack_k{0.5};       ///< allowance in baseline SDs
+  double threshold_h{5.0};   ///< alarm threshold in baseline SDs
+  double min_sd{1e-9};
+};
+
+class CusumDetector {
+ public:
+  explicit CusumDetector(CusumConfig config = {});
+
+  /// Feed the next sample; returns true when the statistic crosses the
+  /// alarm threshold (the statistic resets after an alarm).
+  bool push(double x);
+
+  [[nodiscard]] double statistic() const noexcept { return s_; }
+  [[nodiscard]] bool baseline_ready() const noexcept {
+    return baseline_.window_full();
+  }
+  [[nodiscard]] const CusumConfig& config() const noexcept { return cfg_; }
+
+  void reset();
+
+ private:
+  CusumConfig cfg_;
+  EwmaDetector baseline_;
+  double s_{0.0};
+};
+
+}  // namespace bw::util

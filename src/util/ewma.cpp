@@ -1,0 +1,112 @@
+#include "util/ewma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace bw::util {
+
+EwmaDetector::EwmaDetector(EwmaConfig config) : cfg_(config) {
+  if (cfg_.window == 0) cfg_.window = 1;
+  ring_.assign(cfg_.window, 0.0);
+  weights_.resize(cfg_.window);
+  const double alpha = 2.0 / (static_cast<double>(cfg_.window) + 1.0);
+  decay_ = 1.0 - alpha;
+  double w = 1.0;
+  for (std::size_t i = 0; i < cfg_.window; ++i) {
+    weights_[i] = w;
+    w *= decay_;
+  }
+  oldest_weight_ = weights_.back() * decay_;  // (1-alpha)^window
+}
+
+void EwmaDetector::window_values(std::vector<double>& values) const {
+  values.clear();
+  values.reserve(size_);
+  // head_ points at the next write slot; the newest value sits just before it.
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t idx = (head_ + cfg_.window - 1 - i) % cfg_.window;
+    values.push_back(ring_[idx]);
+  }
+}
+
+void EwmaDetector::recompute_sums() {
+  // Exact recomputation from the ring, killing accumulated float drift.
+  std::vector<double> values;
+  window_values(values);
+  weighted_sum_ = 0.0;
+  weighted_sq_sum_ = 0.0;
+  weight_total_ = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted_sum_ += weights_[i] * values[i];
+    weighted_sq_sum_ += weights_[i] * values[i] * values[i];
+    weight_total_ += weights_[i];
+  }
+}
+
+double EwmaDetector::current_average() const {
+  return weight_total_ > 0.0 ? weighted_sum_ / weight_total_ : 0.0;
+}
+
+double EwmaDetector::current_stddev() const {
+  if (weight_total_ <= 0.0) return 0.0;
+  const double mean = weighted_sum_ / weight_total_;
+  const double var = weighted_sq_sum_ / weight_total_ - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+bool EwmaDetector::push(double x) {
+  bool anomalous = false;
+  if (window_full()) {
+    const double avg = current_average();
+    const double sd = std::max(current_stddev(), cfg_.min_sd);
+    anomalous = x > avg + cfg_.threshold_sd * sd;
+  }
+
+  // O(1) update: decay every retained weight by one step, add the new value
+  // at weight 1, and drop the value that falls out of the window.
+  const double evicted = size_ == cfg_.window ? ring_[head_] : 0.0;
+  weighted_sum_ = x + decay_ * weighted_sum_ - oldest_weight_ * evicted;
+  weighted_sq_sum_ =
+      x * x + decay_ * weighted_sq_sum_ - oldest_weight_ * evicted * evicted;
+  if (size_ < cfg_.window) {
+    // Growing phase: total weight gains the next power of the decay.
+    weight_total_ = weight_total_ * decay_ + 1.0;
+  }
+
+  ring_[head_] = x;
+  head_ = (head_ + 1) % cfg_.window;
+  size_ = std::min(size_ + 1, cfg_.window);
+  ++seen_;
+
+  if (seen_ % (cfg_.window * 4) == 0) recompute_sums();
+  return anomalous;
+}
+
+void EwmaDetector::reset() {
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  head_ = 0;
+  size_ = 0;
+  seen_ = 0;
+  weighted_sum_ = 0.0;
+  weighted_sq_sum_ = 0.0;
+  weight_total_ = 0.0;
+}
+
+EwmaSeries ewma_scan(std::span<const double> series, EwmaConfig config) {
+  EwmaDetector det(config);
+  EwmaSeries out;
+  out.average.reserve(series.size());
+  out.stddev.reserve(series.size());
+  out.anomalous.reserve(series.size());
+  for (double x : series) {
+    const bool flag = det.push(x);
+    out.anomalous.push_back(flag);
+    out.average.push_back(det.current_average());
+    out.stddev.push_back(det.current_stddev());
+  }
+  return out;
+}
+
+}  // namespace bw::util

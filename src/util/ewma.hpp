@@ -1,0 +1,73 @@
+// Exponentially Weighted Moving Average anomaly detection, exactly as
+// specified in Section 5.3 of the paper:
+//
+//   alpha = 2 / (s + 1)   with window s = 288 five-minute slots (24 h)
+//   w_i   = (1 - alpha)^i  (i = 0 is the most recent value)
+//   y_t   = sum_i w_i * x_{t-i} / sum_i w_i
+//
+// A value is anomalous when it exceeds the moving average of the *preceding*
+// window by `threshold_sd` weighted standard deviations (2.5 by default; the
+// paper reports stable results up to 10). Detection requires a full window:
+// no anomaly can fire within the first `window` samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bw::util {
+
+struct EwmaConfig {
+  std::size_t window{288};    ///< slots per window (paper: 288 x 5 min = 24 h)
+  double threshold_sd{2.5};   ///< anomaly threshold in weighted SDs
+  double min_sd{1e-9};        ///< SD floor to avoid flagging flat-line jitter
+};
+
+/// Result of running the detector over one feature series.
+struct EwmaSeries {
+  std::vector<double> average;   ///< y_t per slot (0 while window incomplete)
+  std::vector<double> stddev;    ///< weighted SD per slot
+  std::vector<bool> anomalous;   ///< x_t > y_{t-1} + threshold * sd_{t-1}
+};
+
+/// Streaming EWMA detector over a fixed-size ring of recent values.
+class EwmaDetector {
+ public:
+  explicit EwmaDetector(EwmaConfig config = {});
+
+  /// Feed the next sample; returns true when it is anomalous w.r.t. the
+  /// window *before* it (the sample is then incorporated for later calls).
+  bool push(double x);
+
+  [[nodiscard]] std::size_t samples_seen() const noexcept { return seen_; }
+  [[nodiscard]] bool window_full() const noexcept { return seen_ >= cfg_.window; }
+  /// Current weighted moving average of the retained window (0 if empty).
+  [[nodiscard]] double current_average() const;
+  [[nodiscard]] double current_stddev() const;
+  [[nodiscard]] const EwmaConfig& config() const noexcept { return cfg_; }
+
+  void reset();
+
+ private:
+  void window_values(std::vector<double>& values_newest_first) const;
+  void recompute_sums();
+
+  EwmaConfig cfg_;
+  std::vector<double> ring_;
+  std::vector<double> weights_;  ///< w_i, i = 0 newest
+  std::size_t head_{0};          ///< next write position
+  std::size_t size_{0};          ///< values currently retained
+  std::size_t seen_{0};
+  // O(1) running weighted moments (renormalised periodically for drift).
+  double decay_{1.0};
+  double oldest_weight_{0.0};
+  double weighted_sum_{0.0};
+  double weighted_sq_sum_{0.0};
+  double weight_total_{0.0};
+};
+
+/// Run the detector over a whole series (convenience for offline analysis).
+[[nodiscard]] EwmaSeries ewma_scan(std::span<const double> series,
+                                   EwmaConfig config = {});
+
+}  // namespace bw::util

@@ -1,0 +1,62 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bw::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x, double weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>((x - lo_) / width);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return bin_lo(i + 1);
+}
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ > 0.0 ? counts_.at(i) / total_ : 0.0;
+}
+
+void CategoricalHistogram::add(const std::string& key, double weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+double CategoricalHistogram::count(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it != counts_.end() ? it->second : 0.0;
+}
+
+double CategoricalHistogram::fraction(const std::string& key) const {
+  return total_ > 0.0 ? count(key) / total_ : 0.0;
+}
+
+std::vector<std::string> CategoricalHistogram::keys_by_count() const {
+  std::vector<std::string> keys;
+  keys.reserve(counts_.size());
+  for (const auto& [k, _] : counts_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end(), [this](const auto& a, const auto& b) {
+    const double ca = count(a);
+    const double cb = count(b);
+    return ca != cb ? ca > cb : a < b;
+  });
+  return keys;
+}
+
+}  // namespace bw::util

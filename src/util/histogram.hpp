@@ -1,0 +1,55 @@
+// Fixed-bin and categorical histograms used by the report generators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bw::util {
+
+/// Equal-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  /// Fraction of total weight in bin i (0 when empty).
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_{0.0};
+};
+
+/// Counter keyed by label; iteration order is sorted by key.
+class CategoricalHistogram {
+ public:
+  void add(const std::string& key, double weight = 1.0);
+
+  [[nodiscard]] double count(const std::string& key) const;
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double fraction(const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, double>& counts() const noexcept {
+    return counts_;
+  }
+  /// Keys sorted by descending count (ties broken by key).
+  [[nodiscard]] std::vector<std::string> keys_by_count() const;
+
+ private:
+  std::map<std::string, double> counts_;
+  double total_{0.0};
+};
+
+}  // namespace bw::util

@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bw::util {
+
+void StreamingStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void StreamingStats::merge(const StreamingStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values) {
+  std::vector<CdfPoint> out;
+  if (values.empty()) return out;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  out.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse duplicates: only emit the last occurrence of each value.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) continue;
+    out.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+double cdf_at(std::span<const CdfPoint> cdf, double x) {
+  double result = 0.0;
+  for (const auto& p : cdf) {
+    if (p.value <= x) {
+      result = p.cumulative_fraction;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+double weighted_mean(std::span<const double> values, std::span<const double> w) {
+  double num = 0.0;
+  double den = 0.0;
+  const std::size_t n = std::min(values.size(), w.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    num += values[i] * w[i];
+    den += w[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double weighted_stddev(std::span<const double> values, std::span<const double> w) {
+  const std::size_t n = std::min(values.size(), w.size());
+  const double mu = weighted_mean(values, w);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = values[i] - mu;
+    num += w[i] * d * d;
+    den += w[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  StreamingStats sx;
+  StreamingStats sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(x[i]);
+    sy.add(y[i]);
+  }
+  const double sdx = sx.stddev();
+  const double sdy = sy.stddev();
+  if (sdx == 0.0 || sdy == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(n);
+  return cov / (sdx * sdy);
+}
+
+}  // namespace bw::util

@@ -1,0 +1,78 @@
+// Descriptive-statistics toolkit used throughout the analysis pipeline:
+// streaming moments (Welford), quantiles, empirical CDFs, and weighted
+// mean/SD as required by the paper's EWMA anomaly detector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bw::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const StreamingStats& other) noexcept;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Quantile of a sample using linear interpolation between order statistics
+/// (type-7, the numpy/pandas default). `q` is clamped to [0, 1]. The input
+/// need not be sorted; an empty input yields 0.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Convenience median.
+[[nodiscard]] inline double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value{0.0};
+  double cumulative_fraction{0.0};  ///< P(X <= value)
+};
+
+/// Empirical CDF of a sample (sorted unique values with cumulative shares).
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::span<const double> values);
+
+/// Evaluate an empirical CDF at `x` (step interpolation).
+[[nodiscard]] double cdf_at(std::span<const CdfPoint> cdf, double x);
+
+/// Weighted mean of `values` with weights `w` (sizes must match; returns 0
+/// when total weight is 0).
+[[nodiscard]] double weighted_mean(std::span<const double> values,
+                                   std::span<const double> w);
+
+/// Weighted population standard deviation around the weighted mean.
+[[nodiscard]] double weighted_stddev(std::span<const double> values,
+                                     std::span<const double> w);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+}  // namespace bw::util

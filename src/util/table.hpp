@@ -1,0 +1,40 @@
+// Monospace text-table renderer for the experiment harnesses. Every bench
+// binary prints its paper rows/series through this so the outputs align and
+// remain diffable between runs.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bw::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  TextTable(std::initializer_list<std::string> header)
+      : TextTable(std::vector<std::string>(header)) {}
+
+  /// Append a data row; short rows are padded with empty cells, long rows
+  /// are truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule and 2-space column gaps.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by bench/report code.
+[[nodiscard]] std::string fmt_double(double v, int precision = 2);
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+[[nodiscard]] std::string fmt_count(std::int64_t v);  ///< 12,345,678 grouping
+
+}  // namespace bw::util

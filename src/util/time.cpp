@@ -1,0 +1,59 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace bw::util {
+
+std::int64_t slot_index(TimeMs t, DurationMs slot_width) noexcept {
+  if (slot_width <= 0) return 0;
+  std::int64_t q = t / slot_width;
+  if (t % slot_width != 0 && t < 0) --q;  // floor division
+  return q;
+}
+
+TimeMs slot_start(TimeMs t, DurationMs slot_width) noexcept {
+  return slot_index(t, slot_width) * slot_width;
+}
+
+std::string format_time(TimeMs t) {
+  const bool neg = t < 0;
+  TimeMs a = neg ? -t : t;
+  const std::int64_t day = a / kDay;
+  a %= kDay;
+  const std::int64_t h = a / kHour;
+  a %= kHour;
+  const std::int64_t m = a / kMinute;
+  a %= kMinute;
+  const std::int64_t s = a / kSecond;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%sday%lld %02lld:%02lld:%02lld",
+                neg ? "-" : "", static_cast<long long>(day),
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s));
+  return buf;
+}
+
+std::string format_duration(DurationMs d) {
+  const bool neg = d < 0;
+  DurationMs a = neg ? -d : d;
+  char buf[48];
+  const char* sign = neg ? "-" : "";
+  if (a >= kDay) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fd", sign,
+                  static_cast<double>(a) / static_cast<double>(kDay));
+  } else if (a >= kHour) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fh", sign,
+                  static_cast<double>(a) / static_cast<double>(kHour));
+  } else if (a >= kMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fm", sign,
+                  static_cast<double>(a) / static_cast<double>(kMinute));
+  } else if (a >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fs", sign,
+                  static_cast<double>(a) / static_cast<double>(kSecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldms", sign, static_cast<long long>(a));
+  }
+  return buf;
+}
+
+}  // namespace bw::util

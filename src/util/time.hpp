@@ -1,0 +1,75 @@
+// Time primitives shared by the control-plane and data-plane substrates.
+//
+// All timestamps in blackwatch are integral milliseconds since the (simulated)
+// measurement epoch. The paper's measurement period runs 2018-09-26 through
+// 2019-01-11 (104 days); our simulated epoch 0 corresponds to the first day
+// of measurement. Millisecond resolution comfortably covers the 10 ms NTP
+// accuracy the paper assumes (Murta et al., cited in Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bw::util {
+
+/// Milliseconds since the simulated measurement epoch.
+using TimeMs = std::int64_t;
+
+/// Signed length of a time interval, in milliseconds.
+using DurationMs = std::int64_t;
+
+inline constexpr DurationMs kMillisecond = 1;
+inline constexpr DurationMs kSecond = 1000 * kMillisecond;
+inline constexpr DurationMs kMinute = 60 * kSecond;
+inline constexpr DurationMs kHour = 60 * kMinute;
+inline constexpr DurationMs kDay = 24 * kHour;
+
+constexpr DurationMs seconds(double s) noexcept {
+  return static_cast<DurationMs>(s * static_cast<double>(kSecond));
+}
+constexpr DurationMs minutes(double m) noexcept {
+  return static_cast<DurationMs>(m * static_cast<double>(kMinute));
+}
+constexpr DurationMs hours(double h) noexcept {
+  return static_cast<DurationMs>(h * static_cast<double>(kHour));
+}
+constexpr DurationMs days(double d) noexcept {
+  return static_cast<DurationMs>(d * static_cast<double>(kDay));
+}
+
+/// A half-open time interval [begin, end).
+struct TimeRange {
+  TimeMs begin{0};
+  TimeMs end{0};
+
+  [[nodiscard]] constexpr DurationMs length() const noexcept { return end - begin; }
+  [[nodiscard]] constexpr bool contains(TimeMs t) const noexcept {
+    return t >= begin && t < end;
+  }
+  [[nodiscard]] constexpr bool overlaps(const TimeRange& other) const noexcept {
+    return begin < other.end && other.begin < end;
+  }
+  /// Intersection of two ranges; empty (length 0) range when disjoint.
+  [[nodiscard]] constexpr TimeRange clamp(const TimeRange& other) const noexcept {
+    const TimeMs b = begin > other.begin ? begin : other.begin;
+    const TimeMs e = end < other.end ? end : other.end;
+    return e > b ? TimeRange{b, e} : TimeRange{b, b};
+  }
+
+  friend constexpr bool operator==(const TimeRange&, const TimeRange&) = default;
+};
+
+/// Index of the fixed-width slot containing `t` (slots count from epoch 0;
+/// negative times map to negative slot indices, rounding toward -inf).
+[[nodiscard]] std::int64_t slot_index(TimeMs t, DurationMs slot_width) noexcept;
+
+/// Start of the slot that contains `t`.
+[[nodiscard]] TimeMs slot_start(TimeMs t, DurationMs slot_width) noexcept;
+
+/// Render a timestamp as "dayD HH:MM:SS" for human-readable reports.
+[[nodiscard]] std::string format_time(TimeMs t);
+
+/// Render a duration as e.g. "3h12m" / "45s" / "104d".
+[[nodiscard]] std::string format_duration(DurationMs d);
+
+}  // namespace bw::util

@@ -1,0 +1,123 @@
+#include "bgp/blackhole_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::bgp {
+namespace {
+
+const net::Prefix kHost = *net::Prefix::parse("10.1.2.3/32");
+const net::Ipv4 kAddr = net::Ipv4(10, 1, 2, 3);
+
+class BlackholeIndexTest : public ::testing::Test {
+ protected:
+  BlackholeIndex index_{64600};
+};
+
+TEST_F(BlackholeIndexTest, OpenCloseInterval) {
+  index_.open(kHost, 100, {kBlackhole}, 1);
+  index_.close(kHost, 200);
+  index_.finalize(1000);
+  EXPECT_TRUE(index_.announced_at(kAddr, 100));
+  EXPECT_TRUE(index_.announced_at(kAddr, 199));
+  EXPECT_FALSE(index_.announced_at(kAddr, 200));  // half-open
+  EXPECT_FALSE(index_.announced_at(kAddr, 99));
+  EXPECT_EQ(index_.prefix_count(), 1u);
+}
+
+TEST_F(BlackholeIndexTest, FinalizeClosesOpenSpans) {
+  index_.open(kHost, 100, {kBlackhole}, 1);
+  index_.finalize(500);
+  EXPECT_TRUE(index_.announced_at(kAddr, 499));
+  EXPECT_FALSE(index_.announced_at(kAddr, 500));
+}
+
+TEST_F(BlackholeIndexTest, ReAnnounceWhileOpenKeepsInterval) {
+  index_.open(kHost, 100, {kBlackhole}, 1);
+  index_.open(kHost, 150, {kBlackhole, kNoExport}, 2);
+  index_.close(kHost, 300);
+  index_.finalize(1000);
+  EXPECT_TRUE(index_.announced_at(kAddr, 120));
+  EXPECT_TRUE(index_.announced_at(kAddr, 299));
+  EXPECT_FALSE(index_.announced_at(kAddr, 300));
+}
+
+TEST_F(BlackholeIndexTest, CloseWithoutOpenIsNoop) {
+  index_.close(kHost, 100);
+  index_.finalize(1000);
+  EXPECT_FALSE(index_.announced_at(kAddr, 100));
+}
+
+TEST_F(BlackholeIndexTest, MultipleIntervalsBinarySearch) {
+  for (int i = 0; i < 50; ++i) {
+    index_.open(kHost, 1000 * i, {kBlackhole}, 1);
+    index_.close(kHost, 1000 * i + 500);
+  }
+  index_.finalize(1000000);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(index_.announced_at(kAddr, 1000 * i + 250)) << i;
+    EXPECT_FALSE(index_.announced_at(kAddr, 1000 * i + 750)) << i;
+  }
+}
+
+TEST_F(BlackholeIndexTest, CoveringPrefixMatch) {
+  const auto p24 = *net::Prefix::parse("10.1.2.0/24");
+  index_.open(p24, 0, {kBlackhole}, 1);
+  index_.finalize(1000);
+  EXPECT_TRUE(index_.announced_at(kAddr, 10));
+  EXPECT_TRUE(index_.announced_at(net::Ipv4(10, 1, 2, 200), 10));
+  EXPECT_FALSE(index_.announced_at(net::Ipv4(10, 1, 3, 1), 10));
+  EXPECT_TRUE(index_.announced_at(p24, 10));
+}
+
+TEST_F(BlackholeIndexTest, DroppedForPeerRespectsPolicy) {
+  index_.open(kHost, 0, {kBlackhole}, 1);
+  index_.finalize(1000);
+  PeerPolicy accept{.blackhole = BlackholeAcceptance::kAcceptAll};
+  PeerPolicy reject{.blackhole = BlackholeAcceptance::kClassfulOnly};
+  EXPECT_TRUE(index_.dropped_for_peer(accept, 99, kAddr, 10));
+  EXPECT_FALSE(index_.dropped_for_peer(reject, 99, kAddr, 10));
+}
+
+TEST_F(BlackholeIndexTest, SenderDoesNotReceiveOwnRoute) {
+  index_.open(kHost, 0, {kBlackhole}, 7);
+  index_.finalize(1000);
+  PeerPolicy accept{.blackhole = BlackholeAcceptance::kAcceptAll};
+  EXPECT_FALSE(index_.dropped_for_peer(accept, 7, kAddr, 10));
+  EXPECT_TRUE(index_.dropped_for_peer(accept, 8, kAddr, 10));
+}
+
+TEST_F(BlackholeIndexTest, DroppedForPeerRespectsTargeting) {
+  index_.open(kHost, 0, {kBlackhole, Community{0, 42}}, 1);
+  index_.finalize(1000);
+  PeerPolicy accept{.blackhole = BlackholeAcceptance::kAcceptAll};
+  EXPECT_FALSE(index_.dropped_for_peer(accept, 42, kAddr, 10));
+  EXPECT_TRUE(index_.dropped_for_peer(accept, 43, kAddr, 10));
+}
+
+TEST_F(BlackholeIndexTest, AnnouncedRangesCollectsCoveringSpans) {
+  const auto p24 = *net::Prefix::parse("10.1.2.0/24");
+  index_.open(kHost, 0, {kBlackhole}, 1);
+  index_.close(kHost, 100);
+  index_.open(p24, 500, {kBlackhole}, 1);
+  index_.close(p24, 600);
+  index_.finalize(1000);
+  const auto ranges = index_.announced_ranges(kAddr);
+  EXPECT_EQ(ranges.size(), 2u);
+}
+
+TEST_F(BlackholeIndexTest, ForEachVisitsClosedSpans) {
+  index_.open(kHost, 0, {kBlackhole}, 1);
+  index_.close(kHost, 50);
+  index_.open(kHost, 100, {kBlackhole}, 1);
+  index_.finalize(1000);
+  std::size_t spans = 0;
+  index_.for_each([&](const net::Prefix& p,
+                      const std::vector<BlackholeIndex::Span>& s) {
+    EXPECT_EQ(p, kHost);
+    spans += s.size();
+  });
+  EXPECT_EQ(spans, 2u);
+}
+
+}  // namespace
+}  // namespace bw::bgp

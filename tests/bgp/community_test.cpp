@@ -1,0 +1,88 @@
+#include "bgp/community.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::bgp {
+namespace {
+
+TEST(CommunityTest, WellKnownValues) {
+  EXPECT_EQ(kBlackhole.global, 65535);
+  EXPECT_EQ(kBlackhole.local, 666);  // RFC 7999
+  EXPECT_EQ(kNoExport.global, 65535);
+  EXPECT_EQ(kNoExport.local, 65281);  // RFC 1997
+}
+
+TEST(CommunityTest, ToStringAndParse) {
+  EXPECT_EQ(kBlackhole.to_string(), "65535:666");
+  EXPECT_EQ(Community::parse("65535:666"), kBlackhole);
+  EXPECT_EQ(Community::parse("0:0"), (Community{0, 0}));
+}
+
+TEST(CommunityTest, ParseInvalid) {
+  EXPECT_FALSE(Community::parse(""));
+  EXPECT_FALSE(Community::parse("65535"));
+  EXPECT_FALSE(Community::parse("65536:1"));
+  EXPECT_FALSE(Community::parse("1:65536"));
+  EXPECT_FALSE(Community::parse("a:b"));
+  EXPECT_FALSE(Community::parse("1:2:3"));
+}
+
+TEST(CommunityTest, HasCommunity) {
+  const std::vector<Community> cs{kNoExport, kBlackhole};
+  EXPECT_TRUE(has_community(cs, kBlackhole));
+  EXPECT_TRUE(has_community(cs, kNoExport));
+  EXPECT_FALSE(has_community(cs, {1, 2}));
+  EXPECT_FALSE(has_community({}, kBlackhole));
+}
+
+class TargetedTest : public ::testing::Test {
+ protected:
+  TargetedAnnouncement targeted_{64600};
+};
+
+TEST_F(TargetedTest, DefaultIsAnnounceToAll) {
+  EXPECT_TRUE(targeted_.should_announce({}, 100));
+  const std::vector<Community> only_bh{kBlackhole};
+  EXPECT_TRUE(targeted_.should_announce(only_bh, 100));
+}
+
+TEST_F(TargetedTest, ExcludeSinglePeer) {
+  const std::vector<Community> cs{{0, 100}};
+  EXPECT_FALSE(targeted_.should_announce(cs, 100));
+  EXPECT_TRUE(targeted_.should_announce(cs, 101));
+}
+
+TEST_F(TargetedTest, AnnounceToNone) {
+  const std::vector<Community> cs{{0, 64600}};
+  EXPECT_FALSE(targeted_.should_announce(cs, 100));
+  EXPECT_FALSE(targeted_.should_announce(cs, 101));
+}
+
+TEST_F(TargetedTest, RestrictToSubset) {
+  const auto cs = targeted_.restrict_to(std::vector<std::uint16_t>{100, 200});
+  EXPECT_TRUE(targeted_.should_announce(cs, 100));
+  EXPECT_TRUE(targeted_.should_announce(cs, 200));
+  EXPECT_FALSE(targeted_.should_announce(cs, 300));
+}
+
+TEST_F(TargetedTest, AnnounceToAllCommunity) {
+  const std::vector<Community> cs{{64600, 64600}};
+  EXPECT_TRUE(targeted_.should_announce(cs, 100));
+}
+
+TEST_F(TargetedTest, ExclusionBeatsPositiveAction) {
+  std::vector<Community> cs =
+      targeted_.restrict_to(std::vector<std::uint16_t>{100});
+  cs.push_back({0, 100});
+  EXPECT_FALSE(targeted_.should_announce(cs, 100));
+}
+
+TEST_F(TargetedTest, ExcludeBuilder) {
+  const auto cs = targeted_.exclude(std::vector<std::uint16_t>{7, 8});
+  EXPECT_FALSE(targeted_.should_announce(cs, 7));
+  EXPECT_FALSE(targeted_.should_announce(cs, 8));
+  EXPECT_TRUE(targeted_.should_announce(cs, 9));
+}
+
+}  // namespace
+}  // namespace bw::bgp

@@ -1,0 +1,71 @@
+#include "bgp/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::bgp {
+namespace {
+
+TEST(MessageTest, BlackholeDetection) {
+  Update u;
+  EXPECT_FALSE(u.is_blackhole());
+  u.communities.push_back(kNoExport);
+  EXPECT_FALSE(u.is_blackhole());
+  u.communities.push_back(kBlackhole);
+  EXPECT_TRUE(u.is_blackhole());
+}
+
+TEST(MessageTest, ToStringMentionsEssentials) {
+  Update u;
+  u.time = util::kHour;
+  u.type = UpdateType::kAnnounce;
+  u.sender_asn = 64500;
+  u.origin_asn = 64501;
+  u.prefix = *net::Prefix::parse("10.0.0.1/32");
+  u.communities.push_back(kBlackhole);
+  const std::string s = u.to_string();
+  EXPECT_NE(s.find("ANNOUNCE"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.1/32"), std::string::npos);
+  EXPECT_NE(s.find("64500"), std::string::npos);
+  EXPECT_NE(s.find("BLACKHOLE"), std::string::npos);
+}
+
+TEST(MessageTest, SortByTime) {
+  UpdateLog log(3);
+  log[0].time = 300;
+  log[1].time = 100;
+  log[2].time = 200;
+  sort_updates(log);
+  EXPECT_EQ(log[0].time, 100);
+  EXPECT_EQ(log[1].time, 200);
+  EXPECT_EQ(log[2].time, 300);
+}
+
+TEST(MessageTest, WithdrawBeforeAnnounceAtSameInstant) {
+  UpdateLog log(2);
+  log[0].time = 100;
+  log[0].type = UpdateType::kAnnounce;
+  log[1].time = 100;
+  log[1].type = UpdateType::kWithdraw;
+  sort_updates(log);
+  EXPECT_EQ(log[0].type, UpdateType::kWithdraw);
+  EXPECT_EQ(log[1].type, UpdateType::kAnnounce);
+}
+
+TEST(MessageTest, SortIsStableForEqualKeys) {
+  UpdateLog log(2);
+  log[0].time = 100;
+  log[0].sender_asn = 1;
+  log[1].time = 100;
+  log[1].sender_asn = 2;
+  sort_updates(log);
+  EXPECT_EQ(log[0].sender_asn, 1u);
+  EXPECT_EQ(log[1].sender_asn, 2u);
+}
+
+TEST(MessageTest, TypeNames) {
+  EXPECT_EQ(to_string(UpdateType::kAnnounce), "ANNOUNCE");
+  EXPECT_EQ(to_string(UpdateType::kWithdraw), "WITHDRAW");
+}
+
+}  // namespace
+}  // namespace bw::bgp

@@ -1,0 +1,115 @@
+#include "bgp/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/route.hpp"
+
+namespace bw::bgp {
+namespace {
+
+Route blackhole_route(const char* prefix) {
+  Route r;
+  r.prefix = *net::Prefix::parse(prefix);
+  r.communities = {kBlackhole, kNoExport};
+  return r;
+}
+
+Route regular_route(const char* prefix) {
+  Route r;
+  r.prefix = *net::Prefix::parse(prefix);
+  return r;
+}
+
+TEST(PolicyTest, RegularRouteLengthFilter) {
+  PeerPolicy p;
+  EXPECT_TRUE(p.accepts(regular_route("10.0.0.0/8")));
+  EXPECT_TRUE(p.accepts(regular_route("10.0.0.0/24")));
+  EXPECT_FALSE(p.accepts(regular_route("10.0.0.0/25")));
+  EXPECT_FALSE(p.accepts(regular_route("10.0.0.1/32")));
+}
+
+TEST(PolicyTest, RejectAll) {
+  PeerPolicy p{.blackhole = BlackholeAcceptance::kRejectAll};
+  EXPECT_FALSE(p.accepts(blackhole_route("10.0.0.0/24")));
+  EXPECT_FALSE(p.accepts(blackhole_route("10.0.0.1/32")));
+  // Regular routes still pass.
+  EXPECT_TRUE(p.accepts(regular_route("10.0.0.0/24")));
+}
+
+TEST(PolicyTest, ClassfulOnly) {
+  PeerPolicy p{.blackhole = BlackholeAcceptance::kClassfulOnly};
+  EXPECT_TRUE(p.accepts(blackhole_route("10.0.0.0/22")));
+  EXPECT_TRUE(p.accepts(blackhole_route("10.0.0.0/24")));
+  EXPECT_FALSE(p.accepts(blackhole_route("10.0.0.0/25")));
+  EXPECT_FALSE(p.accepts(blackhole_route("10.0.0.1/32")));
+}
+
+TEST(PolicyTest, WhitelistHostAcceptsHostButNotMidLengths) {
+  // The Section 7.1 pathology: operators whitelist /32 but forget /25-/31.
+  PeerPolicy p{.blackhole = BlackholeAcceptance::kWhitelistHost};
+  EXPECT_TRUE(p.accepts(blackhole_route("10.0.0.0/24")));
+  EXPECT_TRUE(p.accepts(blackhole_route("10.0.0.1/32")));
+  for (int len = 25; len <= 31; ++len) {
+    const std::string s = "10.0.0.0/" + std::to_string(len);
+    EXPECT_FALSE(p.accepts_blackhole(*net::Prefix::parse(s))) << s;
+  }
+}
+
+TEST(PolicyTest, AcceptAll) {
+  PeerPolicy p{.blackhole = BlackholeAcceptance::kAcceptAll};
+  for (int len = 8; len <= 32; ++len) {
+    const std::string s = "10.0.0.0/" + std::to_string(len);
+    EXPECT_TRUE(p.accepts_blackhole(*net::Prefix::parse(s))) << s;
+  }
+}
+
+TEST(PolicyTest, InconsistentIsDeterministicPerPrefix) {
+  PeerPolicy p{.blackhole = BlackholeAcceptance::kInconsistent,
+               .inconsistent_accept_fraction = 0.5,
+               .salt = 1234};
+  const auto prefix = *net::Prefix::parse("10.1.2.3/32");
+  const bool first = p.accepts_blackhole(prefix);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.accepts_blackhole(prefix), first);
+  }
+  // Short prefixes always pass (stock filters).
+  EXPECT_TRUE(p.accepts_blackhole(*net::Prefix::parse("10.0.0.0/24")));
+}
+
+TEST(PolicyTest, InconsistentFractionApproximatelyHolds) {
+  PeerPolicy p{.blackhole = BlackholeAcceptance::kInconsistent,
+               .inconsistent_accept_fraction = 0.3,
+               .salt = 99};
+  int accepted = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const net::Prefix prefix(net::Ipv4(static_cast<std::uint32_t>(i * 7919)), 32);
+    if (p.accepts_blackhole(prefix)) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / n, 0.3, 0.02);
+}
+
+TEST(PolicyTest, InconsistentSaltChangesSubset) {
+  PeerPolicy a{.blackhole = BlackholeAcceptance::kInconsistent,
+               .inconsistent_accept_fraction = 0.5,
+               .salt = 1};
+  PeerPolicy b = a;
+  b.salt = 2;
+  int differ = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const net::Prefix prefix(net::Ipv4(static_cast<std::uint32_t>(i * 7919)), 32);
+    if (a.accepts_blackhole(prefix) != b.accepts_blackhole(prefix)) ++differ;
+  }
+  EXPECT_GT(differ, 300);
+}
+
+TEST(PolicyTest, Names) {
+  EXPECT_EQ(to_string(BlackholeAcceptance::kRejectAll), "reject-all");
+  EXPECT_EQ(to_string(BlackholeAcceptance::kAcceptAll), "accept-all");
+  EXPECT_EQ(to_string(BlackholeAcceptance::kWhitelistHost), "whitelist-host");
+  EXPECT_EQ(to_string(BlackholeAcceptance::kClassfulOnly), "classful-only");
+  EXPECT_EQ(to_string(BlackholeAcceptance::kInconsistent), "inconsistent");
+}
+
+}  // namespace
+}  // namespace bw::bgp

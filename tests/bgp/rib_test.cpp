@@ -1,0 +1,90 @@
+#include "bgp/rib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::bgp {
+namespace {
+
+const net::Prefix kHost = *net::Prefix::parse("10.1.2.3/32");
+const net::Ipv4 kAddr = net::Ipv4(10, 1, 2, 3);
+
+Route blackhole_route(const net::Prefix& p) {
+  Route r;
+  r.prefix = p;
+  r.communities = {kBlackhole};
+  return r;
+}
+
+TEST(BlackholeHistoryTest, OpenCloseQuery) {
+  BlackholeHistory h;
+  h.open(kHost, 100);
+  h.close(kHost, 200);
+  h.finalize(1000);
+  EXPECT_TRUE(h.active_at(kAddr, 150));
+  EXPECT_FALSE(h.active_at(kAddr, 250));
+  EXPECT_FALSE(h.active_at(kAddr, 50));
+}
+
+TEST(BlackholeHistoryTest, OpenIntervalQueryableBeforeFinalize) {
+  BlackholeHistory h;
+  h.open(kHost, 100);
+  EXPECT_TRUE(h.active_at(kAddr, 500));
+  EXPECT_FALSE(h.active_at(kAddr, 50));
+}
+
+TEST(BlackholeHistoryTest, IdempotentOpen) {
+  BlackholeHistory h;
+  h.open(kHost, 100);
+  h.open(kHost, 150);  // ignored, already open
+  h.close(kHost, 200);
+  h.finalize(1000);
+  const auto ivals = h.intervals(kHost);
+  ASSERT_EQ(ivals.size(), 1u);
+  EXPECT_EQ(ivals[0].begin, 100);
+  EXPECT_EQ(ivals[0].end, 200);
+}
+
+TEST(BlackholeHistoryTest, CoveringPrefixReturnsLongest) {
+  BlackholeHistory h;
+  h.open(*net::Prefix::parse("10.1.0.0/16"), 0);
+  h.open(kHost, 0);
+  h.finalize(100);
+  const auto covering = h.covering_prefix(kAddr, 50);
+  ASSERT_TRUE(covering);
+  EXPECT_EQ(covering->length(), 32);
+  const auto other = h.covering_prefix(net::Ipv4(10, 1, 9, 9), 50);
+  ASSERT_TRUE(other);
+  EXPECT_EQ(other->length(), 16);
+}
+
+TEST(RibTest, OfferAppliesPolicy) {
+  Rib accept(1, {.blackhole = BlackholeAcceptance::kAcceptAll});
+  Rib reject(2, {.blackhole = BlackholeAcceptance::kClassfulOnly});
+  EXPECT_TRUE(accept.offer(blackhole_route(kHost), 100));
+  EXPECT_FALSE(reject.offer(blackhole_route(kHost), 100));
+  EXPECT_TRUE(accept.blackholed(kAddr, 150));
+  EXPECT_FALSE(reject.blackholed(kAddr, 150));
+  EXPECT_EQ(accept.offered(), 1u);
+  EXPECT_EQ(accept.accepted(), 1u);
+  EXPECT_EQ(reject.accepted(), 0u);
+}
+
+TEST(RibTest, WithdrawStopsBlackholing) {
+  Rib rib(1, {.blackhole = BlackholeAcceptance::kAcceptAll});
+  rib.offer(blackhole_route(kHost), 100);
+  rib.withdraw(kHost, /*was_blackhole=*/true, 200);
+  rib.finalize(1000);
+  EXPECT_TRUE(rib.blackholed(kAddr, 150));
+  EXPECT_FALSE(rib.blackholed(kAddr, 250));
+}
+
+TEST(RibTest, RegularRoutesDoNotBlackhole) {
+  Rib rib(1, {.blackhole = BlackholeAcceptance::kAcceptAll});
+  Route regular;
+  regular.prefix = *net::Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(rib.offer(regular, 100));
+  EXPECT_FALSE(rib.blackholed(net::Ipv4(10, 1, 0, 1), 150));
+}
+
+}  // namespace
+}  // namespace bw::bgp

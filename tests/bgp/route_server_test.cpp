@@ -1,0 +1,126 @@
+#include "bgp/route_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::bgp {
+namespace {
+
+const net::Prefix kHost = *net::Prefix::parse("10.1.2.3/32");
+const net::Ipv4 kAddr = net::Ipv4(10, 1, 2, 3);
+
+Update blackhole_update(util::TimeMs t, UpdateType type, Asn sender,
+                        std::vector<Community> extra = {}) {
+  Update u;
+  u.time = t;
+  u.type = type;
+  u.sender_asn = sender;
+  u.origin_asn = sender;
+  u.prefix = kHost;
+  u.next_hop = net::Ipv4(10, 66, 6, 6);
+  u.communities = std::move(extra);
+  u.communities.push_back(kBlackhole);
+  return u;
+}
+
+class RouteServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rs_.add_peer(100, {.blackhole = BlackholeAcceptance::kAcceptAll});
+    rs_.add_peer(200, {.blackhole = BlackholeAcceptance::kClassfulOnly});
+    rs_.add_peer(300, {.blackhole = BlackholeAcceptance::kWhitelistHost});
+  }
+  RouteServer rs_{64600};
+};
+
+TEST_F(RouteServerTest, RejectsDuplicatePeer) {
+  EXPECT_THROW(rs_.add_peer(100, {}), std::invalid_argument);
+}
+
+TEST_F(RouteServerTest, LogsEverything) {
+  rs_.process(blackhole_update(10, UpdateType::kAnnounce, 100));
+  rs_.process(blackhole_update(20, UpdateType::kWithdraw, 100));
+  EXPECT_EQ(rs_.log().size(), 2u);
+}
+
+TEST_F(RouteServerTest, PerPeerForwardingDecision) {
+  rs_.process(blackhole_update(10, UpdateType::kAnnounce, 100));
+  rs_.finalize(1000);
+  // Sender never receives its own route back.
+  EXPECT_FALSE(rs_.blackholed_for_peer(100, kAddr, 50));
+  // /32 rejected by classful-only.
+  EXPECT_FALSE(rs_.blackholed_for_peer(200, kAddr, 50));
+  // Whitelisted /32 accepted.
+  EXPECT_TRUE(rs_.blackholed_for_peer(300, kAddr, 50));
+}
+
+TEST_F(RouteServerTest, WithdrawEndsBlackholing) {
+  rs_.process(blackhole_update(10, UpdateType::kAnnounce, 100));
+  rs_.process(blackhole_update(20, UpdateType::kWithdraw, 100));
+  rs_.finalize(1000);
+  EXPECT_TRUE(rs_.blackholed_for_peer(300, kAddr, 15));
+  EXPECT_FALSE(rs_.blackholed_for_peer(300, kAddr, 25));
+}
+
+TEST_F(RouteServerTest, TargetedAnnouncementHonoured) {
+  rs_.process(blackhole_update(10, UpdateType::kAnnounce, 100,
+                               {Community{0, 300}}));
+  rs_.finalize(1000);
+  EXPECT_FALSE(rs_.blackholed_for_peer(300, kAddr, 50));  // excluded
+}
+
+TEST_F(RouteServerTest, ProcessAllSortsUpdates) {
+  UpdateLog log;
+  log.push_back(blackhole_update(20, UpdateType::kWithdraw, 100));
+  log.push_back(blackhole_update(10, UpdateType::kAnnounce, 100));
+  rs_.process_all(std::move(log));
+  rs_.finalize(1000);
+  EXPECT_TRUE(rs_.blackholed_for_peer(300, kAddr, 15));
+  EXPECT_FALSE(rs_.blackholed_for_peer(300, kAddr, 25));
+}
+
+TEST_F(RouteServerTest, UnknownPeerThrows) {
+  EXPECT_THROW((void)rs_.blackholed_for_peer(999, kAddr, 0),
+               std::out_of_range);
+  EXPECT_THROW((void)rs_.policy_of(999), std::out_of_range);
+}
+
+TEST_F(RouteServerTest, RibsNotMaterialisedByDefault) {
+  EXPECT_THROW((void)rs_.rib(100), std::logic_error);
+}
+
+TEST_F(RouteServerTest, PeerAsnsListed) {
+  const auto asns = rs_.peer_asns();
+  EXPECT_EQ(asns.size(), 3u);
+  EXPECT_EQ(rs_.peer_count(), 3u);
+}
+
+TEST(RouteServerMaterializedTest, RibDecisionsMatchIndexDecisions) {
+  // The materialised per-peer RIB path and the stateless index path must
+  // agree — this is the equivalence the fast path relies on.
+  RouteServer with_ribs(64600, /*materialize_ribs=*/true);
+  RouteServer without(64600, /*materialize_ribs=*/false);
+  for (RouteServer* rs : {&with_ribs, &without}) {
+    rs->add_peer(100, {.blackhole = BlackholeAcceptance::kAcceptAll});
+    rs->add_peer(200, {.blackhole = BlackholeAcceptance::kClassfulOnly});
+    rs->add_peer(300, {.blackhole = BlackholeAcceptance::kWhitelistHost,
+                       .salt = 7});
+  }
+  UpdateLog log;
+  log.push_back(blackhole_update(10, UpdateType::kAnnounce, 100));
+  log.push_back(blackhole_update(500, UpdateType::kWithdraw, 100));
+  log.push_back(blackhole_update(900, UpdateType::kAnnounce, 200));
+  for (RouteServer* rs : {&with_ribs, &without}) {
+    rs->process_all(log);
+    rs->finalize(2000);
+  }
+  for (const Asn peer : {100u, 200u, 300u}) {
+    for (const util::TimeMs t : {0, 50, 600, 950, 1999}) {
+      EXPECT_EQ(with_ribs.rib(peer).blackholed(kAddr, t),
+                without.blackholed_for_peer(peer, kAddr, t))
+          << "peer " << peer << " t " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bw::bgp

@@ -1,0 +1,140 @@
+#include "bgp/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ixp/blackhole_service.hpp"
+#include "util/rng.hpp"
+
+namespace bw::bgp::wire {
+namespace {
+
+Update sample_announce() {
+  Update u;
+  u.time = 123456789;
+  u.type = UpdateType::kAnnounce;
+  u.sender_asn = 64500;
+  u.origin_asn = 210001;
+  u.prefix = *net::Prefix::parse("10.1.2.3/32");
+  u.next_hop = net::Ipv4(10, 66, 6, 6);
+  u.communities = {kBlackhole, kNoExport, Community{64600, 777}};
+  return u;
+}
+
+void expect_equal_sans_time(const Update& a, const Update& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.sender_asn, b.sender_asn);
+  EXPECT_EQ(a.origin_asn, b.origin_asn);
+  EXPECT_EQ(a.prefix, b.prefix);
+  if (a.type == UpdateType::kAnnounce) {
+    EXPECT_EQ(a.next_hop, b.next_hop);
+  }
+  EXPECT_EQ(a.communities, b.communities);
+}
+
+TEST(WireTest, AnnounceRoundTrip) {
+  const Update u = sample_announce();
+  const auto bytes = encode_update(u);
+  ASSERT_GE(bytes.size(), 19u);
+  // Header: marker + length + type.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(bytes[static_cast<std::size_t>(i)], 0xFF);
+  EXPECT_EQ((bytes[16] << 8) | bytes[17], static_cast<int>(bytes.size()));
+  EXPECT_EQ(bytes[18], 2);  // UPDATE
+
+  const auto decoded = decode_update(bytes);
+  ASSERT_TRUE(decoded);
+  expect_equal_sans_time(u, *decoded);
+  EXPECT_TRUE(decoded->is_blackhole());
+}
+
+TEST(WireTest, WithdrawRoundTrip) {
+  Update u = sample_announce();
+  u.type = UpdateType::kWithdraw;
+  const auto decoded = decode_update(encode_update(u));
+  ASSERT_TRUE(decoded);
+  expect_equal_sans_time(u, *decoded);
+}
+
+TEST(WireTest, SenderEqualsOriginPath) {
+  Update u = sample_announce();
+  u.origin_asn = u.sender_asn;  // single-AS path
+  const auto decoded = decode_update(encode_update(u));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->sender_asn, u.sender_asn);
+  EXPECT_EQ(decoded->origin_asn, u.sender_asn);
+}
+
+TEST(WireTest, VariousPrefixLengths) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/15",
+                           "10.1.0.0/16", "10.1.2.0/23", "10.1.2.0/24",
+                           "10.1.2.128/25", "10.1.2.3/32"}) {
+    Update u = sample_announce();
+    u.prefix = *net::Prefix::parse(text);
+    const auto decoded = decode_update(encode_update(u));
+    ASSERT_TRUE(decoded) << text;
+    EXPECT_EQ(decoded->prefix, u.prefix) << text;
+  }
+}
+
+TEST(WireTest, NoCommunities) {
+  Update u = sample_announce();
+  u.communities.clear();
+  const auto decoded = decode_update(encode_update(u));
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->communities.empty());
+  EXPECT_FALSE(decoded->is_blackhole());
+}
+
+TEST(WireTest, RejectsGarbage) {
+  EXPECT_FALSE(decode_update({}));
+  std::vector<std::uint8_t> junk(25, 0x00);
+  EXPECT_FALSE(decode_update(junk));  // bad marker
+  auto bytes = encode_update(sample_announce());
+  bytes[17] ^= 0xFF;  // corrupt length
+  EXPECT_FALSE(decode_update(bytes));
+  auto truncated = encode_update(sample_announce());
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(decode_update(truncated));
+}
+
+TEST(WireTest, RejectsOversize) {
+  std::vector<std::uint8_t> big(kMaxMessageSize + 1, 0xFF);
+  EXPECT_FALSE(decode_update(big));
+}
+
+TEST(WireTest, StreamRoundTripWithTimestamps) {
+  ixp::BlackholeService svc(64600);
+  util::Rng rng(1);
+  UpdateLog log;
+  for (int i = 0; i < 200; ++i) {
+    const net::Prefix p(
+        net::Ipv4(0x18000000u + static_cast<std::uint32_t>(i)), 32);
+    const util::TimeMs t = rng.uniform_int(0, util::days(104));
+    if (rng.chance(0.5)) {
+      log.push_back(svc.make_announce(t, 100 + static_cast<Asn>(i % 7),
+                                      50000, p));
+    } else {
+      log.push_back(svc.make_withdraw(t, 100 + static_cast<Asn>(i % 7),
+                                      50000, p));
+    }
+  }
+  const auto bytes = encode_stream(log);
+  const auto decoded = decode_stream(bytes);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].time, log[i].time) << i;
+    expect_equal_sans_time(log[i], (*decoded)[i]);
+  }
+}
+
+TEST(WireTest, StreamRejectsTruncation) {
+  const auto bytes = encode_stream({sample_announce()});
+  for (const std::size_t cut : {1u, 8u, 20u}) {
+    const auto truncated =
+        std::span<const std::uint8_t>(bytes).subspan(0, bytes.size() - cut);
+    EXPECT_FALSE(decode_stream(truncated)) << "cut " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace bw::bgp::wire

@@ -1,0 +1,132 @@
+#include "core/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+class ClassifyTest : public ::testing::Test {
+ protected:
+  ClassifyTest() : world_({0, util::days(100)}, 0) {}
+
+  Dataset make_dataset() {
+    bgp::UpdateLog control;
+    std::vector<flow::TrafficBurst> bursts;
+    auto& svc = world_.platform->service();
+
+    // (a) Infrastructure protection: attack then short RTBH on day 50.
+    const net::Ipv4 attacked(24, 0, 0, 1);
+    const util::TimeMs t0 = util::days(50);
+    control.push_back(svc.make_announce(t0, World::kVictimAsn, 50000,
+                                        net::Prefix::host(attacked)));
+    control.push_back(svc.make_withdraw(t0 + 2 * util::kHour,
+                                        World::kVictimAsn, 50000,
+                                        net::Prefix::host(attacked)));
+    for (int a = 0; a < 15; ++a) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 0, 1, static_cast<std::uint8_t>(a)), attacked,
+          net::Proto::kUdp, 123, static_cast<net::Port>(30000 + a),
+          {t0 - 9 * util::kMinute, t0 + util::kHour}, 5000, world_.acceptor));
+    }
+
+    // (b) Squatting candidate: /22, announced day 2, never withdrawn.
+    control.push_back(svc.make_announce(util::days(2), World::kVictimAsn,
+                                        51000,
+                                        *net::Prefix::parse("28.0.0.0/22")));
+
+    // (c) Zombie candidate: /32, announced day 10, never withdrawn, silent.
+    const net::Ipv4 zombie(24, 0, 0, 3);
+    control.push_back(svc.make_announce(util::days(10), World::kVictimAsn,
+                                        50000, net::Prefix::host(zombie)));
+
+    // (d) Other: /32 RTBH for a steady host, mid duration, no anomaly.
+    const net::Ipv4 steady(24, 0, 0, 4);
+    control.push_back(svc.make_announce(util::days(60), World::kVictimAsn,
+                                        50000, net::Prefix::host(steady)));
+    control.push_back(svc.make_withdraw(util::days(61), World::kVictimAsn,
+                                        50000, net::Prefix::host(steady)));
+    for (int day = 40; day < 59; ++day) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(16, 0, 0, 5), steady, net::Proto::kTcp, 55555, 443,
+          {day * util::kDay, day * util::kDay + util::kHour}, 200,
+          world_.acceptor));
+    }
+    return world_.run(std::move(control), bursts);
+  }
+
+  World world_;
+};
+
+TEST_F(ClassifyTest, AssignsAllFourClasses) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  ASSERT_EQ(events.size(), 4u);
+  const auto pre = compute_pre_rtbh(dataset, events);
+  const auto report = classify_events(dataset, events, pre);
+
+  EXPECT_EQ(report.total(), 4u);
+  EXPECT_EQ(report.infrastructure, 1u);
+  EXPECT_EQ(report.squatting, 1u);
+  EXPECT_EQ(report.squatting_prefixes, 1u);
+  EXPECT_EQ(report.squatting_origin_as, 1u);
+  EXPECT_EQ(report.zombies, 1u);
+  EXPECT_EQ(report.other, 1u);
+
+  for (const auto& ce : report.events) {
+    const auto& ev = events[ce.event_index];
+    switch (ce.cls) {
+      case EventClass::kInfrastructureProtection:
+        EXPECT_EQ(ev.prefix.network(), net::Ipv4(24, 0, 0, 1));
+        EXPECT_GT(ce.sampled_packets, 0u);
+        break;
+      case EventClass::kSquattingCandidate:
+        EXPECT_EQ(ev.prefix.length(), 22);
+        EXPECT_GT(ce.duration, 90 * util::kDay);
+        break;
+      case EventClass::kZombieCandidate:
+        EXPECT_EQ(ev.prefix.network(), net::Ipv4(24, 0, 0, 3));
+        EXPECT_LT(ce.sampled_packets, 10u);
+        break;
+      case EventClass::kOther:
+        EXPECT_EQ(ev.prefix.network(), net::Ipv4(24, 0, 0, 4));
+        break;
+    }
+  }
+}
+
+TEST_F(ClassifyTest, LowTrafficOtherTracked) {
+  // A short-lived /32 event with no traffic lands in "other" with the
+  // low-traffic flag (the paper's 13% tail).
+  bgp::UpdateLog control;
+  auto& svc = world_.platform->service();
+  const net::Ipv4 quiet(24, 0, 0, 9);
+  control.push_back(svc.make_announce(util::days(50), World::kVictimAsn, 50000,
+                                      net::Prefix::host(quiet)));
+  control.push_back(svc.make_withdraw(util::days(50) + 6 * util::kHour,
+                                      World::kVictimAsn, 50000,
+                                      net::Prefix::host(quiet)));
+  const Dataset dataset = world_.run(std::move(control), {});
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto pre = compute_pre_rtbh(dataset, events);
+  const auto report = classify_events(dataset, events, pre);
+  EXPECT_EQ(report.other, 1u);
+  EXPECT_EQ(report.other_len32_low_traffic, 1u);
+  EXPECT_EQ(report.zombies, 0u) << "not active until period end";
+}
+
+TEST(ClassifyNamesTest, Strings) {
+  EXPECT_EQ(to_string(EventClass::kInfrastructureProtection),
+            "infrastructure-protection");
+  EXPECT_EQ(to_string(EventClass::kSquattingCandidate), "squatting-candidate");
+  EXPECT_EQ(to_string(EventClass::kZombieCandidate), "zombie-candidate");
+  EXPECT_EQ(to_string(EventClass::kOther), "other");
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -1,0 +1,75 @@
+// Shared fixture for core-analysis tests: a tiny, fully controlled IXP
+// world with 1:1 sampling and no clock noise, so expected values are exact.
+#pragma once
+
+#include <memory>
+
+#include "core/dataset.hpp"
+#include "gen/scenario.hpp"
+#include "ixp/platform.hpp"
+
+namespace bw::core::testutil {
+
+struct World {
+  static constexpr bgp::Asn kVictimAsn = 100;
+  static constexpr bgp::Asn kAcceptorAsn = 200;
+  static constexpr bgp::Asn kRejectorAsn = 300;
+
+  explicit World(util::TimeRange period = {0, util::days(7)},
+                 util::DurationMs clock_offset = 0) {
+    ixp::PlatformConfig cfg;
+    cfg.period = period;
+    cfg.sampling_rate = 1;
+    cfg.clock.offset_ms = clock_offset;
+    cfg.clock.jitter_sd_ms = 0.0;
+    cfg.internal_flow_fraction = 0.0;
+    platform = std::make_unique<ixp::Platform>(cfg);
+    victim_member = platform->add_member(
+        kVictimAsn, {.blackhole = bgp::BlackholeAcceptance::kAcceptAll},
+        {*net::Prefix::parse("24.0.0.0/16")});
+    acceptor = platform->add_member(
+        kAcceptorAsn, {.blackhole = bgp::BlackholeAcceptance::kAcceptAll},
+        {*net::Prefix::parse("16.0.0.0/16")});
+    rejector = platform->add_member(
+        kRejectorAsn, {.blackhole = bgp::BlackholeAcceptance::kClassfulOnly},
+        {*net::Prefix::parse("16.1.0.0/16")});
+    // Amplifier origin space behind the acceptor and rejector members.
+    platform->register_origin(*net::Prefix::parse("64.0.0.0/16"), 210000,
+                              acceptor);
+    platform->register_origin(*net::Prefix::parse("64.1.0.0/16"), 210001,
+                              rejector);
+  }
+
+  flow::TrafficBurst burst(net::Ipv4 src, net::Ipv4 dst, net::Proto proto,
+                           net::Port src_port, net::Port dst_port,
+                           util::TimeRange window, std::int64_t packets,
+                           flow::MemberId handover) {
+    flow::TrafficBurst b;
+    b.src_ip = src;
+    b.dst_ip = dst;
+    b.proto = proto;
+    b.src_port = src_port;
+    b.dst_port = dst_port;
+    b.window = window;
+    b.packets = packets;
+    b.handover = handover;
+    return b;
+  }
+
+  /// Run the fabric over `bursts` with `control` and build the Dataset.
+  Dataset run(bgp::UpdateLog control,
+              const std::vector<flow::TrafficBurst>& bursts) {
+    auto result = platform->run(
+        std::move(control), [&](const ixp::Platform::BurstSink& sink) {
+          for (const auto& b : bursts) sink(b);
+        });
+    return Dataset::from_run(std::move(result), *platform);
+  }
+
+  std::unique_ptr<ixp::Platform> platform;
+  flow::MemberId victim_member{};
+  flow::MemberId acceptor{};
+  flow::MemberId rejector{};
+};
+
+}  // namespace bw::core::testutil

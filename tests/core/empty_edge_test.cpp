@@ -1,0 +1,121 @@
+// Edge-case robustness: every analysis module must behave sanely on empty
+// and degenerate corpora — no crashes, no division poison, empty reports.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/whatif.hpp"
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+Dataset empty_dataset() {
+  World world({0, util::kDay}, 0);
+  return world.run({}, {});
+}
+
+TEST(EmptyDatasetTest, FullPipelineOnEmptyCorpus) {
+  const Dataset ds = empty_dataset();
+  const AnalysisReport report = run_pipeline(ds);
+  EXPECT_TRUE(report.events.empty());
+  EXPECT_EQ(report.pre.total(), 0u);
+  EXPECT_TRUE(report.drop.by_length.empty());
+  EXPECT_EQ(report.protocols.events_considered, 0u);
+  EXPECT_TRUE(report.filtering.coverage.empty());
+  EXPECT_EQ(report.participation.attacks, 0u);
+  EXPECT_TRUE(report.ports.hosts.empty());
+  EXPECT_TRUE(report.radviz.points.empty());
+  EXPECT_TRUE(report.collateral.events.empty());
+  EXPECT_EQ(report.classes.total(), 0u);
+  const auto s = report.summary;
+  EXPECT_EQ(s.flow_records, 0u);
+  EXPECT_EQ(s.blackhole_updates, 0u);
+}
+
+TEST(EmptyDatasetTest, AuxiliaryAnalysesOnEmptyCorpus) {
+  const Dataset ds = empty_dataset();
+  const auto offset = estimate_offset(ds);
+  EXPECT_EQ(offset.dropped_samples, 0u);
+  EXPECT_EQ(offset.best_overlap, 0.0);
+
+  const auto load = compute_load(ds);
+  EXPECT_EQ(load.max_active, 0u);
+
+  const auto vis = compute_visibility(ds, {100, 200});
+  for (const auto& p : vis.series) EXPECT_EQ(p.announced, 0u);
+
+  const auto events = merge_events(ds.blackhole_updates(), ds.period().end);
+  const auto pre = compute_pre_rtbh(ds, events);
+  const auto whatif = compute_whatif(ds, events, pre);
+  EXPECT_EQ(whatif.events_considered, 0u);
+
+  const auto sweep =
+      merge_sweep(ds.blackhole_updates(), ds.period().end, {0, util::kMinute});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0].events, 0u);
+}
+
+TEST(EmptyDatasetTest, VisibilityWithNoPeers) {
+  const Dataset ds = empty_dataset();
+  const auto vis = compute_visibility(ds, {});
+  EXPECT_TRUE(vis.series.empty());
+}
+
+TEST(DegenerateTest, ZeroLengthPeriod) {
+  World world({util::kHour, util::kHour}, 0);
+  const Dataset ds = world.run({}, {});
+  const auto report = run_pipeline(ds);
+  EXPECT_TRUE(report.events.empty());
+  const auto load = compute_load(ds);
+  EXPECT_TRUE(load.series.empty());
+}
+
+TEST(DegenerateTest, ControlOnlyCorpus) {
+  // Announcements but zero data-plane traffic: everything classifies as
+  // no-data / low-traffic, nothing divides by zero.
+  World world({0, util::days(10)}, 0);
+  bgp::UpdateLog control;
+  for (int i = 0; i < 20; ++i) {
+    const net::Ipv4 v(24, 0, 0, static_cast<std::uint8_t>(i + 1));
+    control.push_back(world.platform->service().make_announce(
+        i * util::kHour, World::kVictimAsn, 50000, net::Prefix::host(v)));
+  }
+  const Dataset ds = world.run(std::move(control), {});
+  const auto report = run_pipeline(ds);
+  EXPECT_EQ(report.events.size(), 20u);
+  EXPECT_EQ(report.pre.no_data, 20u);
+  EXPECT_TRUE(report.drop.by_length.empty());
+  EXPECT_EQ(report.classes.zombies + report.classes.other, 20u);
+}
+
+TEST(DegenerateTest, DataOnlyCorpus) {
+  // Traffic but no blackhole updates: zero events, port stats still empty
+  // because the host universe is defined by blackholed /32s.
+  World world({0, util::days(2)}, 0);
+  std::vector<flow::TrafficBurst> bursts;
+  bursts.push_back(world.burst(net::Ipv4(64, 0, 0, 1), net::Ipv4(24, 0, 0, 1),
+                               net::Proto::kUdp, 123, 80,
+                               {0, util::kHour}, 500, world.acceptor));
+  const Dataset ds = world.run({}, bursts);
+  const auto report = run_pipeline(ds);
+  EXPECT_TRUE(report.events.empty());
+  EXPECT_TRUE(report.ports.hosts.empty());
+  EXPECT_EQ(report.summary.dropped_packets, 0u);
+}
+
+TEST(DegenerateTest, BurstWithZeroLengthWindow) {
+  World world({0, util::kDay}, 0);
+  std::vector<flow::TrafficBurst> bursts;
+  auto b = world.burst(net::Ipv4(64, 0, 0, 1), net::Ipv4(24, 0, 0, 1),
+                       net::Proto::kUdp, 123, 80, {500, 500}, 100,
+                       world.acceptor);
+  bursts.push_back(b);
+  const Dataset ds = world.run({}, bursts);
+  // All samples land at the single instant; nothing crashes.
+  EXPECT_EQ(ds.flows().size(), 100u);
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -1,0 +1,137 @@
+#include "core/io_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+Dataset small_dataset() {
+  World world({0, util::days(2)}, 0);
+  const net::Ipv4 victim(24, 0, 0, 1);
+  bgp::UpdateLog control;
+  control.push_back(world.platform->service().make_announce(
+      util::kHour, World::kVictimAsn, 50000, net::Prefix::host(victim),
+      {bgp::Community{0, 300}}));
+  control.push_back(world.platform->service().make_withdraw(
+      2 * util::kHour, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+  std::vector<flow::TrafficBurst> bursts;
+  bursts.push_back(world.burst(net::Ipv4(64, 0, 0, 1), victim,
+                               net::Proto::kUdp, 123, 4444,
+                               {util::kHour, 2 * util::kHour}, 50,
+                               world.acceptor));
+  bursts.push_back(world.burst(net::Ipv4(64, 1, 0, 1), victim,
+                               net::Proto::kTcp, 55555, 443,
+                               {0, util::kHour}, 25, world.rejector));
+  return world.run(std::move(control), bursts);
+}
+
+TEST(IoTextTest, ControlRoundTrip) {
+  const Dataset ds = small_dataset();
+  std::stringstream ss;
+  write_control_csv(ss, ds.control());
+  const auto parsed = read_control_csv(ss);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), ds.control().size());
+  for (std::size_t i = 0; i < parsed->size(); ++i) {
+    const auto& a = (*parsed)[i];
+    const auto& b = ds.control()[i];
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.sender_asn, b.sender_asn);
+    EXPECT_EQ(a.origin_asn, b.origin_asn);
+    EXPECT_EQ(a.prefix, b.prefix);
+    EXPECT_EQ(a.next_hop, b.next_hop);
+    EXPECT_EQ(a.communities, b.communities);
+  }
+}
+
+TEST(IoTextTest, FlowsRoundTrip) {
+  const Dataset ds = small_dataset();
+  std::stringstream ss;
+  write_flows_csv(ss, ds.flows());
+  const auto parsed = read_flows_csv(ss);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), ds.flows().size());
+  for (std::size_t i = 0; i < parsed->size(); ++i) {
+    const auto& a = (*parsed)[i];
+    const auto& b = ds.flows()[i];
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.src_ip, b.src_ip);
+    EXPECT_EQ(a.dst_ip, b.dst_ip);
+    EXPECT_EQ(a.proto, b.proto);
+    EXPECT_EQ(a.src_port, b.src_port);
+    EXPECT_EQ(a.dst_port, b.dst_port);
+    EXPECT_EQ(a.src_mac, b.src_mac);
+    EXPECT_EQ(a.dst_mac, b.dst_mac);
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.bytes, b.bytes);
+  }
+}
+
+TEST(IoTextTest, MalformedRowsRejected) {
+  {
+    std::stringstream ss("time_ms,type,...\n123,X,1,2,10.0.0.1/32,1.2.3.4,\n");
+    EXPECT_FALSE(read_control_csv(ss));
+  }
+  {
+    std::stringstream ss("header\nnot,enough,fields\n");
+    EXPECT_FALSE(read_control_csv(ss));
+  }
+  {
+    std::stringstream ss("header\n1,2,3\n");
+    EXPECT_FALSE(read_flows_csv(ss));
+  }
+  {
+    std::stringstream ss("header\nzz:zz:zz:zz:zz:zz,abc\n");
+    EXPECT_FALSE(read_macs_csv(ss));
+  }
+  {
+    std::stringstream ss("header\n10.0.0.0/99,1\n");
+    EXPECT_FALSE(read_origins_csv(ss));
+  }
+}
+
+TEST(IoTextTest, EmptyBodiesAreValid) {
+  std::stringstream control("header\n");
+  ASSERT_TRUE(read_control_csv(control));
+  EXPECT_TRUE(read_control_csv(control)->empty());
+}
+
+TEST(IoTextTest, DirectoryExportImportRoundTrip) {
+  const Dataset ds = small_dataset();
+  const std::string dir = testing::TempDir() + "/bw_csv_export";
+  std::filesystem::remove_all(dir);
+  export_dataset_csv(ds, dir);
+  for (const char* name :
+       {"control.csv", "flows.csv", "macs.csv", "origins.csv", "period.csv"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + name)) << name;
+  }
+  const Dataset loaded = import_dataset_csv(dir);
+  EXPECT_EQ(loaded.control().size(), ds.control().size());
+  EXPECT_EQ(loaded.flows().size(), ds.flows().size());
+  EXPECT_EQ(loaded.period(), ds.period());
+  EXPECT_EQ(loaded.mac_table().size(), ds.mac_table().size());
+  // Analyses on the re-imported dataset behave identically.
+  const auto s1 = loaded.summary();
+  const auto s2 = ds.summary();
+  EXPECT_EQ(s1.dropped_packets, s2.dropped_packets);
+  EXPECT_EQ(s1.blackholed_prefixes, s2.blackholed_prefixes);
+  EXPECT_EQ(loaded.origin_asn(net::Ipv4(64, 0, 0, 1)),
+            ds.origin_asn(net::Ipv4(64, 0, 0, 1)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IoTextTest, ImportMissingDirectoryThrows) {
+  EXPECT_THROW((void)import_dataset_csv("/nonexistent-bw-dir"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bw::core

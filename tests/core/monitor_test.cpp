@@ -1,0 +1,220 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorConfig default_config() {
+    MonitorConfig cfg;
+    cfg.ewma.window = 48;  // 4 h baseline so small tests can fill it
+    return cfg;
+  }
+
+  std::vector<Alert> alerts_;
+  RtbhMonitor make_monitor(MonitorConfig cfg) {
+    return RtbhMonitor(cfg, [this](const Alert& a) { alerts_.push_back(a); });
+  }
+
+  [[nodiscard]] std::size_t count(AlertKind kind) const {
+    std::size_t n = 0;
+    for (const auto& a : alerts_) {
+      if (a.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  static bgp::Update announce(util::TimeMs t, net::Ipv4 ip) {
+    ixp::BlackholeService svc;
+    return svc.make_announce(t, 64500, 65000, net::Prefix::host(ip));
+  }
+  static bgp::Update withdraw(util::TimeMs t, net::Ipv4 ip) {
+    ixp::BlackholeService svc;
+    return svc.make_withdraw(t, 64500, 65000, net::Prefix::host(ip));
+  }
+  static flow::FlowRecord sample(util::TimeMs t, net::Ipv4 dst, bool dropped,
+                                 net::Ipv4 src = net::Ipv4(16, 0, 0, 1),
+                                 net::Port dst_port = 443) {
+    flow::FlowRecord r;
+    r.time = t;
+    r.src_ip = src;
+    r.dst_ip = dst;
+    r.proto = net::Proto::kUdp;
+    r.src_port = 123;
+    r.dst_port = dst_port;
+    r.src_mac = net::Mac::for_member_port(1);
+    r.dst_mac = dropped ? net::Mac::blackhole() : net::Mac::for_member_port(2);
+    return r;
+  }
+};
+
+TEST_F(MonitorTest, EventLifecycle) {
+  auto monitor = make_monitor(default_config());
+  const net::Ipv4 victim(24, 0, 0, 1);
+  monitor.on_update(announce(util::kHour, victim));
+  EXPECT_EQ(monitor.active_events(), 1u);
+  EXPECT_EQ(count(AlertKind::kEventStarted), 1u);
+
+  // On/off churn within the merge delta stays one event.
+  monitor.on_update(withdraw(util::kHour + util::minutes(5.0), victim));
+  monitor.on_update(announce(util::kHour + util::minutes(7.0), victim));
+  monitor.on_update(withdraw(util::kHour + util::minutes(20.0), victim));
+  EXPECT_EQ(count(AlertKind::kEventStarted), 1u);
+  EXPECT_EQ(monitor.total_events(), 1u);
+
+  // Past the merge delta the event closes.
+  monitor.advance(util::kHour + util::minutes(40.0));
+  EXPECT_EQ(count(AlertKind::kEventEnded), 1u);
+  EXPECT_EQ(monitor.active_events(), 0u);
+
+  // A later announcement opens a new event.
+  monitor.on_update(announce(5 * util::kHour, victim));
+  EXPECT_EQ(monitor.total_events(), 2u);
+}
+
+TEST_F(MonitorTest, AttackCorrelationAlert) {
+  auto cfg = default_config();
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 2);
+  // Quiet baseline: one sample per slot for 48+ slots.
+  for (int s = 0; s < 60; ++s) {
+    monitor.on_flow(sample(s * cfg.slot + 1000, victim, false));
+  }
+  // Burst in the two slots before the announcement, many sources/ports.
+  const util::TimeMs burst_start = 60 * cfg.slot;
+  for (int i = 0; i < 200; ++i) {
+    monitor.on_flow(sample(burst_start + i * 1000, victim, false,
+                           net::Ipv4(64, 0, 0, static_cast<std::uint8_t>(i)),
+                           static_cast<net::Port>(30000 + i)));
+  }
+  monitor.on_update(announce(burst_start + 6 * util::kMinute, victim));
+  EXPECT_EQ(count(AlertKind::kAttackCorrelated), 1u);
+  const auto& alert = alerts_.back();
+  EXPECT_GE(alert.value, 3.0) << "burst should spike several features";
+}
+
+TEST_F(MonitorTest, NoAttackAlertWithoutAnomaly) {
+  auto cfg = default_config();
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 3);
+  for (int s = 0; s < 60; ++s) {
+    monitor.on_flow(sample(s * cfg.slot + 1000, victim, false));
+  }
+  monitor.on_update(announce(60 * cfg.slot, victim));
+  EXPECT_EQ(count(AlertKind::kAttackCorrelated), 0u);
+}
+
+TEST_F(MonitorTest, LowDropRateAlert) {
+  auto cfg = default_config();
+  cfg.min_drop_samples = 20;
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 4);
+  monitor.on_update(announce(util::kHour, victim));
+  // 30 samples, only 20% dropped.
+  for (int i = 0; i < 30; ++i) {
+    monitor.on_flow(
+        sample(util::kHour + 1000 + i * 100, victim, i % 5 == 0));
+  }
+  EXPECT_EQ(count(AlertKind::kLowDropRate), 1u);
+  EXPECT_LT(alerts_.back().value, 0.5);
+}
+
+TEST_F(MonitorTest, NoLowDropAlertWhenDropping) {
+  auto cfg = default_config();
+  cfg.min_drop_samples = 20;
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 5);
+  monitor.on_update(announce(util::kHour, victim));
+  for (int i = 0; i < 30; ++i) {
+    monitor.on_flow(sample(util::kHour + 1000 + i * 100, victim, true));
+  }
+  EXPECT_EQ(count(AlertKind::kLowDropRate), 0u);
+}
+
+TEST_F(MonitorTest, ZombieSuspectAlert) {
+  auto cfg = default_config();
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 6);
+  monitor.on_update(announce(util::kHour, victim));
+  monitor.advance(util::kHour + 3 * util::kDay);  // silence for days
+  EXPECT_EQ(count(AlertKind::kZombieSuspect), 1u);
+  // Only alerted once.
+  monitor.advance(util::kHour + 5 * util::kDay);
+  EXPECT_EQ(count(AlertKind::kZombieSuspect), 1u);
+}
+
+TEST_F(MonitorTest, BusyBlackholeIsNotZombie) {
+  auto cfg = default_config();
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 7);
+  monitor.on_update(announce(util::kHour, victim));
+  for (int i = 0; i < 100; ++i) {
+    monitor.on_flow(sample(util::kHour + i * util::kMinute, victim, true));
+  }
+  monitor.advance(util::kHour + 3 * util::kDay);
+  EXPECT_EQ(count(AlertKind::kZombieSuspect), 0u);
+}
+
+TEST_F(MonitorTest, FinishClosesOpenEvents) {
+  auto monitor = make_monitor(default_config());
+  const net::Ipv4 victim(24, 0, 0, 8);
+  monitor.on_update(announce(util::kHour, victim));
+  monitor.on_update(withdraw(2 * util::kHour, victim));
+  monitor.finish(util::days(1));
+  EXPECT_EQ(count(AlertKind::kEventEnded), 1u);
+  EXPECT_EQ(monitor.active_events(), 0u);
+}
+
+TEST_F(MonitorTest, AgreesWithOfflinePipelineOnScenario) {
+  // Replay a small scenario chronologically through the monitor and check
+  // that its event count matches the offline merge.
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.02;
+  cfg.seed = 5;
+  const ScenarioRun run = run_scenario(cfg, std::string{});
+  const auto offline = merge_events(run.dataset.blackhole_updates(),
+                                    run.dataset.period().end);
+
+  MonitorConfig mcfg;  // paper defaults (288-slot window)
+  auto monitor = make_monitor(mcfg);
+  // Merge-sort the two feeds by timestamp.
+  const auto& updates = run.dataset.blackhole_updates();
+  const auto& flows = run.dataset.flows();
+  std::size_t ui = 0;
+  std::size_t fi = 0;
+  while (ui < updates.size() || fi < flows.size()) {
+    const bool take_update =
+        fi >= flows.size() ||
+        (ui < updates.size() && updates[ui].time <= flows[fi].time);
+    if (take_update) monitor.on_update(updates[ui++]);
+    else monitor.on_flow(flows[fi++]);
+  }
+  monitor.finish(run.dataset.period().end);
+
+  // The monitor's online event segmentation must track the offline one.
+  const double ratio = static_cast<double>(monitor.total_events()) /
+                       static_cast<double>(offline.size());
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LT(ratio, 1.05);
+  EXPECT_GT(count(AlertKind::kAttackCorrelated), offline.size() / 10);
+  EXPECT_GT(count(AlertKind::kZombieSuspect), 10u);
+  EXPECT_GT(count(AlertKind::kLowDropRate), 10u);
+}
+
+TEST(MonitorNamesTest, AlertKindStrings) {
+  EXPECT_EQ(to_string(AlertKind::kEventStarted), "event-started");
+  EXPECT_EQ(to_string(AlertKind::kEventEnded), "event-ended");
+  EXPECT_EQ(to_string(AlertKind::kAttackCorrelated), "attack-correlated");
+  EXPECT_EQ(to_string(AlertKind::kLowDropRate), "low-drop-rate");
+  EXPECT_EQ(to_string(AlertKind::kZombieSuspect), "zombie-suspect");
+}
+
+}  // namespace
+}  // namespace bw::core

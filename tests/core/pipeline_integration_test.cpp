@@ -1,0 +1,238 @@
+// End-to-end integration: generate a small (but fully structured) synthetic
+// scenario, run the complete analysis pipeline, and validate the recovered
+// statistics against the generator's ground truth and the paper's shapes.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/stats.hpp"
+
+namespace bw::core {
+namespace {
+
+gen::ScenarioConfig test_config() {
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.05;
+  cfg.seed = 20191021;
+  return cfg;
+}
+
+class PipelineIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    run_ = new ScenarioRun(run_scenario(test_config(), std::string{}));
+    report_ = new AnalysisReport(run_pipeline(run_->dataset));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete run_;
+    report_ = nullptr;
+    run_ = nullptr;
+  }
+
+  static ScenarioRun* run_;
+  static AnalysisReport* report_;
+};
+
+ScenarioRun* PipelineIntegrationTest::run_ = nullptr;
+AnalysisReport* PipelineIntegrationTest::report_ = nullptr;
+
+TEST_F(PipelineIntegrationTest, CorpusHasBothPlanes) {
+  const auto& s = report_->summary;
+  EXPECT_GT(s.control_updates, 10000u);
+  EXPECT_GT(s.flow_records, 100000u);
+  EXPECT_GT(s.blackholed_prefixes, 300u);
+  EXPECT_GT(s.dropped_packets, 10000u);
+  EXPECT_LT(s.dropped_packets, s.sampled_packets);
+}
+
+TEST_F(PipelineIntegrationTest, MergedEventCountNearGroundTruth) {
+  const std::size_t truth_events = run_->truth.events.size();
+  EXPECT_GT(report_->events.size(), truth_events * 9 / 10);
+  // Long gaps can split a scheduled event into a few merged ones.
+  EXPECT_LT(report_->events.size(), truth_events * 3 / 2);
+}
+
+TEST_F(PipelineIntegrationTest, Table2ClassSharesMatchPaperShape) {
+  const auto& pre = report_->pre;
+  const double total = static_cast<double>(pre.total());
+  ASSERT_GT(total, 0.0);
+  const double no_data = static_cast<double>(pre.no_data) / total;
+  const double anomaly = static_cast<double>(pre.data_anomaly_10m) / total;
+  const double data_no = static_cast<double>(pre.data_no_anomaly) / total;
+  // Paper Table 2: 46% / 27% / 27%.
+  EXPECT_NEAR(no_data, 0.46, 0.10);
+  EXPECT_NEAR(anomaly, 0.27, 0.08);
+  EXPECT_NEAR(data_no, 0.27, 0.10);
+  // Section 5.3: one third of events show an anomaly within one hour.
+  EXPECT_GT(pre.anomaly_1h, pre.data_anomaly_10m);
+}
+
+TEST_F(PipelineIntegrationTest, AnomalyDetectionAgreesWithGroundTruth) {
+  // Map merged events back to ground-truth attacks by (prefix, overlap).
+  std::size_t attacks_detected = 0;
+  std::size_t attacks_total = 0;
+  for (const auto& truth_ev : run_->truth.events) {
+    if (!truth_ev.has_attack || truth_ev.manual_reaction) continue;
+    ++attacks_total;
+    for (std::size_t e = 0; e < report_->events.size(); ++e) {
+      const auto& ev = report_->events[e];
+      if (ev.prefix == truth_ev.prefix &&
+          ev.span.overlaps(truth_ev.rtbh_span)) {
+        if (report_->pre.per_event[e].anomaly_within_10min) {
+          ++attacks_detected;
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_GT(attacks_total, 100u);
+  // The bulk of automatic-reaction attacks must be recovered from samples.
+  EXPECT_GT(static_cast<double>(attacks_detected) /
+                static_cast<double>(attacks_total),
+            0.70);
+}
+
+TEST_F(PipelineIntegrationTest, DropRatesMatchPaperShape) {
+  const auto& drop = report_->drop;
+  double rate32 = 0.0;
+  double rate24 = 0.0;
+  for (const auto& s : drop.by_length) {
+    if (s.length == 32) rate32 = s.packet_drop_rate();
+    if (s.length == 24) rate24 = s.packet_drop_rate();
+  }
+  // Paper Fig. 5: /32 ~50% dropped; /22-/24 93-99%; /32 carries ~99.9%.
+  EXPECT_NEAR(rate32, 0.50, 0.15);
+  EXPECT_GT(rate24, 0.80);  // paper Fig. 6: /24 rates range 82-100%
+  EXPECT_GT(drop.traffic_share(32), 0.95);
+  // Fig. 6: /32 per-event drop rates spread widely.
+  ASSERT_GT(drop.event_rates_len32.size(), 100u);
+  const double q1 = util::quantile(drop.event_rates_len32, 0.25);
+  const double q3 = util::quantile(drop.event_rates_len32, 0.75);
+  EXPECT_LT(q1, 0.5);   // paper: 0.30
+  EXPECT_GT(q3, 0.65);  // paper: 0.88 — our spread is somewhat narrower
+  // Fig. 7: the top sources split into droppers, forwarders, inconsistent.
+  const auto top = summarize_top_sources(drop, 100);
+  EXPECT_GT(top.full_droppers, 0u);
+  EXPECT_GT(top.full_forwarders, 0u);
+  EXPECT_GT(top.traffic_share_of_total, 0.5);
+}
+
+TEST_F(PipelineIntegrationTest, ProtocolMixIsUdpAmplification) {
+  const auto& mix = report_->protocols;
+  ASSERT_GT(mix.events_considered, 100u);
+  EXPECT_GT(mix.udp_share, 0.90);  // paper: 99.5%
+  // Table 3: most events use 1-2 amplification protocols.
+  const double one_or_two =
+      mix.amp_event_fraction(1) + mix.amp_event_fraction(2);
+  EXPECT_GT(one_or_two, 0.6);
+  ASSERT_FALSE(mix.protocol_event_counts.empty());
+  // cLDAP / NTP / DNS dominate.
+  const auto& top = mix.protocol_event_counts.front().first;
+  EXPECT_TRUE(top == "cLDAP" || top == "NTP" || top == "DNS") << top;
+}
+
+TEST_F(PipelineIntegrationTest, FilteringMostlyComplete) {
+  // Paper Fig. 14: ~90% of attack events fully coverable by amp filters.
+  ASSERT_GT(report_->filtering.events_considered, 50u);
+  EXPECT_GT(report_->filtering.fully_filterable_fraction, 0.75);
+  EXPECT_LT(report_->filtering.fully_filterable_fraction, 0.99);
+}
+
+TEST_F(PipelineIntegrationTest, ParticipationIsDistributed) {
+  const auto& part = report_->participation;
+  ASSERT_GT(part.attacks, 50u);
+  ASSERT_FALSE(part.origins.empty());
+  // Fig. 15: the top origin participates in a large share of attacks but
+  // carries only a small traffic share.
+  EXPECT_GT(part.origins.front().event_share, 0.3);
+  EXPECT_LT(part.origins.front().traffic_share,
+            part.origins.front().event_share);
+  EXPECT_GT(part.avg_origins_per_attack, 5.0);
+  EXPECT_GT(part.avg_amplifiers_per_attack, part.avg_origins_per_attack);
+}
+
+TEST_F(PipelineIntegrationTest, HostClassificationMatchesTruthRoles) {
+  const auto& ports = report_->ports;
+  ASSERT_GT(ports.clients, 0u);
+  ASSERT_GT(ports.servers, 0u);
+  // Paper Table 4: ~4:1 clients to servers.
+  const double ratio = static_cast<double>(ports.clients) /
+                       static_cast<double>(ports.servers);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 7.0);
+
+  // Cross-check detected roles against generator ground truth.
+  std::unordered_map<std::uint32_t, gen::HostRole> roles;
+  for (const auto& h : run_->truth.hosts) roles[h.ip.value()] = h.role;
+  std::size_t checked = 0;
+  std::size_t agree = 0;
+  for (const auto& h : ports.hosts) {
+    if (h.classification == HostClass::kUnclassified) continue;
+    const auto it = roles.find(h.ip.value());
+    if (it == roles.end()) continue;
+    ++checked;
+    const bool truth_client = it->second == gen::HostRole::kClient;
+    if (truth_client == (h.classification == HostClass::kClient)) ++agree;
+  }
+  ASSERT_GT(checked, 50u);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(checked), 0.9);
+}
+
+TEST_F(PipelineIntegrationTest, RadvizClientsOnClientSide) {
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (const auto& p : report_->radviz.points) {
+    if (p.classification == HostClass::kUnclassified) continue;
+    ++total;
+    if (p.client_side == (p.classification == HostClass::kClient)) ++agree;
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.85);
+}
+
+TEST_F(PipelineIntegrationTest, CollateralDamageObserved) {
+  EXPECT_GT(report_->collateral.servers_considered, 10u);
+  EXPECT_FALSE(report_->collateral.events.empty());
+  EXPECT_GT(report_->collateral.total_dropped_packets, 0u);
+  EXPECT_LE(report_->collateral.total_dropped_packets,
+            report_->collateral.total_top_port_packets);
+}
+
+TEST_F(PipelineIntegrationTest, ClassificationRecoversPlantedUseCases) {
+  const auto& cls = report_->classes;
+  const double total = static_cast<double>(cls.total());
+  // Fig. 19 shape: ~27% infrastructure, ~60%+ other, small zombie and
+  // squatting slices.
+  EXPECT_NEAR(static_cast<double>(cls.infrastructure) / total, 0.27, 0.08);
+  EXPECT_GT(static_cast<double>(cls.other) / total, 0.5);
+  EXPECT_GT(cls.zombies, 0u);
+  EXPECT_GT(cls.squatting, 0u);
+  // Planted squatting prefixes are recovered.
+  EXPECT_GE(cls.squatting_prefixes,
+            run_->truth.squatting_prefixes.size() / 2);
+  // Most planted zombies survive as zombie candidates.
+  EXPECT_GT(cls.zombies, run_->truth.zombie_addresses.size() / 2);
+}
+
+TEST(ScenarioCacheTest, SecondLoadHitsCache) {
+  const std::string dir = testing::TempDir() + "/bw_cache_test";
+  std::filesystem::remove_all(dir);
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.01;
+  cfg.seed = 7;
+  const ScenarioRun first = run_scenario(cfg, dir);
+  ASSERT_EQ(std::distance(std::filesystem::directory_iterator(dir),
+                          std::filesystem::directory_iterator{}),
+            1);
+  const ScenarioRun second = run_scenario(cfg, dir);
+  EXPECT_EQ(first.dataset.flows().size(), second.dataset.flows().size());
+  EXPECT_EQ(first.dataset.control().size(), second.dataset.control().size());
+  EXPECT_EQ(first.peer_asns, second.peer_asns);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bw::core

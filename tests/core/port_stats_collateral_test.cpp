@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/collateral.hpp"
+#include "core/port_stats.hpp"
+#include "core/radviz.hpp"
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+// A 40-day world with one clear server (stable TCP/443 top port, daily
+// bidirectional traffic) and one clear client (daily-changing ephemeral
+// inbound top port), both blackholed once so they enter the host universe.
+class HostAnalysisTest : public ::testing::Test {
+ protected:
+  HostAnalysisTest() : world_({0, util::days(40)}, 0) {}
+
+  Dataset make_dataset(int days_active = 35) {
+    const net::Ipv4 server(24, 0, 0, 1);
+    const net::Ipv4 client(24, 0, 0, 2);
+    bgp::UpdateLog control;
+    // One short RTBH each on day 38 (outside the traffic we generate).
+    for (const auto victim : {server, client}) {
+      control.push_back(world_.platform->service().make_announce(
+          util::days(38), World::kVictimAsn, 50000, net::Prefix::host(victim)));
+      control.push_back(world_.platform->service().make_withdraw(
+          util::days(38) + util::kHour, World::kVictimAsn, 50000,
+          net::Prefix::host(victim)));
+    }
+
+    std::vector<flow::TrafficBurst> bursts;
+    for (int day = 0; day < days_active; ++day) {
+      const util::TimeMs d0 = day * util::kDay + 2 * util::kHour;
+      const util::TimeRange w{d0, d0 + util::kHour};
+      // Server: inbound to TCP/443 from rotating ephemeral ports; outbound
+      // replies from 443.
+      bursts.push_back(world_.burst(
+          net::Ipv4(16, 0, 0, 5), server, net::Proto::kTcp,
+          static_cast<net::Port>(33000 + day * 13), 443, w, 40,
+          world_.acceptor));
+      bursts.push_back(world_.burst(
+          server, net::Ipv4(16, 0, 0, 5), net::Proto::kTcp, 443,
+          static_cast<net::Port>(33000 + day * 13), w, 30,
+          world_.victim_member));
+      // Client: inbound arrives on a per-day ephemeral port from 443;
+      // outbound goes from that port to 443.
+      const auto day_port = static_cast<net::Port>(40000 + day * 17);
+      bursts.push_back(world_.burst(net::Ipv4(16, 0, 0, 6), client,
+                                    net::Proto::kTcp, 443, day_port, w, 20,
+                                    world_.acceptor));
+      bursts.push_back(world_.burst(client, net::Ipv4(16, 0, 0, 6),
+                                    net::Proto::kTcp, day_port, 443, w, 10,
+                                    world_.victim_member));
+    }
+    return world_.run(std::move(control), bursts);
+  }
+
+  World world_;
+};
+
+TEST_F(HostAnalysisTest, ClassifiesServerAndClient) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto stats = compute_port_stats(dataset, events);
+  EXPECT_EQ(stats.blackholed_hosts_total, 2u);
+  EXPECT_EQ(stats.eligible_hosts, 2u);
+  EXPECT_EQ(stats.clients, 1u);
+  EXPECT_EQ(stats.servers, 1u);
+
+  for (const auto& h : stats.hosts) {
+    if (h.ip == net::Ipv4(24, 0, 0, 1)) {
+      EXPECT_EQ(h.classification, HostClass::kServer);
+      EXPECT_EQ(h.top_ports.size(), 1u);  // always TCP/443
+      EXPECT_EQ(h.top_ports[0], (net::ProtoPort{net::Proto::kTcp, 443}));
+      EXPECT_LT(h.port_variation, 0.1);
+      EXPECT_EQ(h.days_with_inbound, 35u);
+      EXPECT_EQ(h.days_bidirectional, 35u);
+      // Server sees many distinct inbound source ports, few dst ports.
+      EXPECT_GT(h.unique_src_ports_in, 30u);
+      EXPECT_EQ(h.unique_dst_ports_in, 1u);
+    } else {
+      EXPECT_EQ(h.classification, HostClass::kClient);
+      EXPECT_NEAR(h.port_variation, 1.0, 0.01);
+      EXPECT_GT(h.unique_dst_ports_in, 30u);
+      EXPECT_EQ(h.unique_src_ports_in, 1u);  // all from 443
+    }
+  }
+}
+
+TEST_F(HostAnalysisTest, MinDaysCriterionExcludes) {
+  const Dataset dataset = make_dataset(/*days_active=*/10);
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto stats = compute_port_stats(dataset, events);
+  EXPECT_EQ(stats.eligible_hosts, 0u);
+  EXPECT_EQ(stats.clients, 0u);
+  EXPECT_EQ(stats.servers, 0u);
+  for (const auto& h : stats.hosts) {
+    EXPECT_EQ(h.classification, HostClass::kUnclassified);
+  }
+}
+
+TEST_F(HostAnalysisTest, Table4JoinsRegistry) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto stats = compute_port_stats(dataset, events);
+  pdb::Registry registry;
+  registry.upsert({.asn = 50000, .type = pdb::OrgType::kCableDslIsp});
+  const auto rows = asn_type_table(stats, registry);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].type, pdb::OrgType::kCableDslIsp);
+  EXPECT_EQ(rows[0].clients, 1u);
+  EXPECT_EQ(rows[0].servers, 1u);
+}
+
+TEST_F(HostAnalysisTest, RadvizSeparatesClientAndServer) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto stats = compute_port_stats(dataset, events);
+  const auto radviz = radviz_projection(stats);
+  ASSERT_EQ(radviz.points.size(), 2u);
+  EXPECT_EQ(radviz.client_side_count, 1u);
+  EXPECT_EQ(radviz.server_side_count, 1u);
+  for (const auto& p : radviz.points) {
+    EXPECT_LE(p.x * p.x + p.y * p.y, 1.0 + 1e-9);  // inside the unit circle
+    const bool is_client = p.classification == HostClass::kClient;
+    EXPECT_EQ(p.client_side, is_client)
+        << "RadViz pull must agree with the port-variation classifier";
+  }
+}
+
+TEST_F(HostAnalysisTest, CollateralCountsTopPortPacketsDuringEvents) {
+  // Extend: traffic to the server's top port DURING its RTBH event.
+  const net::Ipv4 server(24, 0, 0, 1);
+  bgp::UpdateLog control;
+  control.push_back(world_.platform->service().make_announce(
+      util::days(38), World::kVictimAsn, 50000, net::Prefix::host(server)));
+  control.push_back(world_.platform->service().make_withdraw(
+      util::days(38) + util::kHour, World::kVictimAsn, 50000,
+      net::Prefix::host(server)));
+
+  std::vector<flow::TrafficBurst> bursts;
+  for (int day = 0; day < 35; ++day) {
+    const util::TimeMs d0 = day * util::kDay + 2 * util::kHour;
+    const util::TimeRange w{d0, d0 + util::kHour};
+    bursts.push_back(world_.burst(net::Ipv4(16, 0, 0, 5), server,
+                                  net::Proto::kTcp,
+                                  static_cast<net::Port>(33000 + day * 13),
+                                  443, w, 40, world_.acceptor));
+    bursts.push_back(world_.burst(server, net::Ipv4(16, 0, 0, 5),
+                                  net::Proto::kTcp, 443,
+                                  static_cast<net::Port>(33000 + day * 13), w,
+                                  30, world_.victim_member));
+  }
+  // During the event: 25 legitimate packets to 443 via the acceptor (these
+  // get dropped) and 15 via the rejector (these get through), plus attack
+  // noise on another port that must not count.
+  const util::TimeRange ev{util::days(38), util::days(38) + util::kHour};
+  bursts.push_back(world_.burst(net::Ipv4(16, 0, 0, 7), server,
+                                net::Proto::kTcp, 50000, 443, ev, 25,
+                                world_.acceptor));
+  bursts.push_back(world_.burst(net::Ipv4(16, 1, 0, 7), server,
+                                net::Proto::kTcp, 50001, 443, ev, 15,
+                                world_.rejector));
+  bursts.push_back(world_.burst(net::Ipv4(64, 0, 0, 8), server,
+                                net::Proto::kUdp, 123, 40000, ev, 500,
+                                world_.acceptor));
+
+  const Dataset dataset = world_.run(std::move(control), bursts);
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto stats = compute_port_stats(dataset, events);
+  const auto collateral = compute_collateral(dataset, events, stats, 10000);
+
+  EXPECT_EQ(collateral.servers_considered, 1u);
+  ASSERT_EQ(collateral.events.size(), 1u);
+  const auto& ce = collateral.events[0];
+  EXPECT_EQ(ce.packets_to_top_ports, 40u);
+  EXPECT_EQ(ce.packets_actually_dropped, 25u);
+  EXPECT_EQ(ce.est_original_packets, 400000u);
+  EXPECT_EQ(collateral.total_top_port_packets, 40u);
+  EXPECT_EQ(collateral.total_dropped_packets, 25u);
+}
+
+}  // namespace
+}  // namespace bw::core

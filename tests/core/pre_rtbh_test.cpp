@@ -1,0 +1,149 @@
+#include "core/pre_rtbh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+class PreRtbhTest : public ::testing::Test {
+ protected:
+  PreRtbhTest() : world_({0, util::days(8)}, 0) {}
+
+  // Build a dataset with three victims:
+  //  v1: attacked right before its RTBH (anomaly expected)
+  //  v2: steady traffic, RTBH without attack (data, no anomaly)
+  //  v3: idle, RTBH without any traffic (no data)
+  Dataset make_dataset() {
+    const util::TimeMs t0 = util::days(5);  // all events on day 5
+    bgp::UpdateLog control;
+    std::vector<flow::TrafficBurst> bursts;
+
+    for (int v = 1; v <= 3; ++v) {
+      const net::Ipv4 victim(24, 0, 0, static_cast<std::uint8_t>(v));
+      control.push_back(world_.platform->service().make_announce(
+          t0, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+      control.push_back(world_.platform->service().make_withdraw(
+          t0 + util::kHour, World::kVictimAsn, 50000,
+          net::Prefix::host(victim)));
+    }
+
+    // v1: attack burst in the 10 minutes before the RTBH, many sources.
+    for (int a = 0; a < 20; ++a) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 0, 1, static_cast<std::uint8_t>(a)),
+          net::Ipv4(24, 0, 0, 1), net::Proto::kUdp, 123,
+          static_cast<net::Port>(30000 + a * 13),
+          {t0 - 8 * util::kMinute, t0 + 30 * util::kMinute}, 3000,
+          world_.acceptor));
+    }
+    // v1 also has a little steady background before that.
+    for (int day = 0; day < 5; ++day) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 0, 0, 9), net::Ipv4(24, 0, 0, 1), net::Proto::kTcp,
+          55555, 443,
+          {day * util::kDay + util::kHour, day * util::kDay + 2 * util::kHour},
+          5, world_.acceptor));
+    }
+    // v2: steady daily traffic only.
+    for (int day = 0; day < 6; ++day) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 0, 0, 10), net::Ipv4(24, 0, 0, 2), net::Proto::kTcp,
+          55555, 443,
+          {day * util::kDay + util::kHour, day * util::kDay + 3 * util::kHour},
+          8, world_.acceptor));
+    }
+    // v3: nothing.
+    return world_.run(std::move(control), bursts);
+  }
+
+  World world_;
+};
+
+TEST_F(PreRtbhTest, ClassifiesThreeWays) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  ASSERT_EQ(events.size(), 3u);
+  const auto report = compute_pre_rtbh(dataset, events);
+  ASSERT_EQ(report.per_event.size(), 3u);
+  EXPECT_EQ(report.no_data, 1u);
+  EXPECT_EQ(report.data_no_anomaly, 1u);
+  EXPECT_EQ(report.data_anomaly_10m, 1u);
+  EXPECT_EQ(report.anomaly_1h, 1u);
+
+  // Identify v1's event (prefix .1).
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const auto& res = report.per_event[e];
+    const auto last_octet = events[e].prefix.network().octet(3);
+    if (last_octet == 1) {
+      EXPECT_TRUE(res.anomaly_within_10min);
+      EXPECT_GE(res.max_level, 3) << "attack spikes several features";
+      EXPECT_TRUE(res.last_slot_has_data);
+      EXPECT_GT(res.amplification[static_cast<std::size_t>(
+                    Feature::kPackets)],
+                10.0);
+      ASSERT_FALSE(res.anomalies.empty());
+      // Anomalies sit at the very end of the 72 h window.
+      EXPECT_GE(res.anomalies.back().first, -3);
+    } else if (last_octet == 2) {
+      EXPECT_TRUE(res.has_data);
+      EXPECT_FALSE(res.anomaly_within_10min);
+      EXPECT_GT(res.slots_with_data, 10u);
+    } else {
+      EXPECT_FALSE(res.has_data);
+      EXPECT_EQ(res.slots_with_data, 0u);
+    }
+  }
+}
+
+TEST_F(PreRtbhTest, EventEarlyInPeriodCannotAlarm) {
+  // RTBH on day 0, 1 hour in: the EWMA window can never fill.
+  bgp::UpdateLog control;
+  const net::Ipv4 victim(24, 0, 0, 7);
+  control.push_back(world_.platform->service().make_announce(
+      util::kHour, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+  std::vector<flow::TrafficBurst> bursts;
+  bursts.push_back(world_.burst(net::Ipv4(64, 0, 0, 1), victim,
+                                net::Proto::kUdp, 123, 4444,
+                                {util::kHour - 5 * util::kMinute, util::kHour},
+                                100000, world_.acceptor));
+  const Dataset dataset = world_.run(std::move(control), bursts);
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto report = compute_pre_rtbh(dataset, events);
+  ASSERT_EQ(report.per_event.size(), 1u);
+  EXPECT_TRUE(report.per_event[0].has_data);
+  EXPECT_FALSE(report.per_event[0].anomaly_within_10min)
+      << "no anomaly possible within the first 24h of history";
+}
+
+TEST_F(PreRtbhTest, AmplificationFactorAgainstEmptyMeanIsLarge) {
+  // Traffic ONLY in the last slot: factor == slot_count (mean = x/n).
+  bgp::UpdateLog control;
+  const net::Ipv4 victim(24, 0, 0, 8);
+  const util::TimeMs t0 = util::days(5);
+  control.push_back(world_.platform->service().make_announce(
+      t0, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+  std::vector<flow::TrafficBurst> bursts;
+  bursts.push_back(world_.burst(net::Ipv4(64, 0, 0, 1), victim,
+                                net::Proto::kUdp, 123, 4444,
+                                {t0 - 4 * util::kMinute, t0}, 50000,
+                                world_.acceptor));
+  const Dataset dataset = world_.run(std::move(control), bursts);
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto report = compute_pre_rtbh(dataset, events);
+  ASSERT_EQ(report.per_event.size(), 1u);
+  const auto& res = report.per_event[0];
+  EXPECT_TRUE(res.last_slot_is_max);
+  // 72h window = 864 slots; all packets in the last one.
+  EXPECT_NEAR(res.amplification[static_cast<std::size_t>(Feature::kPackets)],
+              864.0, 1.0);
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/filtering.hpp"
+#include "core/participation.hpp"
+#include "core/protocol_mix.hpp"
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+// Fixture with two attack events (anomaly before RTBH) and one quiet event:
+//  e1: pure NTP+DNS amplification (fully filterable)
+//  e2: UDP random-port flood (not filterable by amp ports)
+//  e3: no attack, no anomaly (must be excluded from all three analyses)
+class AttackAnalysisTest : public ::testing::Test {
+ protected:
+  AttackAnalysisTest() : world_({0, util::days(8)}, 0) {}
+
+  void add_event(bgp::UpdateLog& control, net::Ipv4 victim, util::TimeMs t0) {
+    control.push_back(world_.platform->service().make_announce(
+        t0, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+    control.push_back(world_.platform->service().make_withdraw(
+        t0 + util::kHour, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+  }
+
+  Dataset make_dataset() {
+    const util::TimeMs t0 = util::days(5);
+    bgp::UpdateLog control;
+    std::vector<flow::TrafficBurst> bursts;
+    const net::Ipv4 v1(24, 0, 0, 1);
+    const net::Ipv4 v2(24, 0, 0, 2);
+    const net::Ipv4 v3(24, 0, 0, 3);
+    add_event(control, v1, t0);
+    add_event(control, v2, t0);
+    add_event(control, v3, t0);
+
+    const util::TimeRange attack{t0 - 8 * util::kMinute,
+                                 t0 + 40 * util::kMinute};
+    // e1: NTP (60%) + DNS (40%) reflection from distinct amplifiers in two
+    // origins (64.0 -> acceptor, 64.1 -> rejector).
+    for (int a = 0; a < 12; ++a) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 0, 2, static_cast<std::uint8_t>(a)), v1,
+          net::Proto::kUdp, 123, 40000, attack, 3000, world_.acceptor));
+    }
+    for (int a = 0; a < 8; ++a) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 1, 2, static_cast<std::uint8_t>(a)), v1,
+          net::Proto::kUdp, 53, 40001, attack, 3000, world_.rejector));
+    }
+    // e2: random high ports, spoofed sources (no origin attribution).
+    for (int a = 0; a < 20; ++a) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(192, 0, 3, static_cast<std::uint8_t>(a)), v2,
+          net::Proto::kUdp, static_cast<net::Port>(20000 + 211 * a),
+          static_cast<net::Port>(1000 + 97 * a), attack, 3000,
+          world_.acceptor));
+    }
+    // e3: just a little steady traffic well before the event.
+    for (int day = 0; day < 6; ++day) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 0, 0, 9), v3, net::Proto::kTcp, 55555, 443,
+          {day * util::kDay, day * util::kDay + util::kHour}, 8,
+          world_.acceptor));
+    }
+    return world_.run(std::move(control), bursts);
+  }
+
+  World world_;
+};
+
+TEST_F(AttackAnalysisTest, ProtocolMixIdentifiesAmplification) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  ASSERT_EQ(events.size(), 3u);
+  const auto pre = compute_pre_rtbh(dataset, events);
+  EXPECT_EQ(pre.data_anomaly_10m, 2u);
+
+  const auto mix = compute_protocol_mix(dataset, events, pre);
+  EXPECT_EQ(mix.events_considered, 2u);
+  EXPECT_GT(mix.udp_share, 0.99);
+  EXPECT_LT(mix.tcp_share, 0.01);
+  // e1 has exactly two amplification protocols, e2 none.
+  EXPECT_EQ(mix.amp_protocol_events[2], 1u);
+  EXPECT_EQ(mix.amp_protocol_events[0], 1u);
+  bool saw_ntp = false;
+  bool saw_dns = false;
+  for (const auto& [name, count] : mix.protocol_event_counts) {
+    if (name == "NTP") saw_ntp = count == 1;
+    if (name == "DNS") saw_dns = count == 1;
+  }
+  EXPECT_TRUE(saw_ntp);
+  EXPECT_TRUE(saw_dns);
+}
+
+TEST_F(AttackAnalysisTest, FilteringCoverage) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto pre = compute_pre_rtbh(dataset, events);
+  const auto filt = compute_filtering(dataset, events, pre);
+  ASSERT_EQ(filt.coverage.size(), 2u);
+  // One event fully coverable, one not at all.
+  const double lo = std::min(filt.coverage[0], filt.coverage[1]);
+  const double hi = std::max(filt.coverage[0], filt.coverage[1]);
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+  EXPECT_NEAR(filt.fully_filterable_fraction, 0.5, 1e-9);
+}
+
+TEST_F(AttackAnalysisTest, ParticipationAttribution) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto pre = compute_pre_rtbh(dataset, events);
+  const auto part = compute_participation(dataset, events, pre);
+
+  // Only e1 carries amplification traffic.
+  EXPECT_EQ(part.attacks, 1u);
+  EXPECT_NEAR(part.avg_amplifiers_per_attack, 20.0, 0.1);
+  EXPECT_NEAR(part.avg_handover_per_attack, 2.0, 0.1);
+  EXPECT_NEAR(part.avg_origins_per_attack, 2.0, 0.1);
+  ASSERT_EQ(part.handover.size(), 2u);
+  EXPECT_DOUBLE_EQ(part.handover[0].event_share, 1.0);
+  ASSERT_EQ(part.origins.size(), 2u);
+  for (const auto& o : part.origins) {
+    EXPECT_TRUE(o.asn == 210000 || o.asn == 210001);
+    EXPECT_DOUBLE_EQ(o.event_share, 1.0);
+  }
+  // Traffic shares sum to ~1 across origins.
+  double share = 0.0;
+  for (const auto& o : part.origins) share += o.traffic_share;
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bw::core

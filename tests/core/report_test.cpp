@@ -1,0 +1,52 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/whatif.hpp"
+
+namespace bw::core {
+namespace {
+
+TEST(ReportTest, RendersAllSectionsOnSmallScenario) {
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.02;
+  cfg.seed = 13;
+  const ScenarioRun run = run_scenario(cfg, std::string{});
+  const AnalysisReport report = run_pipeline(run.dataset);
+  const auto whatif =
+      compute_whatif(run.dataset, report.events, report.pre);
+
+  const std::string md =
+      render_markdown(run.dataset, report, &whatif, {.title = "Test report"});
+
+  EXPECT_NE(md.find("# Test report"), std::string::npos);
+  for (const char* heading :
+       {"## Blackholing activity", "## DDoS correlation",
+        "## Blackhole acceptance", "## Attack traffic", "## Victims",
+        "## Use-case classification", "## Mitigation what-if"}) {
+    EXPECT_NE(md.find(heading), std::string::npos) << heading;
+  }
+  EXPECT_NE(md.find("| /32 |"), std::string::npos);
+  EXPECT_NE(md.find("rtbh-observed"), std::string::npos);
+  EXPECT_NE(md.find("zombie candidates"), std::string::npos);
+}
+
+TEST(ReportTest, OptionsSuppressSections) {
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.01;
+  cfg.seed = 14;
+  const ScenarioRun run = run_scenario(cfg, std::string{});
+  const AnalysisReport report = run_pipeline(run.dataset);
+
+  ReportOptions options;
+  options.drop_table = false;
+  options.include_whatif = false;
+  const std::string md =
+      render_markdown(run.dataset, report, nullptr, options);
+  EXPECT_EQ(md.find("## Blackhole acceptance"), std::string::npos);
+  EXPECT_EQ(md.find("## Mitigation what-if"), std::string::npos);
+  EXPECT_NE(md.find("## Use-case classification"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bw::core

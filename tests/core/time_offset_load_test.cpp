@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/load.hpp"
+#include "core/time_offset.hpp"
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+Dataset make_skewed_dataset(util::DurationMs skew) {
+  World world({0, util::days(2)}, skew);
+  const net::Ipv4 victim(24, 0, 0, 1);
+  bgp::UpdateLog control;
+  std::vector<flow::TrafficBurst> bursts;
+  // Many short blackhole windows with traffic spanning the edges, so the
+  // boundary samples pin down the offset.
+  for (int i = 0; i < 200; ++i) {
+    const util::TimeMs start = (i + 1) * 10 * util::kMinute;
+    const util::TimeMs end = start + 4 * util::kMinute;
+    control.push_back(world.platform->service().make_announce(
+        start, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+    control.push_back(world.platform->service().make_withdraw(
+        end, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+    bursts.push_back(world.burst(net::Ipv4(64, 0, 0, 1), victim,
+                                 net::Proto::kUdp, 123, 4444,
+                                 {start - util::kMinute, end + util::kMinute},
+                                 3000, world.acceptor));
+  }
+  return world.run(std::move(control), bursts);
+}
+
+TEST(TimeOffsetTest, RecoversInjectedSkew) {
+  const Dataset dataset = make_skewed_dataset(-40);
+  OffsetConfig cfg;
+  cfg.min_offset = -500;
+  cfg.max_offset = 500;
+  cfg.step = 10;
+  const auto est = estimate_offset(dataset, cfg);
+  ASSERT_FALSE(est.curve.empty());
+  // Data clock runs 40 ms early; adding +40 ms realigns it.
+  EXPECT_NEAR(static_cast<double>(est.best_offset), 40.0, 15.0);
+  EXPECT_GT(est.best_overlap, 0.95);
+  EXPECT_GT(est.dropped_samples, 1000u);
+}
+
+TEST(TimeOffsetTest, ZeroSkewPeaksAtZero) {
+  const Dataset dataset = make_skewed_dataset(0);
+  OffsetConfig cfg;
+  cfg.min_offset = -500;
+  cfg.max_offset = 500;
+  cfg.step = 10;
+  const auto est = estimate_offset(dataset, cfg);
+  EXPECT_NEAR(static_cast<double>(est.best_offset), 0.0, 15.0);
+}
+
+TEST(TimeOffsetTest, CurveCoversGrid) {
+  const Dataset dataset = make_skewed_dataset(-40);
+  OffsetConfig cfg;
+  cfg.min_offset = -100;
+  cfg.max_offset = 100;
+  cfg.step = 20;
+  const auto est = estimate_offset(dataset, cfg);
+  EXPECT_EQ(est.curve.size(), 11u);
+  EXPECT_EQ(est.curve.front().offset, -100);
+  EXPECT_EQ(est.curve.back().offset, 100);
+  for (const auto& p : est.curve) {
+    EXPECT_GE(p.overlap, 0.0);
+    EXPECT_LE(p.overlap, 1.0);
+  }
+}
+
+TEST(TimeOffsetTest, SubsamplingKeepsPeak) {
+  const Dataset dataset = make_skewed_dataset(-40);
+  OffsetConfig cfg;
+  cfg.min_offset = -200;
+  cfg.max_offset = 200;
+  cfg.step = 10;
+  cfg.max_samples = 20000;  // force stride > 1 but keep boundary samples
+  const auto est = estimate_offset(dataset, cfg);
+  EXPECT_NEAR(static_cast<double>(est.best_offset), 40.0, 30.0);
+}
+
+TEST(LoadTest, ActivePrefixesAndMessages) {
+  World world({0, util::kDay}, 0);
+  const net::Ipv4 v1(24, 0, 0, 1);
+  const net::Ipv4 v2(24, 0, 0, 2);
+  bgp::UpdateLog control;
+  // v1 blackholed hours 1-3, v2 hours 2-4: overlap in hour 2-3.
+  control.push_back(world.platform->service().make_announce(
+      util::kHour, World::kVictimAsn, 50000, net::Prefix::host(v1)));
+  control.push_back(world.platform->service().make_withdraw(
+      3 * util::kHour, World::kVictimAsn, 50000, net::Prefix::host(v1)));
+  control.push_back(world.platform->service().make_announce(
+      2 * util::kHour, World::kVictimAsn, 50001, net::Prefix::host(v2)));
+  control.push_back(world.platform->service().make_withdraw(
+      4 * util::kHour, World::kVictimAsn, 50001, net::Prefix::host(v2)));
+  const Dataset dataset = world.run(std::move(control), {});
+
+  const auto report = compute_load(dataset, util::kMinute);
+  ASSERT_EQ(report.series.size(), 24u * 60u);
+  EXPECT_EQ(report.max_active, 2u);
+  EXPECT_EQ(report.series[90].active_prefixes, 1u);    // 01:30: v1 only
+  EXPECT_EQ(report.series[30].active_prefixes, 0u);    // 00:30: none
+  EXPECT_EQ(report.series[150].active_prefixes, 2u);   // 02:30: overlap
+  EXPECT_EQ(report.series[200].active_prefixes, 1u);   // 03:20: v2 only
+  EXPECT_EQ(report.series[60].messages, 1u);           // announce minute
+  EXPECT_EQ(report.announcing_peers, 1u);
+  EXPECT_EQ(report.origin_ases, 2u);
+  EXPECT_GT(report.mean_active, 0.0);
+  EXPECT_EQ(report.max_messages_per_slot, 1u);
+}
+
+TEST(LoadTest, EmptyDataset) {
+  World world({0, util::kHour}, 0);
+  const Dataset dataset = world.run({}, {});
+  const auto report = compute_load(dataset, util::kMinute);
+  EXPECT_EQ(report.max_active, 0u);
+  EXPECT_EQ(report.mean_active, 0.0);
+  EXPECT_EQ(report.announcing_peers, 0u);
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -1,0 +1,120 @@
+#include "core/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus.hpp"
+
+namespace bw::core {
+namespace {
+
+using testutil::World;
+
+class WhatIfTest : public ::testing::Test {
+ protected:
+  WhatIfTest() : world_({0, util::days(8)}, 0) {}
+
+  // One attack event: NTP reflection via the acceptor (dropped by the
+  // observed RTBH) and rejector (leaks through), plus legitimate HTTPS to
+  // the victim during the event via the rejector.
+  Dataset make_dataset() {
+    const net::Ipv4 victim(24, 0, 0, 1);
+    const util::TimeMs t0 = util::days(5);
+    bgp::UpdateLog control;
+    control.push_back(world_.platform->service().make_announce(
+        t0, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+    control.push_back(world_.platform->service().make_withdraw(
+        t0 + util::kHour, World::kVictimAsn, 50000, net::Prefix::host(victim)));
+
+    std::vector<flow::TrafficBurst> bursts;
+    const util::TimeRange attack{t0 - 8 * util::kMinute, t0 + util::kHour};
+    for (int a = 0; a < 10; ++a) {
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 0, 2, static_cast<std::uint8_t>(a)), victim,
+          net::Proto::kUdp, 123, 40000, attack, 1000, world_.acceptor));
+      bursts.push_back(world_.burst(
+          net::Ipv4(64, 1, 2, static_cast<std::uint8_t>(a)), victim,
+          net::Proto::kUdp, 123, 40001, attack, 1000, world_.rejector));
+    }
+    // Legit HTTPS during the event, entering via a peer that carries no
+    // attack traffic (the victim's home member).
+    bursts.push_back(world_.burst(net::Ipv4(24, 0, 5, 5), victim,
+                                  net::Proto::kTcp, 50000, 443,
+                                  {t0, t0 + util::kHour}, 400,
+                                  world_.victim_member));
+    return world_.run(std::move(control), bursts);
+  }
+
+  World world_;
+};
+
+TEST_F(WhatIfTest, StrategyOrdering) {
+  const Dataset dataset = make_dataset();
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto pre = compute_pre_rtbh(dataset, events);
+  const auto report = compute_whatif(dataset, events, pre);
+  ASSERT_EQ(report.events_considered, 1u);
+
+  const auto& observed =
+      report.outcomes[static_cast<std::size_t>(Strategy::kRtbhObserved)];
+  const auto& perfect =
+      report.outcomes[static_cast<std::size_t>(Strategy::kRtbhPerfect)];
+  const auto& targeted =
+      report.outcomes[static_cast<std::size_t>(Strategy::kRtbhTargeted)];
+  const auto& flowspec =
+      report.outcomes[static_cast<std::size_t>(Strategy::kFlowspecAmpPorts)];
+  const auto& advanced = report.outcomes[static_cast<std::size_t>(
+      Strategy::kAdvancedBlackholing)];
+
+  // Observed RTBH: acceptor's half of the attack dies, rejector's half
+  // leaks (plus the pre-announcement minutes leak for everyone).
+  EXPECT_GT(observed.efficacy(), 0.3);
+  EXPECT_LT(observed.efficacy(), 0.6);
+
+  // Perfect RTBH kills everything during the blackhole — including the
+  // legitimate HTTPS (full collateral).
+  EXPECT_GT(perfect.efficacy(), observed.efficacy());
+  EXPECT_GT(perfect.collateral(), 0.9);
+
+  // Targeted RTBH: same attack efficacy as perfect (both attack peers are
+  // targeted) but the HTTPS entering via a clean peer survives.
+  EXPECT_NEAR(targeted.efficacy(), perfect.efficacy(), 1e-9);
+  EXPECT_EQ(targeted.legit_dropped, 0u);
+
+  // FlowSpec on amplification ports: full attack coverage (it also covers
+  // the pre-RTBH minutes), zero collateral.
+  EXPECT_NEAR(flowspec.efficacy(), 1.0, 1e-9);
+  EXPECT_EQ(flowspec.legit_dropped, 0u);
+  EXPECT_GE(advanced.efficacy(), flowspec.efficacy());
+  EXPECT_EQ(advanced.legit_dropped, 0u);  // legit here is TCP only
+}
+
+TEST_F(WhatIfTest, NamesAreStable) {
+  EXPECT_EQ(to_string(Strategy::kRtbhObserved), "rtbh-observed");
+  EXPECT_EQ(to_string(Strategy::kRtbhPerfect), "rtbh-perfect");
+  EXPECT_EQ(to_string(Strategy::kRtbhTargeted), "rtbh-targeted");
+  EXPECT_EQ(to_string(Strategy::kFlowspecAmpPorts), "flowspec-amp-ports");
+  EXPECT_EQ(to_string(Strategy::kAdvancedBlackholing),
+            "advanced-blackholing");
+}
+
+TEST(WhatIfEmptyTest, NoAttackEventsMeansEmptyReport) {
+  World world({0, util::days(8)}, 0);
+  const net::Ipv4 victim(24, 0, 0, 9);
+  bgp::UpdateLog control;
+  control.push_back(world.platform->service().make_announce(
+      util::days(5), World::kVictimAsn, 50000, net::Prefix::host(victim)));
+  const Dataset dataset = world.run(std::move(control), {});
+  const auto events =
+      merge_events(dataset.blackhole_updates(), dataset.period().end);
+  const auto pre = compute_pre_rtbh(dataset, events);
+  const auto report = compute_whatif(dataset, events, pre);
+  EXPECT_EQ(report.events_considered, 0u);
+  for (const auto& o : report.outcomes) {
+    EXPECT_EQ(o.attack_packets, 0u);
+    EXPECT_EQ(o.legit_packets, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "flow/collector.hpp"
+#include "flow/mac_table.hpp"
+#include "flow/record.hpp"
+#include "flow/sampler.hpp"
+
+namespace bw::flow {
+namespace {
+
+TEST(RecordTest, DroppedFlag) {
+  FlowRecord r;
+  r.dst_mac = net::Mac::for_member_port(3);
+  EXPECT_FALSE(r.dropped());
+  r.dst_mac = net::Mac::blackhole();
+  EXPECT_TRUE(r.dropped());
+}
+
+TEST(RecordTest, SortFlows) {
+  FlowLog log(3);
+  log[0].time = 30;
+  log[1].time = 10;
+  log[2].time = 20;
+  sort_flows(log);
+  EXPECT_EQ(log[0].time, 10);
+  EXPECT_EQ(log[2].time, 30);
+}
+
+TEST(MacTableTest, MemberMapping) {
+  MacTable t;
+  t.register_member(1, net::Mac::for_member_port(1));
+  t.register_member(2, net::Mac::for_member_port(2));
+  EXPECT_EQ(t.member_of(net::Mac::for_member_port(1)), 1u);
+  EXPECT_EQ(t.member_of(net::Mac::for_member_port(2)), 2u);
+  EXPECT_FALSE(t.member_of(net::Mac::for_member_port(99)));
+  EXPECT_EQ(t.mac_of(1), net::Mac::for_member_port(1));
+  EXPECT_THROW((void)t.mac_of(99), std::out_of_range);
+  EXPECT_EQ(t.member_count(), 2u);
+}
+
+TEST(MacTableTest, InternalAndBlackhole) {
+  MacTable t;
+  const net::Mac internal(0x0242FF000001ULL);
+  t.register_internal(internal);
+  EXPECT_TRUE(t.is_internal(internal));
+  EXPECT_FALSE(t.is_internal(net::Mac::for_member_port(1)));
+  EXPECT_TRUE(t.is_blackhole(net::Mac::blackhole()));
+  EXPECT_FALSE(t.is_blackhole(internal));
+}
+
+TEST(SamplerTest, ZeroPacketsNoSamples) {
+  IpfixSampler s(10000, util::Rng(1));
+  TrafficBurst b;
+  b.packets = 0;
+  EXPECT_TRUE(s.sample_times(b).empty());
+}
+
+TEST(SamplerTest, RateOneSamplesEverything) {
+  IpfixSampler s(1, util::Rng(1));
+  TrafficBurst b;
+  b.window = {0, 1000};
+  b.packets = 57;
+  EXPECT_EQ(s.sample_times(b).size(), 57u);
+}
+
+TEST(SamplerTest, SampleTimesInsideWindowAndSorted) {
+  IpfixSampler s(10, util::Rng(2));
+  TrafficBurst b;
+  b.window = {5000, 6000};
+  b.packets = 10000;
+  const auto times = s.sample_times(b);
+  ASSERT_FALSE(times.empty());
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  for (const auto t : times) {
+    EXPECT_GE(t, 5000);
+    EXPECT_LT(t, 6000);
+  }
+}
+
+TEST(SamplerTest, ZeroRateClampedToOne) {
+  IpfixSampler s(0, util::Rng(1));
+  EXPECT_EQ(s.rate(), 1u);
+}
+
+// Property: sampled counts follow Binomial(n, 1/N) statistics.
+class SamplerStatsTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SamplerStatsTest, MeanAndVarianceMatchBinomial) {
+  const std::uint32_t rate = GetParam();
+  IpfixSampler s(rate, util::Rng(7));
+  TrafficBurst b;
+  b.window = {0, 1000};
+  b.packets = 50000;
+  const double p = 1.0 / rate;
+  const double expected_mean = 50000.0 * p;
+  double sum = 0.0;
+  double sq = 0.0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    const auto k = static_cast<double>(s.sample_times(b).size());
+    sum += k;
+    sq += k * k;
+  }
+  const double mean = sum / trials;
+  const double var = sq / trials - mean * mean;
+  EXPECT_NEAR(mean, expected_mean, expected_mean * 0.15 + 1.0);
+  const double expected_var = 50000.0 * p * (1 - p);
+  EXPECT_NEAR(var, expected_var, expected_var * 0.5 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplerStatsTest,
+                         ::testing::Values(100u, 1000u, 10000u));
+
+TEST(CollectorTest, AppliesClockOffset) {
+  MacTable macs;
+  macs.register_member(1, net::Mac::for_member_port(1));
+  Collector c(macs, {.offset_ms = -40, .jitter_sd_ms = 0.0}, util::Rng(1));
+  FlowRecord r;
+  r.time = 1000;
+  r.src_mac = net::Mac::for_member_port(1);
+  r.dst_mac = net::Mac::for_member_port(1);
+  c.ingest(r);
+  ASSERT_EQ(c.flows().size(), 1u);
+  EXPECT_EQ(c.flows()[0].time, 960);
+}
+
+TEST(CollectorTest, FiltersInternalFlows) {
+  MacTable macs;
+  const net::Mac internal(0x0242FF000001ULL);
+  macs.register_internal(internal);
+  macs.register_member(1, net::Mac::for_member_port(1));
+  Collector c(macs, {}, util::Rng(1));
+  FlowRecord r;
+  r.src_mac = internal;
+  r.dst_mac = net::Mac::for_member_port(1);
+  c.ingest(r);
+  EXPECT_TRUE(c.flows().empty());
+  EXPECT_EQ(c.internal_flows_removed(), 1u);
+}
+
+TEST(CollectorTest, FinalizeSortsByTime) {
+  MacTable macs;
+  macs.register_member(1, net::Mac::for_member_port(1));
+  Collector c(macs, {.offset_ms = 0, .jitter_sd_ms = 0.0}, util::Rng(1));
+  for (const util::TimeMs t : {300, 100, 200}) {
+    FlowRecord r;
+    r.time = t;
+    r.src_mac = net::Mac::for_member_port(1);
+    r.dst_mac = net::Mac::for_member_port(1);
+    c.ingest(r);
+  }
+  c.finalize();
+  EXPECT_EQ(c.flows()[0].time, 100);
+  EXPECT_EQ(c.flows()[2].time, 300);
+}
+
+TEST(CollectorTest, JitterStaysSmall) {
+  MacTable macs;
+  macs.register_member(1, net::Mac::for_member_port(1));
+  Collector c(macs, {.offset_ms = 0, .jitter_sd_ms = 10.0}, util::Rng(1));
+  for (int i = 0; i < 500; ++i) {
+    FlowRecord r;
+    r.time = 100000;
+    r.src_mac = net::Mac::for_member_port(1);
+    r.dst_mac = net::Mac::for_member_port(1);
+    c.ingest(r);
+  }
+  for (const auto& r : c.flows()) {
+    EXPECT_NEAR(static_cast<double>(r.time), 100000.0, 60.0);  // 6 sigma
+  }
+}
+
+}  // namespace
+}  // namespace bw::flow

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "gen/amplification.hpp"
+#include "gen/ddos.hpp"
+#include "gen/legit.hpp"
+#include "gen/operator_model.hpp"
+#include "gen/scan.hpp"
+
+namespace bw::gen {
+namespace {
+
+AmplifierPoolConfig small_pool_config() {
+  AmplifierPoolConfig cfg;
+  cfg.origin_as_count = 50;
+  cfg.amplifier_count = 2000;
+  return cfg;
+}
+
+TEST(AmplifierPoolTest, BuildsRequestedPopulation) {
+  AmplifierPool pool(small_pool_config(), {1, 2, 3}, util::Rng(1));
+  EXPECT_EQ(pool.all().size(), 2000u);
+  EXPECT_EQ(pool.origins().size(), 50u);
+  for (const auto& a : pool.all()) {
+    EXPECT_TRUE(net::is_amplification_port(a.udp_port));
+    EXPECT_GE(a.origin, 210000u);
+  }
+  for (const auto& o : pool.origins()) {
+    EXPECT_TRUE(o.handover == 1 || o.handover == 2 || o.handover == 3);
+  }
+}
+
+TEST(AmplifierPoolTest, AmplifiersLiveInOriginPrefix) {
+  AmplifierPool pool(small_pool_config(), {1}, util::Rng(2));
+  std::unordered_map<bgp::Asn, net::Prefix> by_asn;
+  for (const auto& o : pool.origins()) by_asn.emplace(o.asn, o.prefix);
+  for (const auto& a : pool.all()) {
+    ASSERT_TRUE(by_asn.contains(a.origin));
+    EXPECT_TRUE(by_asn.at(a.origin).contains(a.ip));
+  }
+}
+
+TEST(AmplifierPoolTest, DrawFiltersByPort) {
+  AmplifierPool pool(small_pool_config(), {1}, util::Rng(3));
+  util::Rng rng(4);
+  const auto drawn = pool.draw(123, 30, rng);  // NTP
+  EXPECT_LE(drawn.size(), 30u);
+  EXPECT_FALSE(drawn.empty());
+  std::set<const Amplifier*> uniq(drawn.begin(), drawn.end());
+  EXPECT_EQ(uniq.size(), drawn.size()) << "draw must return distinct amplifiers";
+  for (const auto* a : drawn) EXPECT_EQ(a->udp_port, 123);
+}
+
+TEST(AmplifierPoolTest, DrawUnknownPortIsEmpty) {
+  AmplifierPool pool(small_pool_config(), {1}, util::Rng(5));
+  util::Rng rng(6);
+  EXPECT_TRUE(pool.draw(8080, 10, rng).empty());
+}
+
+TEST(AmplifierPoolTest, DominantOriginHasLargestShare) {
+  AmplifierPoolConfig cfg = small_pool_config();
+  cfg.amplifier_count = 20000;
+  cfg.dominant_origin_share = 0.10;
+  AmplifierPool pool(cfg, {1}, util::Rng(7));
+  std::unordered_map<bgp::Asn, std::size_t> counts;
+  for (const auto& a : pool.all()) ++counts[a.origin];
+  const double dom_share =
+      static_cast<double>(counts[pool.dominant_origin()]) /
+      static_cast<double>(pool.all().size());
+  EXPECT_NEAR(dom_share, 0.10, 0.03);
+}
+
+class DdosTest : public ::testing::Test {
+ protected:
+  DdosTest() : pool_(small_pool_config(), {1, 2}, util::Rng(1)) {}
+
+  std::vector<flow::TrafficBurst> collect(const AttackSpec& spec) {
+    DdosGenerator ddos(pool_, util::Rng(2));
+    std::vector<flow::TrafficBurst> bursts;
+    const std::vector<flow::MemberId> ingress{1, 2, 3};
+    ddos.emit(spec, ingress, [&](const flow::TrafficBurst& b) {
+      bursts.push_back(b);
+    });
+    return bursts;
+  }
+
+  AmplifierPool pool_;
+};
+
+TEST_F(DdosTest, AmplificationAttackShape) {
+  AttackSpec spec;
+  spec.victim = net::Ipv4(24, 0, 0, 1);
+  spec.window = {0, util::kHour};
+  spec.total_packets = 1000000;
+  spec.amplifier_count = 40;
+  spec.vectors.push_back({VectorKind::kUdpAmplification, 123, 1.0});
+  const auto bursts = collect(spec);
+  ASSERT_FALSE(bursts.empty());
+  std::int64_t total = 0;
+  std::set<net::Ipv4> sources;
+  for (const auto& b : bursts) {
+    EXPECT_EQ(b.proto, net::Proto::kUdp);
+    EXPECT_EQ(b.src_port, 123);  // reflected from the NTP service port
+    EXPECT_EQ(b.dst_ip, spec.victim);
+    EXPECT_EQ(b.window, spec.window);
+    total += b.packets;
+    sources.insert(b.src_ip);
+  }
+  EXPECT_GT(sources.size(), 10u);  // distributed reflectors
+  EXPECT_LE(total, spec.total_packets);
+  EXPECT_GT(total, spec.total_packets / 2);
+}
+
+TEST_F(DdosTest, MultiVectorSplitsVolume) {
+  AttackSpec spec;
+  spec.victim = net::Ipv4(24, 0, 0, 1);
+  spec.window = {0, util::kHour};
+  spec.total_packets = 1000000;
+  spec.vectors.push_back({VectorKind::kUdpAmplification, 123, 0.7});
+  spec.vectors.push_back({VectorKind::kUdpAmplification, 53, 0.3});
+  const auto bursts = collect(spec);
+  std::int64_t ntp = 0;
+  std::int64_t dns = 0;
+  for (const auto& b : bursts) {
+    if (b.src_port == 123) ntp += b.packets;
+    if (b.src_port == 53) dns += b.packets;
+  }
+  EXPECT_GT(ntp, dns);
+}
+
+TEST_F(DdosTest, SynFloodUsesTcpAndSpoofedSources) {
+  AttackSpec spec;
+  spec.victim = net::Ipv4(24, 0, 0, 1);
+  spec.window = {0, util::kHour};
+  spec.total_packets = 100000;
+  spec.vectors.push_back({VectorKind::kSynFlood, 0, 1.0});
+  const auto bursts = collect(spec);
+  ASSERT_FALSE(bursts.empty());
+  for (const auto& b : bursts) {
+    EXPECT_EQ(b.proto, net::Proto::kTcp);
+    EXPECT_EQ(b.src_ip.octet(0), 192);  // spoofed out of 192/8
+    EXPECT_LE(b.avg_packet_bytes, 80);
+  }
+}
+
+TEST_F(DdosTest, IncreasingPortCarpetSweepsPorts) {
+  AttackSpec spec;
+  spec.victim = net::Ipv4(24, 0, 0, 1);
+  spec.window = {0, util::kHour};
+  spec.total_packets = 100000;
+  spec.vectors.push_back({VectorKind::kUdpIncreasingPorts, 0, 1.0});
+  const auto bursts = collect(spec);
+  ASSERT_GT(bursts.size(), 2u);
+  std::set<net::Port> ports;
+  for (const auto& b : bursts) ports.insert(b.dst_port);
+  EXPECT_EQ(ports.size(), bursts.size());  // strictly changing ports
+}
+
+TEST_F(DdosTest, EmptySpecEmitsNothing) {
+  AttackSpec spec;
+  EXPECT_TRUE(collect(spec).empty());
+}
+
+TEST(LegitTest, ServerDayHasStableTopPortBothDirections) {
+  RemoteEndpoints remotes;
+  for (int i = 0; i < 20; ++i) {
+    remotes.client_ips.push_back(net::Ipv4(16, 0, 0, static_cast<uint8_t>(i)));
+    remotes.client_ingress.push_back(1);
+    remotes.server_ips.push_back(net::Ipv4(16, 1, 0, static_cast<uint8_t>(i)));
+    remotes.server_ingress.push_back(2);
+  }
+  LegitGenerator legit(remotes, util::Rng(1));
+  HostProfile server;
+  server.ip = net::Ipv4(24, 0, 0, 1);
+  server.role = HostRole::kServer;
+  server.home_member = 3;
+  server.services = {{net::Proto::kTcp, 443}};
+  server.daily_activity = 1.0;
+  server.mean_daily_packets = 100000;
+
+  std::vector<flow::TrafficBurst> bursts;
+  legit.emit_day(server, 5, [&](const flow::TrafficBurst& b) {
+    bursts.push_back(b);
+  });
+  ASSERT_FALSE(bursts.empty());
+  std::int64_t inbound_to_service = 0;
+  std::int64_t inbound_total = 0;
+  bool has_outbound = false;
+  for (const auto& b : bursts) {
+    EXPECT_TRUE(b.window.begin >= 5 * util::kDay &&
+                b.window.begin < 6 * util::kDay);
+    if (b.dst_ip == server.ip) {
+      inbound_total += b.packets;
+      if (b.dst_port == 443) inbound_to_service += b.packets;
+    } else {
+      EXPECT_EQ(b.src_ip, server.ip);
+      EXPECT_EQ(b.handover, server.home_member);
+      has_outbound = true;
+    }
+  }
+  EXPECT_TRUE(has_outbound);
+  EXPECT_GT(inbound_to_service, inbound_total / 2);
+}
+
+TEST(LegitTest, ClientTopPortChangesDaily) {
+  RemoteEndpoints remotes;
+  remotes.server_ips.push_back(net::Ipv4(16, 1, 0, 1));
+  remotes.server_ingress.push_back(2);
+  LegitGenerator legit(remotes, util::Rng(2));
+  HostProfile client;
+  client.ip = net::Ipv4(24, 0, 0, 2);
+  client.role = HostRole::kClient;
+  client.home_member = 3;
+  client.daily_activity = 1.0;
+  client.mean_daily_packets = 50000;
+
+  std::set<net::Port> daily_ports;
+  for (int day = 0; day < 10; ++day) {
+    net::Port day_port = 0;
+    std::int64_t best = 0;
+    std::map<net::Port, std::int64_t> inbound;
+    legit.emit_day(client, day, [&](const flow::TrafficBurst& b) {
+      if (b.dst_ip == client.ip) inbound[b.dst_port] += b.packets;
+    });
+    for (const auto& [port, pkts] : inbound) {
+      if (pkts > best) {
+        best = pkts;
+        day_port = port;
+      }
+    }
+    if (day_port != 0) daily_ports.insert(day_port);
+  }
+  EXPECT_GE(daily_ports.size(), 8u) << "client top port should vary daily";
+}
+
+TEST(LegitTest, IdleHostEmitsNothing) {
+  LegitGenerator legit({}, util::Rng(3));
+  HostProfile idle;
+  idle.role = HostRole::kIdle;
+  int bursts = 0;
+  legit.emit_day(idle, 0, [&](const flow::TrafficBurst&) { ++bursts; });
+  EXPECT_EQ(bursts, 0);
+}
+
+TEST(ScanTest, EmitsLowVolumeProbes) {
+  ScanGenerator scans({.bursts_per_ip_day = 1.0, .packets_per_burst = 100},
+                      util::Rng(4));
+  const std::vector<net::Ipv4> targets{net::Ipv4(24, 0, 0, 9)};
+  const std::vector<flow::MemberId> ingress{1};
+  int count = 0;
+  scans.emit(targets, ingress, {0, util::days(10)},
+             [&](const flow::TrafficBurst& b) {
+               EXPECT_EQ(b.dst_ip, targets[0]);
+               EXPECT_EQ(b.handover, 1u);
+               EXPECT_GT(b.packets, 0);
+               ++count;
+             });
+  EXPECT_EQ(count, 10);  // probability 1 per day
+}
+
+class OperatorModelTest : public ::testing::Test {
+ protected:
+  ixp::BlackholeService svc_{64600};
+};
+
+TEST_F(OperatorModelTest, MitigationAlternatesAnnounceWithdraw) {
+  OperatorModel op(svc_, util::Rng(1));
+  const auto prefix = *net::Prefix::parse("10.0.0.1/32");
+  const auto mit = op.mitigate(prefix, 100, 200, util::kHour, 2 * util::kHour,
+                               util::days(1), {});
+  ASSERT_FALSE(mit.updates.empty());
+  EXPECT_EQ(mit.updates.size() % 2, 0u);  // paired announce/withdraw
+  util::TimeMs prev = 0;
+  for (std::size_t i = 0; i < mit.updates.size(); ++i) {
+    const auto& u = mit.updates[i];
+    EXPECT_EQ(u.type, i % 2 == 0 ? bgp::UpdateType::kAnnounce
+                                 : bgp::UpdateType::kWithdraw);
+    EXPECT_TRUE(u.is_blackhole());
+    EXPECT_GE(u.time, prev);
+    prev = u.time;
+    EXPECT_EQ(u.prefix, prefix);
+    EXPECT_EQ(u.sender_asn, 100u);
+    EXPECT_EQ(u.origin_asn, 200u);
+  }
+  EXPECT_GT(mit.span.begin, util::kHour);  // reaction latency
+  EXPECT_LE(mit.span.end, util::days(1));
+  EXPECT_EQ(mit.announcements * 2, mit.updates.size());
+}
+
+TEST_F(OperatorModelTest, NeverAnnouncesAfterDeadline) {
+  OperatorModel op(svc_, util::Rng(2));
+  const auto prefix = *net::Prefix::parse("10.0.0.1/32");
+  for (int i = 0; i < 20; ++i) {
+    const auto mit = op.mitigate(prefix, 1, 1, util::kHour, util::days(30),
+                                 2 * util::kHour, {});
+    for (const auto& u : mit.updates) {
+      EXPECT_LE(u.time, 2 * util::kHour);
+    }
+  }
+}
+
+TEST_F(OperatorModelTest, LongLivedZombieNeverWithdraws) {
+  OperatorModel op(svc_, util::Rng(3));
+  const auto prefix = *net::Prefix::parse("10.0.0.2/32");
+  const auto log = op.long_lived(prefix, 1, 2, {100, 200}, false);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].type, bgp::UpdateType::kAnnounce);
+  const auto log2 = op.long_lived(prefix, 1, 2, {100, 200}, true);
+  ASSERT_EQ(log2.size(), 2u);
+  EXPECT_EQ(log2[1].type, bgp::UpdateType::kWithdraw);
+  EXPECT_EQ(log2[1].time, 200);
+}
+
+TEST_F(OperatorModelTest, TargetedCommunitiesAttached) {
+  OperatorModel op(svc_, util::Rng(4));
+  const auto prefix = *net::Prefix::parse("10.0.0.1/32");
+  const auto mit =
+      op.mitigate(prefix, 1, 1, 0, util::kHour, util::days(1), {},
+                  {bgp::Community{0, 77}});
+  for (const auto& u : mit.updates) {
+    EXPECT_TRUE(bgp::has_community(u.communities, bgp::Community{0, 77}));
+  }
+}
+
+}  // namespace
+}  // namespace bw::gen

@@ -1,0 +1,181 @@
+#include "gen/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace bw::gen {
+namespace {
+
+ScenarioConfig tiny_config() {
+  ScenarioConfig cfg;
+  cfg.scale = 0.02;
+  cfg.seed = 99;
+  return cfg;
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = tiny_config();
+    platform_ = std::make_unique<ixp::Platform>(
+        Scenario::platform_config(cfg_));
+    scenario_ = std::make_unique<Scenario>(cfg_);
+    scenario_->install(*platform_);
+  }
+
+  ScenarioConfig cfg_;
+  std::unique_ptr<ixp::Platform> platform_;
+  std::unique_ptr<Scenario> scenario_;
+};
+
+TEST_F(ScenarioTest, ScaledHelper) {
+  ScenarioConfig cfg;
+  cfg.scale = 0.5;
+  EXPECT_EQ(cfg.scaled(100), 50u);
+  EXPECT_EQ(cfg.scaled(1), 1u);  // never drops to zero
+  EXPECT_EQ(cfg.scaled(0), 0u);
+  cfg.scale = 1.0;
+  EXPECT_EQ(cfg.scaled(34000), 34000u);
+}
+
+TEST_F(ScenarioTest, InstallTwiceThrows) {
+  EXPECT_THROW(scenario_->install(*platform_), std::logic_error);
+}
+
+TEST_F(ScenarioTest, PopulationCountsScale) {
+  EXPECT_EQ(platform_->member_count(), cfg_.scaled(cfg_.members));
+  EXPECT_EQ(scenario_->truth().client_count, cfg_.scaled(cfg_.client_hosts));
+  EXPECT_EQ(scenario_->truth().server_count, cfg_.scaled(cfg_.server_hosts));
+}
+
+TEST_F(ScenarioTest, ControlLogIsSortedAndBlackholeOnly) {
+  const auto& control = scenario_->control();
+  ASSERT_FALSE(control.empty());
+  util::TimeMs prev = control.front().time;
+  for (const auto& u : control) {
+    EXPECT_GE(u.time, prev);
+    prev = u.time;
+    EXPECT_TRUE(u.is_blackhole());
+    EXPECT_TRUE(u.time >= cfg_.period.begin && u.time <= cfg_.period.end);
+  }
+}
+
+TEST_F(ScenarioTest, EventTruthConsistency) {
+  const auto& truth = scenario_->truth();
+  ASSERT_FALSE(truth.events.empty());
+  std::size_t attacks = 0;
+  for (const auto& ev : truth.events) {
+    EXPECT_LE(ev.rtbh_span.begin, ev.rtbh_span.end);
+    if (ev.has_attack) {
+      ++attacks;
+      EXPECT_EQ(ev.use_case, UseCase::kInfrastructureProtection);
+      EXPECT_GT(ev.attack_packets, 0);
+      EXPECT_GT(ev.attack_window.length(), 0);
+      EXPECT_FALSE(ev.amp_ports.empty() && !ev.has_carpet_vector)
+          << "attack without any vector";
+    }
+    if (ev.use_case == UseCase::kZombie) {
+      EXPECT_EQ(ev.rtbh_span.end, cfg_.period.end);
+      EXPECT_EQ(ev.prefix.length(), 32);
+    }
+    if (ev.use_case == UseCase::kSquattingProtection) {
+      EXPECT_LE(ev.prefix.length(), 24);
+    }
+  }
+  const double attack_share = static_cast<double>(attacks) /
+                              static_cast<double>(truth.events.size());
+  EXPECT_NEAR(attack_share, cfg_.attack_fraction, 0.12);
+}
+
+TEST_F(ScenarioTest, ZombiePrefixesAreUnique) {
+  std::set<net::Ipv4> zombies(scenario_->truth().zombie_addresses.begin(),
+                              scenario_->truth().zombie_addresses.end());
+  EXPECT_EQ(zombies.size(), scenario_->truth().zombie_addresses.size());
+}
+
+TEST_F(ScenarioTest, HostsLiveInRegisteredOriginSpace) {
+  for (const auto& host : scenario_->truth().hosts) {
+    EXPECT_EQ(platform_->origin_of(host.ip), host.origin_asn);
+    EXPECT_EQ(platform_->owner_of(host.ip), host.home_member);
+  }
+}
+
+TEST_F(ScenarioTest, RegistryCoversVictimOriginTypes) {
+  const auto& truth = scenario_->truth();
+  std::size_t known = 0;
+  std::unordered_set<bgp::Asn> seen;
+  for (const auto& host : truth.hosts) {
+    if (!seen.insert(host.origin_asn).second) continue;
+    if (scenario_->registry().find(host.origin_asn)) ++known;
+  }
+  EXPECT_GT(known, 0u);
+  // At larger scales some origins stay out of the registry (Table 4's
+  // "Unknown" row); at tiny scales the forced-non-empty pools may overlap.
+  if (seen.size() > 20) {
+    EXPECT_LT(known, seen.size());
+  }
+}
+
+TEST_F(ScenarioTest, TrafficSourceIsDeterministic) {
+  std::vector<flow::TrafficBurst> first;
+  std::vector<flow::TrafficBurst> second;
+  scenario_->traffic_source()([&](const flow::TrafficBurst& b) {
+    first.push_back(b);
+  });
+  scenario_->traffic_source()([&](const flow::TrafficBurst& b) {
+    second.push_back(b);
+  });
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].src_ip, second[i].src_ip);
+    EXPECT_EQ(first[i].dst_ip, second[i].dst_ip);
+    EXPECT_EQ(first[i].packets, second[i].packets);
+    EXPECT_EQ(first[i].window, second[i].window);
+  }
+}
+
+TEST_F(ScenarioTest, AttackTrafficTargetsVictims) {
+  std::unordered_set<std::uint32_t> victim_ips;
+  for (const auto& ev : scenario_->truth().events) {
+    if (ev.has_attack) victim_ips.insert(ev.prefix.network().value());
+  }
+  std::size_t amp_bursts_on_victims = 0;
+  scenario_->traffic_source()([&](const flow::TrafficBurst& b) {
+    if (b.proto == net::Proto::kUdp &&
+        net::is_amplification_port(b.src_port) &&
+        victim_ips.contains(b.dst_ip.value())) {
+      ++amp_bursts_on_victims;
+    }
+  });
+  EXPECT_GT(amp_bursts_on_victims, 100u);
+}
+
+TEST_F(ScenarioTest, EndToEndRunProducesBothCorpora) {
+  auto result =
+      platform_->run(scenario_->control(), scenario_->traffic_source());
+  EXPECT_EQ(result.control.size(), scenario_->control().size());
+  EXPECT_GT(result.data.size(), 1000u);
+  EXPECT_GT(result.accounting.sampled_dropped, 0u);
+  // Dropped records must carry the blackhole MAC.
+  std::size_t dropped = 0;
+  for (const auto& rec : result.data) {
+    if (rec.dropped()) ++dropped;
+  }
+  EXPECT_EQ(dropped, result.accounting.sampled_dropped);
+  EXPECT_GT(dropped, 0u);
+}
+
+TEST(ScenarioUseCaseTest, Names) {
+  EXPECT_EQ(to_string(UseCase::kInfrastructureProtection),
+            "infrastructure-protection");
+  EXPECT_EQ(to_string(UseCase::kZombie), "zombie");
+  EXPECT_EQ(to_string(UseCase::kSquattingProtection), "squatting-protection");
+  EXPECT_EQ(to_string(UseCase::kContentBlocking), "content-blocking");
+  EXPECT_EQ(to_string(UseCase::kOtherSteady), "other-steady");
+  EXPECT_EQ(to_string(UseCase::kOtherIdle), "other-idle");
+}
+
+}  // namespace
+}  // namespace bw::gen

@@ -1,0 +1,200 @@
+#include "ixp/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ixp/blackhole_service.hpp"
+
+namespace bw::ixp {
+namespace {
+
+PlatformConfig small_config() {
+  PlatformConfig cfg;
+  cfg.period = {0, util::days(1)};
+  cfg.sampling_rate = 1;  // sample everything for deterministic assertions
+  cfg.clock.offset_ms = 0;
+  cfg.clock.jitter_sd_ms = 0.0;
+  cfg.internal_flow_fraction = 0.0;
+  return cfg;
+}
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    platform_ = std::make_unique<Platform>(small_config());
+    victim_member_ = platform_->add_member(
+        100, {.blackhole = bgp::BlackholeAcceptance::kAcceptAll},
+        {*net::Prefix::parse("24.0.0.0/16")});
+    acceptor_ = platform_->add_member(
+        200, {.blackhole = bgp::BlackholeAcceptance::kAcceptAll},
+        {*net::Prefix::parse("16.0.0.0/16")});
+    rejector_ = platform_->add_member(
+        300, {.blackhole = bgp::BlackholeAcceptance::kClassfulOnly},
+        {*net::Prefix::parse("16.1.0.0/16")});
+  }
+
+  flow::TrafficBurst burst_to_victim(flow::MemberId handover,
+                                     util::TimeRange window,
+                                     std::int64_t packets = 100) {
+    flow::TrafficBurst b;
+    b.window = window;
+    b.src_ip = net::Ipv4(16, 0, 0, 5);
+    b.dst_ip = victim_ip_;
+    b.proto = net::Proto::kUdp;
+    b.src_port = 123;
+    b.dst_port = 4444;
+    b.packets = packets;
+    b.handover = handover;
+    return b;
+  }
+
+  std::unique_ptr<Platform> platform_;
+  flow::MemberId victim_member_{};
+  flow::MemberId acceptor_{};
+  flow::MemberId rejector_{};
+  net::Ipv4 victim_ip_{24, 0, 0, 7};
+};
+
+TEST_F(PlatformTest, MemberRegistration) {
+  EXPECT_EQ(platform_->member_count(), 3u);
+  EXPECT_EQ(platform_->member(victim_member_).asn, 100u);
+  EXPECT_EQ(platform_->member_by_asn(200), acceptor_);
+  EXPECT_FALSE(platform_->member_by_asn(999));
+  EXPECT_THROW(platform_->add_member(100, {}, {}), std::invalid_argument);
+}
+
+TEST_F(PlatformTest, OwnershipLookup) {
+  EXPECT_EQ(platform_->owner_of(victim_ip_), victim_member_);
+  EXPECT_EQ(platform_->owner_of(net::Ipv4(16, 1, 2, 3)), rejector_);
+  EXPECT_FALSE(platform_->owner_of(net::Ipv4(99, 0, 0, 1)));
+}
+
+TEST_F(PlatformTest, OriginRegistration) {
+  platform_->register_origin(*net::Prefix::parse("64.0.0.0/16"), 210000,
+                             acceptor_);
+  EXPECT_EQ(platform_->origin_of(net::Ipv4(64, 0, 1, 2)), 210000u);
+  EXPECT_FALSE(platform_->origin_of(net::Ipv4(65, 0, 0, 1)));
+  EXPECT_EQ(platform_->handover_of(210000), acceptor_);
+  EXPECT_EQ(platform_->origin_prefix_table().size(), 1u);
+}
+
+TEST_F(PlatformTest, ForwardedTrafficKeepsVictimMac) {
+  auto result = platform_->run({}, [&](const Platform::BurstSink& sink) {
+    sink(burst_to_victim(acceptor_, {1000, 2000}));
+  });
+  ASSERT_EQ(result.data.size(), 100u);
+  for (const auto& rec : result.data) {
+    EXPECT_FALSE(rec.dropped());
+    EXPECT_EQ(rec.dst_mac, platform_->member(victim_member_).port_mac);
+    EXPECT_EQ(rec.src_mac, platform_->member(acceptor_).port_mac);
+  }
+}
+
+TEST_F(PlatformTest, BlackholedTrafficGoesToBlackholeMac) {
+  const auto prefix = net::Prefix::host(victim_ip_);
+  bgp::UpdateLog control;
+  control.push_back(
+      platform_->service().make_announce(500, 100, 100, prefix));
+  auto result =
+      platform_->run(std::move(control), [&](const Platform::BurstSink& sink) {
+        sink(burst_to_victim(acceptor_, {1000, 2000}));
+      });
+  ASSERT_EQ(result.data.size(), 100u);
+  for (const auto& rec : result.data) {
+    EXPECT_TRUE(rec.dropped());
+  }
+  EXPECT_EQ(result.accounting.sampled_dropped, 100u);
+}
+
+TEST_F(PlatformTest, RejectingPeerForwardsDespiteBlackhole) {
+  const auto prefix = net::Prefix::host(victim_ip_);
+  bgp::UpdateLog control;
+  control.push_back(
+      platform_->service().make_announce(500, 100, 100, prefix));
+  auto result =
+      platform_->run(std::move(control), [&](const Platform::BurstSink& sink) {
+        sink(burst_to_victim(rejector_, {1000, 2000}));
+      });
+  ASSERT_EQ(result.data.size(), 100u);
+  for (const auto& rec : result.data) {
+    EXPECT_FALSE(rec.dropped());  // classful-only rejects the /32
+  }
+}
+
+TEST_F(PlatformTest, DropStartsMidBurst) {
+  const auto prefix = net::Prefix::host(victim_ip_);
+  bgp::UpdateLog control;
+  control.push_back(
+      platform_->service().make_announce(util::kHour, 100, 100, prefix));
+  auto result =
+      platform_->run(std::move(control), [&](const Platform::BurstSink& sink) {
+        sink(burst_to_victim(acceptor_, {0, 2 * util::kHour}, 10000));
+      });
+  std::size_t dropped = 0;
+  for (const auto& rec : result.data) {
+    if (rec.dropped()) {
+      ++dropped;
+      EXPECT_GE(rec.time, util::kHour);
+    } else {
+      EXPECT_LT(rec.time, util::kHour);
+    }
+  }
+  // Roughly half the (uniform) burst falls after the announcement.
+  EXPECT_NEAR(static_cast<double>(dropped) / 10000.0, 0.5, 0.05);
+}
+
+TEST_F(PlatformTest, PrivateBlackholeDropsWithoutControlPlane) {
+  platform_->service().add_private_blackhole(net::Prefix::host(victim_ip_),
+                                             {0, util::kDay});
+  auto result = platform_->run({}, [&](const Platform::BurstSink& sink) {
+    sink(burst_to_victim(acceptor_, {1000, 2000}));
+  });
+  ASSERT_EQ(result.data.size(), 100u);
+  for (const auto& rec : result.data) EXPECT_TRUE(rec.dropped());
+  EXPECT_EQ(result.accounting.sampled_dropped_private, 100u);
+  EXPECT_TRUE(result.control.empty());
+}
+
+TEST_F(PlatformTest, UnroutableTrafficNeverCrossesFabric) {
+  auto result = platform_->run({}, [&](const Platform::BurstSink& sink) {
+    flow::TrafficBurst b = burst_to_victim(acceptor_, {1000, 2000});
+    b.dst_ip = net::Ipv4(99, 9, 9, 9);  // owned by nobody, no blackhole
+    sink(b);
+  });
+  EXPECT_TRUE(result.data.empty());
+  EXPECT_EQ(result.accounting.unroutable_bursts, 1u);
+}
+
+TEST_F(PlatformTest, RunTwiceThrows) {
+  (void)platform_->run({}, [](const Platform::BurstSink&) {});
+  EXPECT_THROW((void)platform_->run({}, [](const Platform::BurstSink&) {}),
+               std::logic_error);
+}
+
+TEST(BlackholeServiceTest, AnnounceCarriesRfc7999Communities) {
+  BlackholeService svc(64600);
+  const auto u = svc.make_announce(10, 100, 200,
+                                   *net::Prefix::parse("10.0.0.1/32"));
+  EXPECT_TRUE(u.is_blackhole());
+  EXPECT_TRUE(bgp::has_community(u.communities, bgp::kNoExport));
+  EXPECT_EQ(u.type, bgp::UpdateType::kAnnounce);
+  EXPECT_EQ(u.sender_asn, 100u);
+  EXPECT_EQ(u.origin_asn, 200u);
+  EXPECT_EQ(u.next_hop, svc.blackhole_next_hop());
+
+  const auto w = svc.make_withdraw(20, 100, 200,
+                                   *net::Prefix::parse("10.0.0.1/32"));
+  EXPECT_EQ(w.type, bgp::UpdateType::kWithdraw);
+  EXPECT_TRUE(w.is_blackhole());
+}
+
+TEST(BlackholeServiceTest, ExtraCommunitiesPreserved) {
+  BlackholeService svc(64600);
+  const auto u = svc.make_announce(10, 100, 200,
+                                   *net::Prefix::parse("10.0.0.1/32"),
+                                   {bgp::Community{0, 42}});
+  EXPECT_TRUE(bgp::has_community(u.communities, bgp::Community{0, 42}));
+  EXPECT_TRUE(u.is_blackhole());
+}
+
+}  // namespace
+}  // namespace bw::ixp

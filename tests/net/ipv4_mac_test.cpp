@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+#include "net/mac.hpp"
+
+namespace bw::net {
+namespace {
+
+TEST(Ipv4Test, ConstructFromOctets) {
+  const Ipv4 a(192, 168, 1, 2);
+  EXPECT_EQ(a.value(), 0xC0A80102u);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(3), 2);
+}
+
+TEST(Ipv4Test, RoundTripString) {
+  const Ipv4 a(10, 0, 255, 1);
+  EXPECT_EQ(a.to_string(), "10.0.255.1");
+  EXPECT_EQ(Ipv4::parse("10.0.255.1"), a);
+}
+
+TEST(Ipv4Test, ParseValid) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0"), Ipv4(0));
+  EXPECT_EQ(Ipv4::parse("255.255.255.255"), Ipv4(0xFFFFFFFFu));
+}
+
+TEST(Ipv4Test, ParseInvalid) {
+  EXPECT_FALSE(Ipv4::parse(""));
+  EXPECT_FALSE(Ipv4::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4::parse("01.2.3.4"));  // ambiguous leading zero
+  EXPECT_FALSE(Ipv4::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4::parse(" 1.2.3.4"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4::parse("-1.2.3.4"));
+}
+
+TEST(Ipv4Test, Ordering) {
+  EXPECT_LT(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2));
+  EXPECT_LT(Ipv4(9, 255, 255, 255), Ipv4(10, 0, 0, 0));
+}
+
+TEST(Ipv4Test, Hashable) {
+  const std::hash<Ipv4> h;
+  EXPECT_EQ(h(Ipv4(1, 2, 3, 4)), h(Ipv4(1, 2, 3, 4)));
+  EXPECT_NE(h(Ipv4(1, 2, 3, 4)), h(Ipv4(1, 2, 3, 5)));
+}
+
+TEST(MacTest, RoundTripString) {
+  const Mac m(0x0242ab00cd01ULL);
+  EXPECT_EQ(m.to_string(), "02:42:ab:00:cd:01");
+  EXPECT_EQ(Mac::parse("02:42:ab:00:cd:01"), m);
+  EXPECT_EQ(Mac::parse("02:42:AB:00:CD:01"), m);  // case-insensitive
+}
+
+TEST(MacTest, ParseInvalid) {
+  EXPECT_FALSE(Mac::parse(""));
+  EXPECT_FALSE(Mac::parse("02:42:ab:00:cd"));
+  EXPECT_FALSE(Mac::parse("02:42:ab:00:cd:011"));
+  EXPECT_FALSE(Mac::parse("02-42-ab-00-cd-01"));
+  EXPECT_FALSE(Mac::parse("0g:42:ab:00:cd:01"));
+}
+
+TEST(MacTest, MasksTo48Bits) {
+  const Mac m(0xFFFF'1234'5678'9ABCULL);
+  EXPECT_EQ(m.value(), 0x1234'5678'9ABCULL);
+}
+
+TEST(MacTest, MemberPortsAreDistinct) {
+  EXPECT_NE(Mac::for_member_port(1), Mac::for_member_port(2));
+  EXPECT_NE(Mac::for_member_port(0), Mac::blackhole());
+}
+
+TEST(MacTest, BlackholeIsStable) {
+  EXPECT_EQ(Mac::blackhole(), Mac::blackhole());
+  EXPECT_EQ(Mac::blackhole().to_string(), "06:66:00:00:00:66");
+}
+
+}  // namespace
+}  // namespace bw::net

@@ -1,0 +1,65 @@
+#include "net/ports.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bw::net {
+namespace {
+
+TEST(ProtoTest, Names) {
+  EXPECT_EQ(to_string(Proto::kUdp), "UDP");
+  EXPECT_EQ(to_string(Proto::kTcp), "TCP");
+  EXPECT_EQ(to_string(Proto::kIcmp), "ICMP");
+  EXPECT_EQ(to_string(Proto::kOther), "OTHER");
+}
+
+TEST(ProtoPortTest, OrderingAndFormat) {
+  const ProtoPort a{Proto::kTcp, 80};
+  const ProtoPort b{Proto::kTcp, 443};
+  const ProtoPort c{Proto::kUdp, 80};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, c);  // protocol distinguishes the tuple (Section 6.2)
+  EXPECT_EQ(to_string(a), "TCP/80");
+  EXPECT_EQ(to_string(c), "UDP/80");
+}
+
+TEST(AmplificationTest, Table3ListComplete) {
+  // The paper's Table 3 footnote enumerates 17 protocols + fragmentation.
+  const auto protocols = amplification_protocols();
+  EXPECT_EQ(protocols.size(), 18u);
+  std::set<Port> ports;
+  for (const auto& p : protocols) ports.insert(p.udp_port);
+  EXPECT_EQ(ports.size(), protocols.size()) << "duplicate ports in table";
+  // Spot-check the paper's list.
+  for (const Port p : {17, 19, 53, 69, 123, 138, 161, 389, 520, 1900, 3659,
+                       3478, 5060, 6881, 11211, 27005, 28960, 0}) {
+    EXPECT_TRUE(ports.contains(p)) << "missing port " << p;
+  }
+}
+
+TEST(AmplificationTest, PortLookup) {
+  EXPECT_TRUE(is_amplification_port(123));   // NTP
+  EXPECT_TRUE(is_amplification_port(389));   // cLDAP
+  EXPECT_TRUE(is_amplification_port(11211)); // memcached
+  EXPECT_FALSE(is_amplification_port(80));
+  EXPECT_FALSE(is_amplification_port(443));
+  EXPECT_FALSE(is_amplification_port(22));
+}
+
+TEST(AmplificationTest, Names) {
+  ASSERT_TRUE(amplification_name(123));
+  EXPECT_EQ(*amplification_name(123), "NTP");
+  ASSERT_TRUE(amplification_name(389));
+  EXPECT_EQ(*amplification_name(389), "cLDAP");
+  EXPECT_FALSE(amplification_name(8080));
+}
+
+TEST(AmplificationTest, FactorsArePositive) {
+  for (const auto& p : amplification_protocols()) {
+    EXPECT_GT(p.amplification_factor, 0.0) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace bw::net

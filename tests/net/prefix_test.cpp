@@ -1,0 +1,91 @@
+#include "net/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::net {
+namespace {
+
+TEST(PrefixTest, ZeroesHostBits) {
+  const Prefix p(Ipv4(192, 168, 1, 200), 24);
+  EXPECT_EQ(p.network(), Ipv4(192, 168, 1, 0));
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(PrefixTest, MaskValues) {
+  EXPECT_EQ(Prefix(Ipv4(0), 0).mask(), 0u);
+  EXPECT_EQ(Prefix(Ipv4(0), 8).mask(), 0xFF000000u);
+  EXPECT_EQ(Prefix(Ipv4(0), 24).mask(), 0xFFFFFF00u);
+  EXPECT_EQ(Prefix(Ipv4(0), 32).mask(), 0xFFFFFFFFu);
+}
+
+TEST(PrefixTest, LengthClamped) {
+  const Prefix p(Ipv4(1, 2, 3, 4), 40);
+  EXPECT_EQ(p.length(), 32);
+}
+
+TEST(PrefixTest, ContainsAddress) {
+  const Prefix p(Ipv4(10, 1, 0, 0), 16);
+  EXPECT_TRUE(p.contains(Ipv4(10, 1, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4(10, 1, 255, 255)));
+  EXPECT_FALSE(p.contains(Ipv4(10, 2, 0, 0)));
+}
+
+TEST(PrefixTest, ContainsPrefix) {
+  const Prefix p16(Ipv4(10, 1, 0, 0), 16);
+  const Prefix p24(Ipv4(10, 1, 5, 0), 24);
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+  EXPECT_TRUE(Prefix(Ipv4(0), 0).contains(p16));  // default route covers all
+}
+
+TEST(PrefixTest, SizeAndAddressAt) {
+  const Prefix p(Ipv4(10, 0, 0, 0), 30);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.address_at(0), Ipv4(10, 0, 0, 0));
+  EXPECT_EQ(p.address_at(3), Ipv4(10, 0, 0, 3));
+  EXPECT_EQ(p.address_at(4), Ipv4(10, 0, 0, 0));  // wraps modulo size
+  EXPECT_EQ(Prefix::host(Ipv4(1, 1, 1, 1)).size(), 1u);
+}
+
+TEST(PrefixTest, ParseRoundTrip) {
+  const auto p = Prefix::parse("192.168.0.0/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "192.168.0.0/16");
+  const auto host = Prefix::parse("1.2.3.4");
+  ASSERT_TRUE(host);
+  EXPECT_EQ(host->length(), 32);
+}
+
+TEST(PrefixTest, ParseZeroesHostBits) {
+  const auto p = Prefix::parse("192.168.1.77/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->network(), Ipv4(192, 168, 1, 0));
+}
+
+TEST(PrefixTest, ParseInvalid) {
+  EXPECT_FALSE(Prefix::parse(""));
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33"));
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/-1"));
+  EXPECT_FALSE(Prefix::parse("1.2.3/24"));
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/"));
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/24x"));
+}
+
+TEST(PrefixTest, DefaultRoute) {
+  const Prefix def;
+  EXPECT_EQ(def.length(), 0);
+  EXPECT_EQ(def.size(), std::uint64_t{1} << 32);
+  EXPECT_TRUE(def.contains(Ipv4(255, 255, 255, 255)));
+}
+
+TEST(PrefixTest, HashDistinguishesLengths) {
+  const std::hash<Prefix> h;
+  const Prefix a(Ipv4(10, 0, 0, 0), 16);
+  const Prefix b(Ipv4(10, 0, 0, 0), 24);
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(h(a), h(Prefix(Ipv4(10, 0, 99, 99), 16)));  // same network
+}
+
+}  // namespace
+}  // namespace bw::net

@@ -1,0 +1,146 @@
+#include "net/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace bw::net {
+namespace {
+
+TEST(PrefixTrieTest, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_TRUE(trie.insert(*Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(*Prefix::parse("10.0.0.0/8"), 2));  // overwrite
+  EXPECT_EQ(trie.size(), 1u);
+  ASSERT_NE(trie.find(*Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.0.0.0/8")), 2);
+  EXPECT_TRUE(trie.erase(*Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(*Prefix::parse("10.0.0.0/8")));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrieTest, ExactMatchDistinguishesLengths) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.0.0.0/16"), 16);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.0.0.0/8")), 8);
+  EXPECT_EQ(*trie.find(*Prefix::parse("10.0.0.0/16")), 16);
+  EXPECT_EQ(trie.find(*Prefix::parse("10.0.0.0/12")), nullptr);
+}
+
+TEST(PrefixTrieTest, LongestPrefixMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 24);
+  trie.insert(*Prefix::parse("10.1.2.3/32"), 32);
+
+  EXPECT_EQ(*trie.match(Ipv4(10, 1, 2, 3)), 32);
+  EXPECT_EQ(*trie.match(Ipv4(10, 1, 2, 4)), 24);
+  EXPECT_EQ(*trie.match(Ipv4(10, 1, 3, 1)), 16);
+  EXPECT_EQ(*trie.match(Ipv4(10, 9, 9, 9)), 8);
+  EXPECT_EQ(trie.match(Ipv4(11, 0, 0, 0)), nullptr);
+}
+
+TEST(PrefixTrieTest, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(Ipv4(0), 0), 42);
+  EXPECT_EQ(*trie.match(Ipv4(255, 1, 2, 3)), 42);
+  const auto entry = trie.match_entry(Ipv4(1, 2, 3, 4));
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->first.length(), 0);
+}
+
+TEST(PrefixTrieTest, MatchEntryReconstructsPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("192.168.4.0/22"), 1);
+  const auto entry = trie.match_entry(Ipv4(192, 168, 6, 9));
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->first, *Prefix::parse("192.168.4.0/22"));
+  EXPECT_EQ(entry->second, 1);
+}
+
+TEST(PrefixTrieTest, MatchesReturnsAllCoveringShortestFirst) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.3/32"), 32);
+  const auto all = trie.matches(Ipv4(10, 1, 2, 3));
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first.length(), 8);
+  EXPECT_EQ(all[1].first.length(), 16);
+  EXPECT_EQ(all[2].first.length(), 32);
+  EXPECT_EQ(*all[2].second, 32);
+}
+
+TEST(PrefixTrieTest, ForEachVisitsEverythingInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("9.0.0.0/8"), 2);
+  trie.insert(*Prefix::parse("10.5.0.0/16"), 3);
+  std::vector<Prefix> visited;
+  trie.for_each([&](const Prefix& p, const int&) { visited.push_back(p); });
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0], *Prefix::parse("9.0.0.0/8"));
+  EXPECT_EQ(visited[1], *Prefix::parse("10.0.0.0/8"));
+  EXPECT_EQ(visited[2], *Prefix::parse("10.5.0.0/16"));
+}
+
+TEST(PrefixTrieTest, ClearResets) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.match(Ipv4(10, 0, 0, 1)), nullptr);
+}
+
+// Property: trie LPM agrees with a brute-force reference over random data.
+class TriePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriePropertyTest, MatchesBruteForce) {
+  util::Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> reference;
+
+  for (int i = 0; i < 300; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(0, 32));
+    // Concentrate prefixes to force overlaps.
+    const Prefix p(
+        Ipv4(static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFF)) << 16 |
+             static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFF))),
+        len);
+    trie.insert(p, i);
+    reference[p] = i;
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4 addr(static_cast<std::uint32_t>(
+        rng.uniform_int(0, std::numeric_limits<std::uint32_t>::max())));
+    std::optional<int> expected;
+    int best_len = -1;
+    for (const auto& [p, v] : reference) {
+      if (p.contains(addr) && p.length() > best_len) {
+        best_len = p.length();
+        expected = v;
+      }
+    }
+    const int* got = trie.match(addr);
+    if (expected.has_value()) {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, *expected);
+    } else {
+      EXPECT_EQ(got, nullptr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace bw::net

@@ -1,0 +1,77 @@
+#include "peeringdb/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::pdb {
+namespace {
+
+TEST(RegistryTest, UpsertAndFind) {
+  Registry r;
+  r.upsert({.asn = 100, .type = OrgType::kContent, .scope = Scope::kGlobal});
+  const auto rec = r.find(100);
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->type, OrgType::kContent);
+  EXPECT_EQ(rec->scope, Scope::kGlobal);
+  EXPECT_FALSE(r.find(200));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RegistryTest, UpsertOverwrites) {
+  Registry r;
+  r.upsert({.asn = 100, .type = OrgType::kContent});
+  r.upsert({.asn = 100, .type = OrgType::kNsp});
+  EXPECT_EQ(r.type_of(100), OrgType::kNsp);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RegistryTest, MissingFoldsToUnknown) {
+  const Registry r;
+  EXPECT_EQ(r.type_of(42), OrgType::kUnknown);
+  EXPECT_EQ(r.scope_of(42), Scope::kUnknown);
+}
+
+TEST(RegistryTest, TypeNames) {
+  EXPECT_EQ(to_string(OrgType::kContent), "Content");
+  EXPECT_EQ(to_string(OrgType::kCableDslIsp), "Cable/DSL/ISP");
+  EXPECT_EQ(to_string(OrgType::kNsp), "NSP");
+  EXPECT_EQ(to_string(OrgType::kEnterprise), "Enterprise");
+  EXPECT_EQ(to_string(OrgType::kUnknown), "Unknown");
+  EXPECT_EQ(to_string(Scope::kGlobal), "Global");
+  EXPECT_EQ(to_string(Scope::kEurope), "Europe");
+}
+
+TEST(RegistryTest, SynthesizeRespectsMarginalsAndAbsence) {
+  std::vector<Asn> asns(5000);
+  for (std::size_t i = 0; i < asns.size(); ++i) {
+    asns[i] = static_cast<Asn>(1000 + i);
+  }
+  util::Rng rng(42);
+  Registry::Marginals m;  // absent = 0.18
+  const Registry r = Registry::synthesize(asns, m, rng);
+  EXPECT_LT(r.size(), asns.size());
+  const double present =
+      static_cast<double>(r.size()) / static_cast<double>(asns.size());
+  EXPECT_NEAR(present, 0.82, 0.05);
+
+  std::size_t dsl = 0;
+  for (const Asn a : asns) {
+    if (r.type_of(a) == OrgType::kCableDslIsp) ++dsl;
+  }
+  // cable_dsl_isp weight 0.35 of total 1.0.
+  EXPECT_NEAR(static_cast<double>(dsl) / static_cast<double>(asns.size()), 0.35,
+              0.05);
+}
+
+TEST(RegistryTest, SynthesizeDeterministicForSeed) {
+  std::vector<Asn> asns{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  util::Rng a(7);
+  util::Rng b(7);
+  const Registry ra = Registry::synthesize(asns, {}, a);
+  const Registry rb = Registry::synthesize(asns, {}, b);
+  for (const Asn asn : asns) {
+    EXPECT_EQ(ra.type_of(asn), rb.type_of(asn));
+  }
+}
+
+}  // namespace
+}  // namespace bw::pdb

@@ -1,0 +1,91 @@
+// Property tests: the annotated blackhole index against a brute-force
+// reference over random announce/withdraw sequences.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bgp/blackhole_index.hpp"
+#include "util/rng.hpp"
+
+namespace bw::bgp {
+namespace {
+
+// Naive reference: list of (prefix, [begin,end)) intervals.
+class NaiveIndex {
+ public:
+  void open(const net::Prefix& p, util::TimeMs t) {
+    if (!open_.contains(p)) open_[p] = t;
+  }
+  void close(const net::Prefix& p, util::TimeMs t) {
+    const auto it = open_.find(p);
+    if (it == open_.end()) return;
+    if (t > it->second) closed_.emplace_back(p, util::TimeRange{it->second, t});
+    open_.erase(it);
+  }
+  void finalize(util::TimeMs end) {
+    for (const auto& [p, begin] : open_) {
+      closed_.emplace_back(p, util::TimeRange{begin, end});
+    }
+    open_.clear();
+  }
+  [[nodiscard]] bool announced_at(net::Ipv4 addr, util::TimeMs t) const {
+    for (const auto& [p, range] : closed_) {
+      if (p.contains(addr) && range.contains(t)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::map<net::Prefix, util::TimeMs> open_;
+  std::vector<std::pair<net::Prefix, util::TimeRange>> closed_;
+};
+
+class IndexPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexPropertyTest, MatchesNaiveReference) {
+  util::Rng rng(GetParam());
+  BlackholeIndex index(64600);
+  NaiveIndex naive;
+
+  // A small, colliding prefix universe so covering relationships happen.
+  std::vector<net::Prefix> universe;
+  for (int i = 0; i < 12; ++i) {
+    universe.push_back(net::Prefix(
+        net::Ipv4(0x18000000u + static_cast<std::uint32_t>(rng.index(4)) * 256 +
+                  static_cast<std::uint32_t>(rng.index(8))),
+        32));
+  }
+  universe.push_back(*net::Prefix::parse("24.0.0.0/24"));
+  universe.push_back(*net::Prefix::parse("24.0.1.0/24"));
+  universe.push_back(*net::Prefix::parse("24.0.0.0/16"));
+
+  const util::TimeMs horizon = util::days(2);
+  for (int step = 0; step < 600; ++step) {
+    const auto& p = universe[rng.index(universe.size())];
+    const util::TimeMs t = (horizon / 600) * step;
+    if (rng.chance(0.55)) {
+      index.open(p, t, {kBlackhole}, 1);
+      naive.open(p, t);
+    } else {
+      index.close(p, t);
+      naive.close(p, t);
+    }
+  }
+  index.finalize(horizon);
+  naive.finalize(horizon);
+
+  for (int probe = 0; probe < 4000; ++probe) {
+    const net::Ipv4 addr(0x18000000u +
+                         static_cast<std::uint32_t>(rng.index(4)) * 256 +
+                         static_cast<std::uint32_t>(rng.index(8)));
+    const util::TimeMs t = rng.uniform_int(-util::kHour, horizon + util::kHour);
+    ASSERT_EQ(index.announced_at(addr, t), naive.announced_at(addr, t))
+        << addr.to_string() << " @ " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace bw::bgp

@@ -1,0 +1,99 @@
+#include "util/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace bw::util {
+namespace {
+
+TEST(BootstrapTest, EmptySampleDegenerates) {
+  const auto ci = bootstrap_quantile_ci({}, 0.5);
+  EXPECT_EQ(ci.estimate, 0.0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 0.0);
+}
+
+TEST(BootstrapTest, IntervalBracketsEstimate) {
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.normal(10.0, 2.0));
+  const auto ci = bootstrap_quantile_ci(sample, 0.5);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+  EXPECT_NEAR(ci.estimate, 10.0, 0.5);
+  EXPECT_LT(ci.hi - ci.lo, 1.0) << "median CI of n=500 should be tight";
+}
+
+TEST(BootstrapTest, WiderForSmallerSamples) {
+  Rng rng(2);
+  std::vector<double> big;
+  std::vector<double> small;
+  for (int i = 0; i < 2000; ++i) big.push_back(rng.normal(0.0, 1.0));
+  small.assign(big.begin(), big.begin() + 40);
+  const auto wide = bootstrap_quantile_ci(small, 0.5);
+  const auto tight = bootstrap_quantile_ci(big, 0.5);
+  EXPECT_GT(wide.hi - wide.lo, tight.hi - tight.lo);
+}
+
+TEST(BootstrapTest, CustomStatistic) {
+  const std::vector<double> sample{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto ci = bootstrap_ci(sample, [](std::span<const double> s) {
+    double sum = 0.0;
+    for (const double v : s) sum += v;
+    return sum / static_cast<double>(s.size());
+  });
+  EXPECT_DOUBLE_EQ(ci.estimate, 5.5);
+  EXPECT_GT(ci.lo, 3.0);
+  EXPECT_LT(ci.hi, 8.0);
+}
+
+TEST(BootstrapTest, ShareCi) {
+  const auto ci = bootstrap_share_ci(500, 1000);
+  EXPECT_DOUBLE_EQ(ci.estimate, 0.5);
+  EXPECT_NEAR(ci.lo, 0.5 - 1.96 * 0.0158, 0.01);
+  EXPECT_NEAR(ci.hi, 0.5 + 1.96 * 0.0158, 0.01);
+  const auto degenerate = bootstrap_share_ci(0, 0);
+  EXPECT_EQ(degenerate.estimate, 0.0);
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  const std::vector<double> sample{1, 5, 2, 8, 3, 9, 4};
+  const auto a = bootstrap_quantile_ci(sample, 0.5);
+  const auto b = bootstrap_quantile_ci(sample, 0.5);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+// Property: coverage of the 95% CI for the mean is near nominal.
+class BootstrapCoverageTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BootstrapCoverageTest, CoversTrueMeanMostOfTheTime) {
+  Rng rng(GetParam());
+  int covered = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample;
+    for (int i = 0; i < 80; ++i) sample.push_back(rng.normal(3.0, 1.5));
+    BootstrapConfig cfg;
+    cfg.resamples = 400;
+    cfg.seed = rng.fork(static_cast<std::uint64_t>(t)).seed();
+    const auto ci = bootstrap_ci(
+        sample,
+        [](std::span<const double> s) {
+          double sum = 0.0;
+          for (const double v : s) sum += v;
+          return sum / static_cast<double>(s.size());
+        },
+        cfg);
+    if (ci.lo <= 3.0 && 3.0 <= ci.hi) ++covered;
+  }
+  // Nominal 95%; allow generous slack for 60 trials.
+  EXPECT_GE(covered, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BootstrapCoverageTest,
+                         ::testing::Values(101, 202));
+
+}  // namespace
+}  // namespace bw::util

@@ -1,0 +1,66 @@
+#include "util/cusum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bw::util {
+namespace {
+
+TEST(CusumTest, NoAlarmBeforeBaselineReady) {
+  CusumDetector det({.window = 50});
+  for (int i = 0; i < 49; ++i) {
+    EXPECT_FALSE(det.push(1000.0));
+    EXPECT_FALSE(det.baseline_ready());
+  }
+}
+
+TEST(CusumTest, DetectsStepChange) {
+  CusumDetector det({.window = 50, .slack_k = 0.5, .threshold_h = 5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) det.push(10.0 + rng.uniform(-1.0, 1.0));
+  // A sustained shift must alarm within a few samples.
+  bool alarmed = false;
+  for (int i = 0; i < 10 && !alarmed; ++i) alarmed = det.push(100.0);
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(CusumTest, AccumulatesSlowDrift) {
+  // CUSUM's advantage over per-slot thresholding: many small exceedances
+  // accumulate into an alarm even when no single sample is extreme.
+  CusumDetector det({.window = 50, .slack_k = 0.25, .threshold_h = 6.0});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) det.push(10.0 + rng.uniform(-1.0, 1.0));
+  bool alarmed = false;
+  for (int i = 0; i < 40 && !alarmed; ++i) {
+    alarmed = det.push(11.5 + rng.uniform(-1.0, 1.0));  // +~1.5 SD shift
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(CusumTest, FlatSeriesNeverAlarms) {
+  CusumDetector det({.window = 20});
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(det.push(5.0));
+  }
+}
+
+TEST(CusumTest, StatisticResetsAfterAlarm) {
+  CusumDetector det({.window = 20, .threshold_h = 3.0});
+  for (int i = 0; i < 40; ++i) det.push(1.0);
+  bool alarmed = false;
+  for (int i = 0; i < 5 && !alarmed; ++i) alarmed = det.push(50.0);
+  ASSERT_TRUE(alarmed);
+  EXPECT_EQ(det.statistic(), 0.0);
+}
+
+TEST(CusumTest, ResetClearsEverything) {
+  CusumDetector det({.window = 10});
+  for (int i = 0; i < 20; ++i) det.push(3.0);
+  det.reset();
+  EXPECT_FALSE(det.baseline_ready());
+  EXPECT_EQ(det.statistic(), 0.0);
+}
+
+}  // namespace
+}  // namespace bw::util

@@ -1,0 +1,145 @@
+#include "util/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace bw::util {
+namespace {
+
+// Naive reference implementation following the paper's formulas directly.
+class NaiveEwma {
+ public:
+  explicit NaiveEwma(std::size_t window) : window_(window) {
+    const double alpha = 2.0 / (static_cast<double>(window) + 1.0);
+    double w = 1.0;
+    for (std::size_t i = 0; i < window; ++i) {
+      weights_.push_back(w);
+      w *= (1.0 - alpha);
+    }
+  }
+
+  void push(double x) {
+    values_.insert(values_.begin(), x);  // newest first
+    if (values_.size() > window_) values_.resize(window_);
+  }
+
+  [[nodiscard]] double average() const {
+    return weighted_mean(values_, {weights_.data(), values_.size()});
+  }
+  [[nodiscard]] double stddev() const {
+    return weighted_stddev(values_, {weights_.data(), values_.size()});
+  }
+
+ private:
+  std::size_t window_;
+  std::vector<double> weights_;
+  std::vector<double> values_;
+};
+
+TEST(EwmaTest, NoAnomalyBeforeFullWindow) {
+  EwmaDetector det({.window = 10, .threshold_sd = 2.5});
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(det.push(1000.0 * i)) << "window not yet full at " << i;
+  }
+  EXPECT_FALSE(det.window_full());
+  det.push(0.0);
+  EXPECT_TRUE(det.window_full());
+}
+
+TEST(EwmaTest, DetectsSpikeAfterFlatBaseline) {
+  EwmaDetector det({.window = 20, .threshold_sd = 2.5});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) det.push(10.0 + rng.uniform(-0.5, 0.5));
+  EXPECT_TRUE(det.push(100.0));
+}
+
+TEST(EwmaTest, NoAnomalyOnFlatSeries) {
+  EwmaDetector det({.window = 20});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(det.push(5.0));
+  }
+}
+
+TEST(EwmaTest, DipsAreNotAnomalies) {
+  EwmaDetector det({.window = 20});
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) det.push(100.0 + rng.uniform(-1.0, 1.0));
+  EXPECT_FALSE(det.push(0.0));  // only positive deviations count
+}
+
+TEST(EwmaTest, RecentValuesWeighHeavier) {
+  EwmaDetector det({.window = 4});
+  det.push(0.0);
+  det.push(0.0);
+  det.push(0.0);
+  det.push(100.0);  // newest
+  // Weighted average with newest-heavy weights must exceed the plain mean.
+  EXPECT_GT(det.current_average(), 25.0);
+}
+
+TEST(EwmaTest, ResetClearsState) {
+  EwmaDetector det({.window = 5});
+  for (int i = 0; i < 10; ++i) det.push(3.0);
+  det.reset();
+  EXPECT_EQ(det.samples_seen(), 0u);
+  EXPECT_FALSE(det.window_full());
+  EXPECT_EQ(det.current_average(), 0.0);
+}
+
+TEST(EwmaTest, ScanMatchesDetector) {
+  Rng rng(3);
+  std::vector<double> series;
+  for (int i = 0; i < 500; ++i) series.push_back(rng.uniform(0.0, 10.0));
+  series[400] = 500.0;
+  const EwmaConfig cfg{.window = 50};
+  const EwmaSeries scan = ewma_scan(series, cfg);
+  EwmaDetector det(cfg);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(det.push(series[i]), scan.anomalous[i]) << "at " << i;
+  }
+  EXPECT_TRUE(scan.anomalous[400]);
+}
+
+TEST(EwmaTest, PaperParameters) {
+  const EwmaDetector det;  // defaults
+  EXPECT_EQ(det.config().window, 288u);
+  EXPECT_DOUBLE_EQ(det.config().threshold_sd, 2.5);
+}
+
+// Property: the O(1) incremental moments match the naive recomputation.
+class EwmaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(EwmaPropertyTest, IncrementalMatchesNaive) {
+  const auto [window, seed] = GetParam();
+  EwmaDetector det({.window = window});
+  NaiveEwma naive(window);
+  Rng rng(seed);
+  for (int i = 0; i < 700; ++i) {
+    // Mix of sparse zeros and occasional spikes, like real slot series.
+    double x = rng.chance(0.7) ? 0.0 : rng.uniform(0.0, 20.0);
+    if (rng.chance(0.01)) x = rng.uniform(100.0, 1000.0);
+    det.push(x);
+    naive.push(x);
+    // Tolerance scales with magnitude: the sum-of-squares variance form
+    // loses precision via cancellation when values are large.
+    const double tol = 1e-6 + 1e-6 * std::abs(naive.average()) +
+                       1e-9 * naive.average() * naive.average();
+    ASSERT_NEAR(det.current_average(), naive.average(), tol) << "step " << i;
+    ASSERT_NEAR(det.current_stddev(), naive.stddev(), tol + 1e-4)
+        << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndSeeds, EwmaPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 7, 50, 288),
+                       ::testing::Values<std::uint64_t>(1, 99)));
+
+}  // namespace
+}  // namespace bw::util

@@ -1,0 +1,80 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::util {
+namespace {
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinPlacement) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(9.9);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(HistogramTest, WeightsAndFractions) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0, 3.0);
+  h.add(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(CategoricalHistogramTest, CountsAndFractions) {
+  CategoricalHistogram h;
+  h.add("udp", 3.0);
+  h.add("tcp");
+  h.add("udp");
+  EXPECT_DOUBLE_EQ(h.count("udp"), 4.0);
+  EXPECT_DOUBLE_EQ(h.count("tcp"), 1.0);
+  EXPECT_DOUBLE_EQ(h.count("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction("udp"), 0.8);
+}
+
+TEST(CategoricalHistogramTest, KeysByCountOrdering) {
+  CategoricalHistogram h;
+  h.add("b", 2.0);
+  h.add("a", 2.0);
+  h.add("c", 5.0);
+  const auto keys = h.keys_by_count();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "c");
+  EXPECT_EQ(keys[1], "a");  // tie broken alphabetically
+  EXPECT_EQ(keys[2], "b");
+}
+
+TEST(CategoricalHistogramTest, EmptyFraction) {
+  const CategoricalHistogram h;
+  EXPECT_DOUBLE_EQ(h.fraction("x"), 0.0);
+}
+
+}  // namespace
+}  // namespace bw::util

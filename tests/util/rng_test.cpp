@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bw::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkIsIndependentAndStable) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = Rng(7).fork(1);
+  EXPECT_EQ(c1.uniform_int(0, 1 << 30), c1_again.uniform_int(0, 1 << 30));
+  // Sibling forks draw different streams.
+  Rng c1b = Rng(7).fork(1);
+  Rng c2b = Rng(7).fork(2);
+  EXPECT_NE(c1b.uniform_int(0, 1 << 30), c2b.uniform_int(0, 1 << 30));
+  (void)c2;
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformRealBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(4);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(6);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(-5, 0.5), 0);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100);
+}
+
+TEST(RngTest, BinomialMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.binomial(10000, 0.0001));
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.1);
+}
+
+TEST(RngTest, ParetoIsAtLeastScale) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(9);
+  const std::vector<double> w{0.0, 1.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexDegenerate) {
+  Rng rng(10);
+  EXPECT_EQ(rng.weighted_index({}), 0u);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(zeros), 0u);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndClamped) {
+  Rng rng(11);
+  const auto s = rng.sample_indices(10, 4);
+  EXPECT_EQ(s.size(), 4u);
+  const std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (const auto i : s) EXPECT_LT(i, 10u);
+
+  const auto all = rng.sample_indices(3, 100);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(RngTest, IndexWithinBounds) {
+  Rng rng(12);
+  EXPECT_EQ(rng.index(1), 0u);
+  EXPECT_EQ(rng.index(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+}  // namespace
+}  // namespace bw::util

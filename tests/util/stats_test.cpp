@@ -1,0 +1,175 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bw::util {
+namespace {
+
+TEST(StreamingStatsTest, Empty) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStatsTest, BasicMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, SampleVariance) {
+  StreamingStats s;
+  s.add(1.0);
+  EXPECT_EQ(s.sample_variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsSequential) {
+  Rng rng(1);
+  StreamingStats whole;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a;
+  a.add(5.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  StreamingStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(QuantileTest, EmptyIsZero) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, SingleValue) {
+  const std::vector<double> v{7.0};
+  EXPECT_EQ(quantile(v, 0.0), 7.0);
+  EXPECT_EQ(quantile(v, 0.5), 7.0);
+  EXPECT_EQ(quantile(v, 1.0), 7.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(QuantileTest, ClampsQ) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 2.0), 2.0);
+}
+
+TEST(CdfTest, EmpiricalCdfProperties) {
+  const std::vector<double> v{3.0, 1.0, 2.0, 2.0};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_EQ(cdf.size(), 3u);  // duplicates collapsed
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.front().cumulative_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].cumulative_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_fraction, 1.0);
+}
+
+TEST(CdfTest, CdfAtSteps) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const auto cdf = empirical_cdf(v);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 10.0), 1.0);
+}
+
+TEST(WeightedTest, WeightedMeanAndStddev) {
+  const std::vector<double> v{1.0, 3.0};
+  const std::vector<double> w{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(v, w), 2.0);
+  EXPECT_DOUBLE_EQ(weighted_stddev(v, w), 1.0);
+
+  const std::vector<double> w2{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(v, w2), 1.5);
+}
+
+TEST(WeightedTest, ZeroWeights) {
+  const std::vector<double> v{1.0, 2.0};
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_EQ(weighted_mean(v, w), 0.0);
+  EXPECT_EQ(weighted_stddev(v, w), 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+// Property sweep: quantiles of shuffled data match sorted order statistics.
+class QuantilePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantilePropertyTest, MonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  const int n = 1 + static_cast<int>(rng.index(200));
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(rng.uniform(-100.0, 100.0));
+  double prev = quantile(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(v, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), *std::min_element(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), *std::max_element(v.begin(), v.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantilePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace bw::util

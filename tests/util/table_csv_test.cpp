@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace bw::util {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  std::istringstream is(s);
+  std::string header;
+  std::string rule;
+  std::string r1;
+  std::string r2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, r1);
+  std::getline(is, r2);
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+  EXPECT_EQ(r1.size(), r2.size());  // padded to equal width
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableTest, PadsAndTruncatesRows) {
+  TextTable t({"a", "b"});
+  t.add_row({"only"});
+  t.add_row({"x", "y", "overflow"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.find("overflow"), std::string::npos);
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(FormatTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+}
+
+TEST(FormatTest, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.5), "50.0%");
+  EXPECT_EQ(fmt_percent(0.123456, 2), "12.35%");
+}
+
+TEST(FormatTest, FmtCount) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(-1234567), "-1,234,567");
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = testing::TempDir() + "/bw_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.write_row({"1", "2"});
+    w.write_row({"x,y", "he said \"hi\""});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path_);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",\"he said \"\"hi\"\"\"");
+}
+
+TEST_F(CsvTest, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bw::util

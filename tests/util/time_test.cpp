@@ -1,0 +1,80 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::util {
+namespace {
+
+TEST(TimeTest, ConstantsRelate) {
+  EXPECT_EQ(kSecond, 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(TimeTest, DurationHelpers) {
+  EXPECT_EQ(seconds(1.5), 1500);
+  EXPECT_EQ(minutes(2.0), 120000);
+  EXPECT_EQ(hours(0.5), 30 * kMinute);
+  EXPECT_EQ(days(2.0), 48 * kHour);
+}
+
+TEST(TimeRangeTest, LengthAndContains) {
+  const TimeRange r{10, 20};
+  EXPECT_EQ(r.length(), 10);
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(19));
+  EXPECT_FALSE(r.contains(20));  // half-open
+  EXPECT_FALSE(r.contains(9));
+}
+
+TEST(TimeRangeTest, Overlaps) {
+  const TimeRange a{0, 10};
+  EXPECT_TRUE(a.overlaps({5, 15}));
+  EXPECT_TRUE(a.overlaps({-5, 1}));
+  EXPECT_FALSE(a.overlaps({10, 20}));  // touching, half-open
+  EXPECT_FALSE(a.overlaps({20, 30}));
+}
+
+TEST(TimeRangeTest, ClampIntersection) {
+  const TimeRange a{0, 10};
+  EXPECT_EQ(a.clamp({5, 15}), (TimeRange{5, 10}));
+  EXPECT_EQ(a.clamp({-5, 5}), (TimeRange{-5 + 5, 5}));
+  const TimeRange empty = a.clamp({20, 30});
+  EXPECT_EQ(empty.length(), 0);
+}
+
+TEST(SlotTest, IndexRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(slot_index(0, 100), 0);
+  EXPECT_EQ(slot_index(99, 100), 0);
+  EXPECT_EQ(slot_index(100, 100), 1);
+  EXPECT_EQ(slot_index(-1, 100), -1);
+  EXPECT_EQ(slot_index(-100, 100), -1);
+  EXPECT_EQ(slot_index(-101, 100), -2);
+}
+
+TEST(SlotTest, SlotStart) {
+  EXPECT_EQ(slot_start(250, 100), 200);
+  EXPECT_EQ(slot_start(-50, 100), -100);
+}
+
+TEST(SlotTest, ZeroWidthIsSafe) {
+  EXPECT_EQ(slot_index(123, 0), 0);
+}
+
+TEST(FormatTest, FormatTime) {
+  EXPECT_EQ(format_time(0), "day0 00:00:00");
+  EXPECT_EQ(format_time(kDay + kHour + kMinute + kSecond), "day1 01:01:01");
+  EXPECT_EQ(format_time(-kHour), "-day0 01:00:00");
+}
+
+TEST(FormatTest, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500ms");
+  EXPECT_EQ(format_duration(1500), "1.50s");
+  EXPECT_EQ(format_duration(90 * kSecond), "1.5m");
+  EXPECT_EQ(format_duration(36 * kHour), "1.5d");
+  EXPECT_EQ(format_duration(-90 * kSecond), "-1.5m");
+}
+
+}  // namespace
+}  // namespace bw::util

@@ -1,0 +1,164 @@
+// bw-analyze: run the complete IMC'19 analysis pipeline over a .bwds corpus
+// and print the full operational report — the command-line face of the
+// library for corpora produced by bw-generate (or converted real exports).
+//
+//   bw-analyze corpus.bwds [--delta MINUTES] [--no-portstats]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include <fstream>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/whatif.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: bw-analyze FILE.bwds [--delta MINUTES] [--markdown OUT.md]\n";
+}
+
+std::string pct(double f, int p = 1) { return bw::util::fmt_percent(f, p); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  std::string path;
+  std::string markdown_out;
+  core::AnalysisConfig acfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--delta" && i + 1 < argc) {
+      acfg.merge_delta = util::minutes(std::atof(argv[++i]));
+    } else if (arg == "--markdown" && i + 1 < argc) {
+      markdown_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::cout << "Loading " << path << "...\n";
+  const core::Dataset dataset = core::Dataset::load(path);
+  const auto s = dataset.summary();
+  std::cout << "Corpus: "
+            << util::fmt_count(static_cast<std::int64_t>(s.control_updates))
+            << " BGP updates, "
+            << util::fmt_count(static_cast<std::int64_t>(s.flow_records))
+            << " flow records over "
+            << util::format_duration(dataset.period().length()) << "\n";
+
+  const core::AnalysisReport r = core::run_pipeline(dataset, acfg);
+  const double total_events = static_cast<double>(r.events.size());
+
+  std::cout << "\n--- RTBH events (delta = "
+            << util::format_duration(acfg.merge_delta) << ") ---\n";
+  std::cout << util::fmt_count(static_cast<std::int64_t>(s.blackhole_updates))
+            << " RTBH updates -> "
+            << util::fmt_count(static_cast<std::int64_t>(r.events.size()))
+            << " events over "
+            << util::fmt_count(static_cast<std::int64_t>(
+                   s.blackholed_prefixes))
+            << " prefixes\n";
+
+  std::cout << "\n--- Pre-RTBH classification (Table 2) ---\n";
+  util::TextTable t2({"class", "events", "share"});
+  t2.add_row({"no sampled traffic",
+              util::fmt_count(static_cast<std::int64_t>(r.pre.no_data)),
+              pct(static_cast<double>(r.pre.no_data) / total_events)});
+  t2.add_row({"traffic, no anomaly <=10min",
+              util::fmt_count(static_cast<std::int64_t>(r.pre.data_no_anomaly)),
+              pct(static_cast<double>(r.pre.data_no_anomaly) / total_events)});
+  t2.add_row({"traffic + anomaly <=10min (DDoS-like)",
+              util::fmt_count(static_cast<std::int64_t>(r.pre.data_anomaly_10m)),
+              pct(static_cast<double>(r.pre.data_anomaly_10m) / total_events)});
+  std::cout << t2;
+
+  std::cout << "\n--- Acceptance / drop rates (Figs. 5-7) ---\n";
+  util::TextTable t5({"prefix len", "traffic share", "dropped"});
+  for (const auto& len : r.drop.by_length) {
+    t5.add_row({"/" + std::to_string(len.length),
+                pct(r.drop.traffic_share(len.length), 2),
+                pct(len.packet_drop_rate())});
+  }
+  std::cout << t5;
+  const auto top = core::summarize_top_sources(r.drop, 100);
+  std::cout << "top-100 sources towards /32 blackholes: "
+            << top.full_droppers << " drop >99%, " << top.full_forwarders
+            << " forward >99%, " << top.inconsistent << " inconsistent\n";
+
+  std::cout << "\n--- Attack traffic (Tables 3, Figs. 14-15) ---\n";
+  std::cout << "transport mix during attack events: "
+            << pct(r.protocols.udp_share) << " UDP / "
+            << pct(r.protocols.tcp_share) << " TCP\n";
+  std::cout << "events fully coverable by amplification-port filters: "
+            << pct(r.filtering.fully_filterable_fraction) << " of "
+            << r.filtering.events_considered << "\n";
+  if (!r.participation.origins.empty()) {
+    std::cout << "top reflector origin AS" << r.participation.origins[0].asn
+              << ": in " << pct(r.participation.origins[0].event_share, 0)
+              << " of attacks, " << pct(r.participation.origins[0].traffic_share, 1)
+              << " of attack traffic\n";
+  }
+
+  std::cout << "\n--- Victims (Figs. 16-18, Table 4) ---\n";
+  std::cout << r.ports.clients << " client-like and " << r.ports.servers
+            << " server-like blackholed hosts ("
+            << pct(r.ports.blackholed_hosts_total > 0
+                       ? static_cast<double>(r.ports.eligible_hosts) /
+                             static_cast<double>(r.ports.blackholed_hosts_total)
+                       : 0.0,
+                   0)
+            << " of blackholed addresses meet the 20-day criterion)\n";
+  std::cout << r.collateral.events.size()
+            << " (server,event) pairs with service-port traffic during an "
+               "active blackhole\n";
+
+  std::cout << "\n--- Use-case classification (Fig. 19) ---\n";
+  util::TextTable t19({"class", "events", "share"});
+  t19.add_row({"infrastructure protection",
+               util::fmt_count(static_cast<std::int64_t>(
+                   r.classes.infrastructure)),
+               pct(static_cast<double>(r.classes.infrastructure) /
+                   total_events)});
+  t19.add_row({"squatting candidates",
+               util::fmt_count(static_cast<std::int64_t>(r.classes.squatting)),
+               pct(static_cast<double>(r.classes.squatting) / total_events)});
+  t19.add_row({"zombie candidates",
+               util::fmt_count(static_cast<std::int64_t>(r.classes.zombies)),
+               pct(static_cast<double>(r.classes.zombies) / total_events)});
+  t19.add_row({"other",
+               util::fmt_count(static_cast<std::int64_t>(r.classes.other)),
+               pct(static_cast<double>(r.classes.other) / total_events)});
+  std::cout << t19;
+
+  std::cout << "\n--- Mitigation what-if (extension) ---\n";
+  const auto whatif = core::compute_whatif(dataset, r.events, r.pre);
+  util::TextTable tw({"strategy", "attack dropped", "legit dropped"});
+  for (const auto& o : whatif.outcomes) {
+    tw.add_row({std::string(core::to_string(o.strategy)), pct(o.efficacy()),
+                pct(o.collateral())});
+  }
+  std::cout << tw;
+
+  if (!markdown_out.empty()) {
+    std::ofstream md(markdown_out, std::ios::trunc);
+    md << core::render_markdown(dataset, r, &whatif);
+    std::cout << "\nWrote markdown report to " << markdown_out << "\n";
+  }
+  return 0;
+}

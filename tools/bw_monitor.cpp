@@ -1,0 +1,109 @@
+// bw-monitor: replay a .bwds corpus chronologically through the online
+// RTBH monitor and print every alert — what an operator tap on the route
+// server + IPFIX feed would produce in real time.
+//
+//   bw-monitor corpus.bwds [--kinds attack,zombie,lowdrop] [--quiet]
+#include <iostream>
+#include <sstream>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: bw-monitor FILE.bwds [--kinds LIST] [--quiet]\n"
+               "  LIST: comma-separated of start,end,attack,lowdrop,zombie\n"
+               "  --quiet: summary only\n";
+}
+
+std::optional<bw::core::AlertKind> kind_from(const std::string& name) {
+  using bw::core::AlertKind;
+  if (name == "start") return AlertKind::kEventStarted;
+  if (name == "end") return AlertKind::kEventEnded;
+  if (name == "attack") return AlertKind::kAttackCorrelated;
+  if (name == "lowdrop") return AlertKind::kLowDropRate;
+  if (name == "zombie") return AlertKind::kZombieSuspect;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  std::string path;
+  bool quiet = false;
+  std::unordered_set<core::AlertKind> kinds{core::AlertKind::kAttackCorrelated,
+                                            core::AlertKind::kLowDropRate,
+                                            core::AlertKind::kZombieSuspect};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--kinds" && i + 1 < argc) {
+      kinds.clear();
+      std::istringstream list(argv[++i]);
+      std::string name;
+      while (std::getline(list, name, ',')) {
+        const auto kind = kind_from(name);
+        if (!kind) {
+          usage();
+          return 2;
+        }
+        kinds.insert(*kind);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::cout << "Loading " << path << "...\n";
+  const core::Dataset dataset = core::Dataset::load(path);
+
+  std::map<core::AlertKind, std::size_t> counts;
+  core::RtbhMonitor monitor({}, [&](const core::Alert& alert) {
+    ++counts[alert.kind];
+    if (!quiet && kinds.contains(alert.kind)) {
+      std::cout << "[" << util::format_time(alert.time) << "] "
+                << core::to_string(alert.kind) << ": " << alert.message
+                << "\n";
+    }
+  });
+
+  const auto& updates = dataset.blackhole_updates();
+  const auto& flows = dataset.flows();
+  std::size_t ui = 0;
+  std::size_t fi = 0;
+  while (ui < updates.size() || fi < flows.size()) {
+    const bool take_update =
+        fi >= flows.size() ||
+        (ui < updates.size() && updates[ui].time <= flows[fi].time);
+    if (take_update) monitor.on_update(updates[ui++]);
+    else monitor.on_flow(flows[fi++]);
+  }
+  monitor.finish(dataset.period().end);
+
+  util::TextTable table({"signal", "count"});
+  for (const auto& [kind, n] : counts) {
+    table.add_row({std::string(core::to_string(kind)),
+                   util::fmt_count(static_cast<std::int64_t>(n))});
+  }
+  std::cout << "\n" << table << "Events observed: " << monitor.total_events()
+            << "\n";
+  return 0;
+}
