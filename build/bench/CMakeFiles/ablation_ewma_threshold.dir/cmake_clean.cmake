@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ewma_threshold.dir/ablation_ewma_threshold.cpp.o"
+  "CMakeFiles/ablation_ewma_threshold.dir/ablation_ewma_threshold.cpp.o.d"
+  "ablation_ewma_threshold"
+  "ablation_ewma_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ewma_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

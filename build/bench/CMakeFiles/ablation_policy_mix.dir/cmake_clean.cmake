@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_policy_mix.dir/ablation_policy_mix.cpp.o"
+  "CMakeFiles/ablation_policy_mix.dir/ablation_policy_mix.cpp.o.d"
+  "ablation_policy_mix"
+  "ablation_policy_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbw_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig02_time_offset.dir/exp_fig02_time_offset.cpp.o"
+  "CMakeFiles/exp_fig02_time_offset.dir/exp_fig02_time_offset.cpp.o.d"
+  "exp_fig02_time_offset"
+  "exp_fig02_time_offset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig02_time_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig03_rtbh_load.dir/exp_fig03_rtbh_load.cpp.o"
+  "CMakeFiles/exp_fig03_rtbh_load.dir/exp_fig03_rtbh_load.cpp.o.d"
+  "exp_fig03_rtbh_load"
+  "exp_fig03_rtbh_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig03_rtbh_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig03_rtbh_load.
+# This may be replaced when dependencies are built.

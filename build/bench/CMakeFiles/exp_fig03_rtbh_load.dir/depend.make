@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig03_rtbh_load.
+# This may be replaced when dependencies are built.

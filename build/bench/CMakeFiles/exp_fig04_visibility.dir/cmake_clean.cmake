@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig04_visibility.dir/exp_fig04_visibility.cpp.o"
+  "CMakeFiles/exp_fig04_visibility.dir/exp_fig04_visibility.cpp.o.d"
+  "exp_fig04_visibility"
+  "exp_fig04_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig04_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

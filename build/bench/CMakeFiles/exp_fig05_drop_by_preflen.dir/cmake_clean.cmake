@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig05_drop_by_preflen.dir/exp_fig05_drop_by_preflen.cpp.o"
+  "CMakeFiles/exp_fig05_drop_by_preflen.dir/exp_fig05_drop_by_preflen.cpp.o.d"
+  "exp_fig05_drop_by_preflen"
+  "exp_fig05_drop_by_preflen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig05_drop_by_preflen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig05_drop_by_preflen.
+# This may be replaced when dependencies are built.

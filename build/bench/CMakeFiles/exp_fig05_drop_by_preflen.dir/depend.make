@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig05_drop_by_preflen.
+# This may be replaced when dependencies are built.

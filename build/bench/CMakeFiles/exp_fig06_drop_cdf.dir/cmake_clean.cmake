@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig06_drop_cdf.dir/exp_fig06_drop_cdf.cpp.o"
+  "CMakeFiles/exp_fig06_drop_cdf.dir/exp_fig06_drop_cdf.cpp.o.d"
+  "exp_fig06_drop_cdf"
+  "exp_fig06_drop_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig06_drop_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig07_top100_reaction.dir/exp_fig07_top100_reaction.cpp.o"
+  "CMakeFiles/exp_fig07_top100_reaction.dir/exp_fig07_top100_reaction.cpp.o.d"
+  "exp_fig07_top100_reaction"
+  "exp_fig07_top100_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig07_top100_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

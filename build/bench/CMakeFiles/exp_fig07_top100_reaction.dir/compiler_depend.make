@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig07_top100_reaction.
+# This may be replaced when dependencies are built.

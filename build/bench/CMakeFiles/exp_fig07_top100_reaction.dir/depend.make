@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig07_top100_reaction.
+# This may be replaced when dependencies are built.

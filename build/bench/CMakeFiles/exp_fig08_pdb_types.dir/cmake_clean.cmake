@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig08_pdb_types.dir/exp_fig08_pdb_types.cpp.o"
+  "CMakeFiles/exp_fig08_pdb_types.dir/exp_fig08_pdb_types.cpp.o.d"
+  "exp_fig08_pdb_types"
+  "exp_fig08_pdb_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig08_pdb_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

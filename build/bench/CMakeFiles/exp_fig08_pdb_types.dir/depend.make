@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig08_pdb_types.
+# This may be replaced when dependencies are built.

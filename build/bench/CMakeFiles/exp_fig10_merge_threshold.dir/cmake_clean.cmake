@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig10_merge_threshold.dir/exp_fig10_merge_threshold.cpp.o"
+  "CMakeFiles/exp_fig10_merge_threshold.dir/exp_fig10_merge_threshold.cpp.o.d"
+  "exp_fig10_merge_threshold"
+  "exp_fig10_merge_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig10_merge_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

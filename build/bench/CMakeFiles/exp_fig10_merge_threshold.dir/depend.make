@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig10_merge_threshold.
+# This may be replaced when dependencies are built.

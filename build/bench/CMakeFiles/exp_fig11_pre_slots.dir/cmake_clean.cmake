@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig11_pre_slots.dir/exp_fig11_pre_slots.cpp.o"
+  "CMakeFiles/exp_fig11_pre_slots.dir/exp_fig11_pre_slots.cpp.o.d"
+  "exp_fig11_pre_slots"
+  "exp_fig11_pre_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig11_pre_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig11_pre_slots.
+# This may be replaced when dependencies are built.

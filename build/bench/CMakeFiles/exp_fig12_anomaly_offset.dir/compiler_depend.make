@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig12_anomaly_offset.
+# This may be replaced when dependencies are built.

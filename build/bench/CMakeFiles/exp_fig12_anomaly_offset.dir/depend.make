@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig12_anomaly_offset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig13_amp_factor.dir/exp_fig13_amp_factor.cpp.o"
+  "CMakeFiles/exp_fig13_amp_factor.dir/exp_fig13_amp_factor.cpp.o.d"
+  "exp_fig13_amp_factor"
+  "exp_fig13_amp_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig13_amp_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig13_amp_factor.
+# This may be replaced when dependencies are built.

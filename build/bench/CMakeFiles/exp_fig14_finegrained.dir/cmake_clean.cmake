@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig14_finegrained.dir/exp_fig14_finegrained.cpp.o"
+  "CMakeFiles/exp_fig14_finegrained.dir/exp_fig14_finegrained.cpp.o.d"
+  "exp_fig14_finegrained"
+  "exp_fig14_finegrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig14_finegrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig15_participation.dir/exp_fig15_participation.cpp.o"
+  "CMakeFiles/exp_fig15_participation.dir/exp_fig15_participation.cpp.o.d"
+  "exp_fig15_participation"
+  "exp_fig15_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig15_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

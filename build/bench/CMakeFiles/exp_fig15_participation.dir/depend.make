@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig15_participation.
+# This may be replaced when dependencies are built.

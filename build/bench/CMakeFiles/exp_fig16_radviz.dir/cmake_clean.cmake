@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig16_radviz.dir/exp_fig16_radviz.cpp.o"
+  "CMakeFiles/exp_fig16_radviz.dir/exp_fig16_radviz.cpp.o.d"
+  "exp_fig16_radviz"
+  "exp_fig16_radviz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig16_radviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

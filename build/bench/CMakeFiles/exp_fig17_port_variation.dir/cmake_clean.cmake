@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig17_port_variation.dir/exp_fig17_port_variation.cpp.o"
+  "CMakeFiles/exp_fig17_port_variation.dir/exp_fig17_port_variation.cpp.o.d"
+  "exp_fig17_port_variation"
+  "exp_fig17_port_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig17_port_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig17_port_variation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig18_collateral.dir/exp_fig18_collateral.cpp.o"
+  "CMakeFiles/exp_fig18_collateral.dir/exp_fig18_collateral.cpp.o.d"
+  "exp_fig18_collateral"
+  "exp_fig18_collateral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig18_collateral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig19_classification.dir/exp_fig19_classification.cpp.o"
+  "CMakeFiles/exp_fig19_classification.dir/exp_fig19_classification.cpp.o.d"
+  "exp_fig19_classification"
+  "exp_fig19_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig19_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec31_rs_share.dir/exp_sec31_rs_share.cpp.o"
+  "CMakeFiles/exp_sec31_rs_share.dir/exp_sec31_rs_share.cpp.o.d"
+  "exp_sec31_rs_share"
+  "exp_sec31_rs_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec31_rs_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tab01_use_cases.dir/exp_tab01_use_cases.cpp.o"
+  "CMakeFiles/exp_tab01_use_cases.dir/exp_tab01_use_cases.cpp.o.d"
+  "exp_tab01_use_cases"
+  "exp_tab01_use_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tab01_use_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tab02_pre_classes.dir/exp_tab02_pre_classes.cpp.o"
+  "CMakeFiles/exp_tab02_pre_classes.dir/exp_tab02_pre_classes.cpp.o.d"
+  "exp_tab02_pre_classes"
+  "exp_tab02_pre_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tab02_pre_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_tab02_pre_classes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tab03_amp_protocols.dir/exp_tab03_amp_protocols.cpp.o"
+  "CMakeFiles/exp_tab03_amp_protocols.dir/exp_tab03_amp_protocols.cpp.o.d"
+  "exp_tab03_amp_protocols"
+  "exp_tab03_amp_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tab03_amp_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

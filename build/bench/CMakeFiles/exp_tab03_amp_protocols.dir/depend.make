@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_tab03_amp_protocols.
+# This may be replaced when dependencies are built.

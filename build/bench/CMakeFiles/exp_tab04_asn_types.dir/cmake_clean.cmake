@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tab04_asn_types.dir/exp_tab04_asn_types.cpp.o"
+  "CMakeFiles/exp_tab04_asn_types.dir/exp_tab04_asn_types.cpp.o.d"
+  "exp_tab04_asn_types"
+  "exp_tab04_asn_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tab04_asn_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_tab04_asn_types.
+# This may be replaced when dependencies are built.

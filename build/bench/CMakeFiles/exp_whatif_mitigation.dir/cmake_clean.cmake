@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_whatif_mitigation.dir/exp_whatif_mitigation.cpp.o"
+  "CMakeFiles/exp_whatif_mitigation.dir/exp_whatif_mitigation.cpp.o.d"
+  "exp_whatif_mitigation"
+  "exp_whatif_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_whatif_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

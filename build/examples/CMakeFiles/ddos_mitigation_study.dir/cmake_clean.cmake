@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_mitigation_study.dir/ddos_mitigation_study.cpp.o"
+  "CMakeFiles/ddos_mitigation_study.dir/ddos_mitigation_study.cpp.o.d"
+  "ddos_mitigation_study"
+  "ddos_mitigation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_mitigation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

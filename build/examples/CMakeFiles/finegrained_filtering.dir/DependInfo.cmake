@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/finegrained_filtering.cpp" "examples/CMakeFiles/finegrained_filtering.dir/finegrained_filtering.cpp.o" "gcc" "examples/CMakeFiles/finegrained_filtering.dir/finegrained_filtering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_peeringdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

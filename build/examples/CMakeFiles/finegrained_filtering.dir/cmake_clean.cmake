@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finegrained_filtering.dir/finegrained_filtering.cpp.o"
+  "CMakeFiles/finegrained_filtering.dir/finegrained_filtering.cpp.o.d"
+  "finegrained_filtering"
+  "finegrained_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finegrained_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for finegrained_filtering.
+# This may be replaced when dependencies are built.

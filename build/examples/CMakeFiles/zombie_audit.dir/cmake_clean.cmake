@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zombie_audit.dir/zombie_audit.cpp.o"
+  "CMakeFiles/zombie_audit.dir/zombie_audit.cpp.o.d"
+  "zombie_audit"
+  "zombie_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zombie_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

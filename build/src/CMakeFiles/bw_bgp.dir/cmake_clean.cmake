@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_bgp.dir/bgp/blackhole_index.cpp.o"
+  "CMakeFiles/bw_bgp.dir/bgp/blackhole_index.cpp.o.d"
+  "CMakeFiles/bw_bgp.dir/bgp/community.cpp.o"
+  "CMakeFiles/bw_bgp.dir/bgp/community.cpp.o.d"
+  "CMakeFiles/bw_bgp.dir/bgp/message.cpp.o"
+  "CMakeFiles/bw_bgp.dir/bgp/message.cpp.o.d"
+  "CMakeFiles/bw_bgp.dir/bgp/policy.cpp.o"
+  "CMakeFiles/bw_bgp.dir/bgp/policy.cpp.o.d"
+  "CMakeFiles/bw_bgp.dir/bgp/rib.cpp.o"
+  "CMakeFiles/bw_bgp.dir/bgp/rib.cpp.o.d"
+  "CMakeFiles/bw_bgp.dir/bgp/route.cpp.o"
+  "CMakeFiles/bw_bgp.dir/bgp/route.cpp.o.d"
+  "CMakeFiles/bw_bgp.dir/bgp/route_server.cpp.o"
+  "CMakeFiles/bw_bgp.dir/bgp/route_server.cpp.o.d"
+  "CMakeFiles/bw_bgp.dir/bgp/wire.cpp.o"
+  "CMakeFiles/bw_bgp.dir/bgp/wire.cpp.o.d"
+  "libbw_bgp.a"
+  "libbw_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

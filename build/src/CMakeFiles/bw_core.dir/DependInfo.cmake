@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/CMakeFiles/bw_core.dir/core/anomaly.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/anomaly.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/CMakeFiles/bw_core.dir/core/classify.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/classify.cpp.o.d"
+  "/root/repo/src/core/collateral.cpp" "src/CMakeFiles/bw_core.dir/core/collateral.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/collateral.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/CMakeFiles/bw_core.dir/core/dataset.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/dataset.cpp.o.d"
+  "/root/repo/src/core/drop_rate.cpp" "src/CMakeFiles/bw_core.dir/core/drop_rate.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/drop_rate.cpp.o.d"
+  "/root/repo/src/core/event_merge.cpp" "src/CMakeFiles/bw_core.dir/core/event_merge.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/event_merge.cpp.o.d"
+  "/root/repo/src/core/filtering.cpp" "src/CMakeFiles/bw_core.dir/core/filtering.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/filtering.cpp.o.d"
+  "/root/repo/src/core/io_text.cpp" "src/CMakeFiles/bw_core.dir/core/io_text.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/io_text.cpp.o.d"
+  "/root/repo/src/core/load.cpp" "src/CMakeFiles/bw_core.dir/core/load.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/load.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/bw_core.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/participation.cpp" "src/CMakeFiles/bw_core.dir/core/participation.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/participation.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/bw_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/port_stats.cpp" "src/CMakeFiles/bw_core.dir/core/port_stats.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/port_stats.cpp.o.d"
+  "/root/repo/src/core/pre_rtbh.cpp" "src/CMakeFiles/bw_core.dir/core/pre_rtbh.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/pre_rtbh.cpp.o.d"
+  "/root/repo/src/core/protocol_mix.cpp" "src/CMakeFiles/bw_core.dir/core/protocol_mix.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/protocol_mix.cpp.o.d"
+  "/root/repo/src/core/radviz.cpp" "src/CMakeFiles/bw_core.dir/core/radviz.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/radviz.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/bw_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/time_offset.cpp" "src/CMakeFiles/bw_core.dir/core/time_offset.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/time_offset.cpp.o.d"
+  "/root/repo/src/core/visibility.cpp" "src/CMakeFiles/bw_core.dir/core/visibility.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/visibility.cpp.o.d"
+  "/root/repo/src/core/whatif.cpp" "src/CMakeFiles/bw_core.dir/core/whatif.cpp.o" "gcc" "src/CMakeFiles/bw_core.dir/core/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_peeringdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/collector.cpp" "src/CMakeFiles/bw_flow.dir/flow/collector.cpp.o" "gcc" "src/CMakeFiles/bw_flow.dir/flow/collector.cpp.o.d"
+  "/root/repo/src/flow/mac_table.cpp" "src/CMakeFiles/bw_flow.dir/flow/mac_table.cpp.o" "gcc" "src/CMakeFiles/bw_flow.dir/flow/mac_table.cpp.o.d"
+  "/root/repo/src/flow/record.cpp" "src/CMakeFiles/bw_flow.dir/flow/record.cpp.o" "gcc" "src/CMakeFiles/bw_flow.dir/flow/record.cpp.o.d"
+  "/root/repo/src/flow/sampler.cpp" "src/CMakeFiles/bw_flow.dir/flow/sampler.cpp.o" "gcc" "src/CMakeFiles/bw_flow.dir/flow/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

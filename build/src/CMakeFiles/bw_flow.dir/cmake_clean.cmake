@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_flow.dir/flow/collector.cpp.o"
+  "CMakeFiles/bw_flow.dir/flow/collector.cpp.o.d"
+  "CMakeFiles/bw_flow.dir/flow/mac_table.cpp.o"
+  "CMakeFiles/bw_flow.dir/flow/mac_table.cpp.o.d"
+  "CMakeFiles/bw_flow.dir/flow/record.cpp.o"
+  "CMakeFiles/bw_flow.dir/flow/record.cpp.o.d"
+  "CMakeFiles/bw_flow.dir/flow/sampler.cpp.o"
+  "CMakeFiles/bw_flow.dir/flow/sampler.cpp.o.d"
+  "libbw_flow.a"
+  "libbw_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

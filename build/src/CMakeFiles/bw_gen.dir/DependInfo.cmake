@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/amplification.cpp" "src/CMakeFiles/bw_gen.dir/gen/amplification.cpp.o" "gcc" "src/CMakeFiles/bw_gen.dir/gen/amplification.cpp.o.d"
+  "/root/repo/src/gen/ddos.cpp" "src/CMakeFiles/bw_gen.dir/gen/ddos.cpp.o" "gcc" "src/CMakeFiles/bw_gen.dir/gen/ddos.cpp.o.d"
+  "/root/repo/src/gen/legit.cpp" "src/CMakeFiles/bw_gen.dir/gen/legit.cpp.o" "gcc" "src/CMakeFiles/bw_gen.dir/gen/legit.cpp.o.d"
+  "/root/repo/src/gen/operator_model.cpp" "src/CMakeFiles/bw_gen.dir/gen/operator_model.cpp.o" "gcc" "src/CMakeFiles/bw_gen.dir/gen/operator_model.cpp.o.d"
+  "/root/repo/src/gen/scan.cpp" "src/CMakeFiles/bw_gen.dir/gen/scan.cpp.o" "gcc" "src/CMakeFiles/bw_gen.dir/gen/scan.cpp.o.d"
+  "/root/repo/src/gen/scenario.cpp" "src/CMakeFiles/bw_gen.dir/gen/scenario.cpp.o" "gcc" "src/CMakeFiles/bw_gen.dir/gen/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_peeringdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

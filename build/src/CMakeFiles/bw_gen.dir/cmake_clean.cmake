@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_gen.dir/gen/amplification.cpp.o"
+  "CMakeFiles/bw_gen.dir/gen/amplification.cpp.o.d"
+  "CMakeFiles/bw_gen.dir/gen/ddos.cpp.o"
+  "CMakeFiles/bw_gen.dir/gen/ddos.cpp.o.d"
+  "CMakeFiles/bw_gen.dir/gen/legit.cpp.o"
+  "CMakeFiles/bw_gen.dir/gen/legit.cpp.o.d"
+  "CMakeFiles/bw_gen.dir/gen/operator_model.cpp.o"
+  "CMakeFiles/bw_gen.dir/gen/operator_model.cpp.o.d"
+  "CMakeFiles/bw_gen.dir/gen/scan.cpp.o"
+  "CMakeFiles/bw_gen.dir/gen/scan.cpp.o.d"
+  "CMakeFiles/bw_gen.dir/gen/scenario.cpp.o"
+  "CMakeFiles/bw_gen.dir/gen/scenario.cpp.o.d"
+  "libbw_gen.a"
+  "libbw_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ixp/blackhole_service.cpp" "src/CMakeFiles/bw_ixp.dir/ixp/blackhole_service.cpp.o" "gcc" "src/CMakeFiles/bw_ixp.dir/ixp/blackhole_service.cpp.o.d"
+  "/root/repo/src/ixp/fabric.cpp" "src/CMakeFiles/bw_ixp.dir/ixp/fabric.cpp.o" "gcc" "src/CMakeFiles/bw_ixp.dir/ixp/fabric.cpp.o.d"
+  "/root/repo/src/ixp/member.cpp" "src/CMakeFiles/bw_ixp.dir/ixp/member.cpp.o" "gcc" "src/CMakeFiles/bw_ixp.dir/ixp/member.cpp.o.d"
+  "/root/repo/src/ixp/platform.cpp" "src/CMakeFiles/bw_ixp.dir/ixp/platform.cpp.o" "gcc" "src/CMakeFiles/bw_ixp.dir/ixp/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_peeringdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

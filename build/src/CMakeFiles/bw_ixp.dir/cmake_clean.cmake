@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_ixp.dir/ixp/blackhole_service.cpp.o"
+  "CMakeFiles/bw_ixp.dir/ixp/blackhole_service.cpp.o.d"
+  "CMakeFiles/bw_ixp.dir/ixp/fabric.cpp.o"
+  "CMakeFiles/bw_ixp.dir/ixp/fabric.cpp.o.d"
+  "CMakeFiles/bw_ixp.dir/ixp/member.cpp.o"
+  "CMakeFiles/bw_ixp.dir/ixp/member.cpp.o.d"
+  "CMakeFiles/bw_ixp.dir/ixp/platform.cpp.o"
+  "CMakeFiles/bw_ixp.dir/ixp/platform.cpp.o.d"
+  "libbw_ixp.a"
+  "libbw_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

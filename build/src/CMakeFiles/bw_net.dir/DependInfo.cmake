@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/bw_net.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/bw_net.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/CMakeFiles/bw_net.dir/net/mac.cpp.o" "gcc" "src/CMakeFiles/bw_net.dir/net/mac.cpp.o.d"
+  "/root/repo/src/net/ports.cpp" "src/CMakeFiles/bw_net.dir/net/ports.cpp.o" "gcc" "src/CMakeFiles/bw_net.dir/net/ports.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/CMakeFiles/bw_net.dir/net/prefix.cpp.o" "gcc" "src/CMakeFiles/bw_net.dir/net/prefix.cpp.o.d"
+  "/root/repo/src/net/prefix_trie.cpp" "src/CMakeFiles/bw_net.dir/net/prefix_trie.cpp.o" "gcc" "src/CMakeFiles/bw_net.dir/net/prefix_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/bw_net.dir/net/ipv4.cpp.o.d"
+  "CMakeFiles/bw_net.dir/net/mac.cpp.o"
+  "CMakeFiles/bw_net.dir/net/mac.cpp.o.d"
+  "CMakeFiles/bw_net.dir/net/ports.cpp.o"
+  "CMakeFiles/bw_net.dir/net/ports.cpp.o.d"
+  "CMakeFiles/bw_net.dir/net/prefix.cpp.o"
+  "CMakeFiles/bw_net.dir/net/prefix.cpp.o.d"
+  "CMakeFiles/bw_net.dir/net/prefix_trie.cpp.o"
+  "CMakeFiles/bw_net.dir/net/prefix_trie.cpp.o.d"
+  "libbw_net.a"
+  "libbw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_peeringdb.dir/peeringdb/registry.cpp.o"
+  "CMakeFiles/bw_peeringdb.dir/peeringdb/registry.cpp.o.d"
+  "libbw_peeringdb.a"
+  "libbw_peeringdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_peeringdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

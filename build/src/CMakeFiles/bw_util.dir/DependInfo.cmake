@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bootstrap.cpp" "src/CMakeFiles/bw_util.dir/util/bootstrap.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/bootstrap.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/bw_util.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/cusum.cpp" "src/CMakeFiles/bw_util.dir/util/cusum.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/cusum.cpp.o.d"
+  "/root/repo/src/util/ewma.cpp" "src/CMakeFiles/bw_util.dir/util/ewma.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/ewma.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/bw_util.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/bw_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/bw_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/bw_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/CMakeFiles/bw_util.dir/util/time.cpp.o" "gcc" "src/CMakeFiles/bw_util.dir/util/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

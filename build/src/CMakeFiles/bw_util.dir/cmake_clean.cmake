@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_util.dir/util/bootstrap.cpp.o"
+  "CMakeFiles/bw_util.dir/util/bootstrap.cpp.o.d"
+  "CMakeFiles/bw_util.dir/util/csv.cpp.o"
+  "CMakeFiles/bw_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/bw_util.dir/util/cusum.cpp.o"
+  "CMakeFiles/bw_util.dir/util/cusum.cpp.o.d"
+  "CMakeFiles/bw_util.dir/util/ewma.cpp.o"
+  "CMakeFiles/bw_util.dir/util/ewma.cpp.o.d"
+  "CMakeFiles/bw_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/bw_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/bw_util.dir/util/rng.cpp.o"
+  "CMakeFiles/bw_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/bw_util.dir/util/stats.cpp.o"
+  "CMakeFiles/bw_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/bw_util.dir/util/table.cpp.o"
+  "CMakeFiles/bw_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/bw_util.dir/util/time.cpp.o"
+  "CMakeFiles/bw_util.dir/util/time.cpp.o.d"
+  "libbw_util.a"
+  "libbw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_bgp_test.dir/bgp/blackhole_index_test.cpp.o"
+  "CMakeFiles/bw_bgp_test.dir/bgp/blackhole_index_test.cpp.o.d"
+  "CMakeFiles/bw_bgp_test.dir/bgp/community_test.cpp.o"
+  "CMakeFiles/bw_bgp_test.dir/bgp/community_test.cpp.o.d"
+  "CMakeFiles/bw_bgp_test.dir/bgp/message_test.cpp.o"
+  "CMakeFiles/bw_bgp_test.dir/bgp/message_test.cpp.o.d"
+  "CMakeFiles/bw_bgp_test.dir/bgp/policy_test.cpp.o"
+  "CMakeFiles/bw_bgp_test.dir/bgp/policy_test.cpp.o.d"
+  "CMakeFiles/bw_bgp_test.dir/bgp/rib_test.cpp.o"
+  "CMakeFiles/bw_bgp_test.dir/bgp/rib_test.cpp.o.d"
+  "CMakeFiles/bw_bgp_test.dir/bgp/route_server_test.cpp.o"
+  "CMakeFiles/bw_bgp_test.dir/bgp/route_server_test.cpp.o.d"
+  "CMakeFiles/bw_bgp_test.dir/bgp/wire_test.cpp.o"
+  "CMakeFiles/bw_bgp_test.dir/bgp/wire_test.cpp.o.d"
+  "bw_bgp_test"
+  "bw_bgp_test.pdb"
+  "bw_bgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_bgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

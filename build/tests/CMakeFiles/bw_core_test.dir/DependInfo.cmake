@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/anomaly_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/anomaly_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/anomaly_test.cpp.o.d"
+  "/root/repo/tests/core/classify_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/classify_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/classify_test.cpp.o.d"
+  "/root/repo/tests/core/dataset_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/dataset_test.cpp.o.d"
+  "/root/repo/tests/core/empty_edge_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/empty_edge_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/empty_edge_test.cpp.o.d"
+  "/root/repo/tests/core/event_merge_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/event_merge_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/event_merge_test.cpp.o.d"
+  "/root/repo/tests/core/io_text_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/io_text_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/io_text_test.cpp.o.d"
+  "/root/repo/tests/core/monitor_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/monitor_test.cpp.o.d"
+  "/root/repo/tests/core/port_stats_collateral_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/port_stats_collateral_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/port_stats_collateral_test.cpp.o.d"
+  "/root/repo/tests/core/pre_rtbh_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/pre_rtbh_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/pre_rtbh_test.cpp.o.d"
+  "/root/repo/tests/core/protocol_filter_participation_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/protocol_filter_participation_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/protocol_filter_participation_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/time_offset_load_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/time_offset_load_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/time_offset_load_test.cpp.o.d"
+  "/root/repo/tests/core/visibility_drop_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/visibility_drop_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/visibility_drop_test.cpp.o.d"
+  "/root/repo/tests/core/whatif_test.cpp" "tests/CMakeFiles/bw_core_test.dir/core/whatif_test.cpp.o" "gcc" "tests/CMakeFiles/bw_core_test.dir/core/whatif_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_peeringdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_core_test.dir/core/anomaly_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/anomaly_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/classify_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/classify_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/dataset_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/dataset_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/empty_edge_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/empty_edge_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/event_merge_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/event_merge_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/io_text_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/io_text_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/monitor_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/monitor_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/port_stats_collateral_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/port_stats_collateral_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/pre_rtbh_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/pre_rtbh_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/protocol_filter_participation_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/protocol_filter_participation_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/report_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/time_offset_load_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/time_offset_load_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/visibility_drop_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/visibility_drop_test.cpp.o.d"
+  "CMakeFiles/bw_core_test.dir/core/whatif_test.cpp.o"
+  "CMakeFiles/bw_core_test.dir/core/whatif_test.cpp.o.d"
+  "bw_core_test"
+  "bw_core_test.pdb"
+  "bw_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_flow_test.dir/flow/flow_test.cpp.o"
+  "CMakeFiles/bw_flow_test.dir/flow/flow_test.cpp.o.d"
+  "bw_flow_test"
+  "bw_flow_test.pdb"
+  "bw_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

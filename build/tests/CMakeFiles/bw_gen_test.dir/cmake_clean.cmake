@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_gen_test.dir/gen/generators_test.cpp.o"
+  "CMakeFiles/bw_gen_test.dir/gen/generators_test.cpp.o.d"
+  "CMakeFiles/bw_gen_test.dir/gen/private_blackhole_test.cpp.o"
+  "CMakeFiles/bw_gen_test.dir/gen/private_blackhole_test.cpp.o.d"
+  "CMakeFiles/bw_gen_test.dir/gen/scenario_test.cpp.o"
+  "CMakeFiles/bw_gen_test.dir/gen/scenario_test.cpp.o.d"
+  "bw_gen_test"
+  "bw_gen_test.pdb"
+  "bw_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_integration_test.dir/core/pipeline_integration_test.cpp.o"
+  "CMakeFiles/bw_integration_test.dir/core/pipeline_integration_test.cpp.o.d"
+  "bw_integration_test"
+  "bw_integration_test.pdb"
+  "bw_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_ixp_test.dir/ixp/platform_test.cpp.o"
+  "CMakeFiles/bw_ixp_test.dir/ixp/platform_test.cpp.o.d"
+  "bw_ixp_test"
+  "bw_ixp_test.pdb"
+  "bw_ixp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_ixp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_net_test.dir/net/ipv4_mac_test.cpp.o"
+  "CMakeFiles/bw_net_test.dir/net/ipv4_mac_test.cpp.o.d"
+  "CMakeFiles/bw_net_test.dir/net/ports_test.cpp.o"
+  "CMakeFiles/bw_net_test.dir/net/ports_test.cpp.o.d"
+  "CMakeFiles/bw_net_test.dir/net/prefix_test.cpp.o"
+  "CMakeFiles/bw_net_test.dir/net/prefix_test.cpp.o.d"
+  "CMakeFiles/bw_net_test.dir/net/prefix_trie_test.cpp.o"
+  "CMakeFiles/bw_net_test.dir/net/prefix_trie_test.cpp.o.d"
+  "bw_net_test"
+  "bw_net_test.pdb"
+  "bw_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_peeringdb_test.dir/peeringdb/registry_test.cpp.o"
+  "CMakeFiles/bw_peeringdb_test.dir/peeringdb/registry_test.cpp.o.d"
+  "bw_peeringdb_test"
+  "bw_peeringdb_test.pdb"
+  "bw_peeringdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_peeringdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

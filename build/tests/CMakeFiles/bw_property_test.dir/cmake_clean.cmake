@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_property_test.dir/property/index_property_test.cpp.o"
+  "CMakeFiles/bw_property_test.dir/property/index_property_test.cpp.o.d"
+  "CMakeFiles/bw_property_test.dir/property/scenario_property_test.cpp.o"
+  "CMakeFiles/bw_property_test.dir/property/scenario_property_test.cpp.o.d"
+  "CMakeFiles/bw_property_test.dir/property/wire_property_test.cpp.o"
+  "CMakeFiles/bw_property_test.dir/property/wire_property_test.cpp.o.d"
+  "bw_property_test"
+  "bw_property_test.pdb"
+  "bw_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

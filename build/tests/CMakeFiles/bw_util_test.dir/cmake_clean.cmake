@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_util_test.dir/util/bootstrap_test.cpp.o"
+  "CMakeFiles/bw_util_test.dir/util/bootstrap_test.cpp.o.d"
+  "CMakeFiles/bw_util_test.dir/util/cusum_test.cpp.o"
+  "CMakeFiles/bw_util_test.dir/util/cusum_test.cpp.o.d"
+  "CMakeFiles/bw_util_test.dir/util/ewma_test.cpp.o"
+  "CMakeFiles/bw_util_test.dir/util/ewma_test.cpp.o.d"
+  "CMakeFiles/bw_util_test.dir/util/histogram_test.cpp.o"
+  "CMakeFiles/bw_util_test.dir/util/histogram_test.cpp.o.d"
+  "CMakeFiles/bw_util_test.dir/util/rng_test.cpp.o"
+  "CMakeFiles/bw_util_test.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/bw_util_test.dir/util/stats_test.cpp.o"
+  "CMakeFiles/bw_util_test.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/bw_util_test.dir/util/table_csv_test.cpp.o"
+  "CMakeFiles/bw_util_test.dir/util/table_csv_test.cpp.o.d"
+  "CMakeFiles/bw_util_test.dir/util/time_test.cpp.o"
+  "CMakeFiles/bw_util_test.dir/util/time_test.cpp.o.d"
+  "bw_util_test"
+  "bw_util_test.pdb"
+  "bw_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bw_util_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_net_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_bgp_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_peeringdb_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_ixp_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_core_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_property_test[1]_include.cmake")
+include("/root/repo/build/tests/bw_integration_test[1]_include.cmake")

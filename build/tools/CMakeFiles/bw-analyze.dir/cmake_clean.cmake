@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw-analyze.dir/bw_analyze.cpp.o"
+  "CMakeFiles/bw-analyze.dir/bw_analyze.cpp.o.d"
+  "bw-analyze"
+  "bw-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw-generate.dir/bw_generate.cpp.o"
+  "CMakeFiles/bw-generate.dir/bw_generate.cpp.o.d"
+  "bw-generate"
+  "bw-generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw-generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw-monitor.dir/bw_monitor.cpp.o"
+  "CMakeFiles/bw-monitor.dir/bw_monitor.cpp.o.d"
+  "bw-monitor"
+  "bw-monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw-monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
