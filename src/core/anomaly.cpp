@@ -24,16 +24,14 @@ std::size_t FeatureMatrix::slots_with_data() const {
   return n;
 }
 
-FeatureMatrix compute_features(const Dataset& dataset,
-                               const net::Prefix& prefix,
-                               util::TimeRange range, util::DurationMs slot) {
-  return compute_features(dataset.flows(), dataset.flows_to(prefix, range),
-                          range, slot);
-}
+namespace {
 
-FeatureMatrix compute_features(const flow::FlowLog& flows,
-                               const std::vector<std::size_t>& indices,
-                               util::TimeRange range, util::DurationMs slot) {
+// Core of compute_features over any record source: `for_each_record`
+// invokes its callback once per candidate FlowRecord.
+template <typename ForEachRecord>
+FeatureMatrix compute_features_impl(util::TimeRange range,
+                                    util::DurationMs slot,
+                                    ForEachRecord&& for_each_record) {
   FeatureMatrix m;
   m.start = range.begin;
   m.slot = std::max<util::DurationMs>(slot, 1);
@@ -52,17 +50,16 @@ FeatureMatrix compute_features(const flow::FlowLog& flows,
   auto& flows_f = m.series[static_cast<std::size_t>(Feature::kFlows)];
   auto& non_tcp = m.series[static_cast<std::size_t>(Feature::kNonTcpFlows)];
 
-  for (const std::size_t idx : indices) {
-    const auto& rec = flows[idx];
-    if (!range.contains(rec.time)) continue;
+  for_each_record([&](const flow::FlowRecord& rec) {
+    if (!range.contains(rec.time)) return;
     const auto s = static_cast<std::size_t>((rec.time - range.begin) / m.slot);
-    if (s >= slots) continue;
+    if (s >= slots) return;
     packets[s] += static_cast<double>(rec.packets);
     flows_f[s] += 1.0;
     if (rec.proto != net::Proto::kTcp) non_tcp[s] += 1.0;
     sets[s].sources.insert(rec.src_ip.value());
     sets[s].dst_ports.insert(rec.dst_port);
-  }
+  });
   auto& sources = m.series[static_cast<std::size_t>(Feature::kUniqueSources)];
   auto& ports = m.series[static_cast<std::size_t>(Feature::kUniqueDstPorts)];
   for (std::size_t s = 0; s < slots; ++s) {
@@ -70,6 +67,26 @@ FeatureMatrix compute_features(const flow::FlowLog& flows,
     ports[s] = static_cast<double>(sets[s].dst_ports.size());
   }
   return m;
+}
+
+}  // namespace
+
+FeatureMatrix compute_features(const Dataset& dataset,
+                               const net::Prefix& prefix,
+                               util::TimeRange range, util::DurationMs slot) {
+  // Allocation-free path: stream matching records straight off the sorted
+  // destination index instead of materialising an index vector per probe.
+  return compute_features_impl(range, slot, [&](auto&& visit) {
+    dataset.for_each_flow_to(prefix, range, visit);
+  });
+}
+
+FeatureMatrix compute_features(const flow::FlowLog& flows,
+                               const std::vector<std::size_t>& indices,
+                               util::TimeRange range, util::DurationMs slot) {
+  return compute_features_impl(range, slot, [&](auto&& visit) {
+    for (const std::size_t idx : indices) visit(flows[idx]);
+  });
 }
 
 int AnomalyScan::max_level() const {

@@ -28,9 +28,9 @@ ClassificationReport classify_events(const Dataset& dataset,
     ClassifiedEvent ce;
     ce.event_index = e;
     ce.duration = ev.span.length();
-    for (const std::size_t idx : dataset.flows_to(ev.prefix, ev.span)) {
-      ce.sampled_packets += dataset.flows()[idx].packets;
-    }
+    dataset.for_each_flow_to(
+        ev.prefix, ev.span,
+        [&](const flow::FlowRecord& rec) { ce.sampled_packets += rec.packets; });
     const bool anomaly = e < pre.per_event.size()
                              ? pre.per_event[e].anomaly_within_10min
                              : false;

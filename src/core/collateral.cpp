@@ -1,61 +1,75 @@
 #include "core/collateral.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace bw::core {
 
 CollateralReport compute_collateral(const Dataset& dataset,
                                     const std::vector<RtbhEvent>& events,
                                     const PortStatsReport& stats,
-                                    std::uint32_t sampling_rate) {
+                                    std::uint32_t sampling_rate,
+                                    util::ThreadPool* pool_opt) {
+  util::ThreadPool& pool = util::pool_or_global(pool_opt);
   CollateralReport report;
 
-  // Detected servers with their stable top ports.
-  std::unordered_map<net::Ipv4, const HostPortStats*> servers;
+  // Detected servers with their stable top ports, in address order
+  // (stats.hosts is already sorted by ip), so that the servers covered by
+  // a non-/32 event can be found with one binary search.
+  std::vector<const HostPortStats*> servers;
   for (const auto& h : stats.hosts) {
-    if (h.classification == HostClass::kServer) servers[h.ip] = &h;
+    if (h.classification == HostClass::kServer) servers.push_back(&h);
   }
   report.servers_considered = servers.size();
   if (servers.empty()) return report;
 
-  for (std::size_t e = 0; e < events.size(); ++e) {
+  // Per event, independently: the collateral rows of every covered server.
+  auto per_event = util::parallel_map(pool, events.size(), [&](std::size_t e) {
     const auto& ev = events[e];
-    // Which detected servers does this event cover?
-    std::vector<const HostPortStats*> covered;
-    if (ev.prefix.length() == 32) {
-      const auto it = servers.find(ev.prefix.network());
-      if (it != servers.end()) covered.push_back(it->second);
-    } else {
-      for (const auto& [ip, h] : servers) {
-        if (ev.prefix.contains(ip)) covered.push_back(h);
-      }
-    }
-    for (const HostPortStats* server : covered) {
+    std::vector<CollateralEvent> rows;
+    const net::Ipv4 lo = ev.prefix.network();
+    const net::Ipv4 hi = ev.prefix.address_at(ev.prefix.size() - 1);
+    auto begin = std::lower_bound(
+        servers.begin(), servers.end(), lo,
+        [](const HostPortStats* h, net::Ipv4 v) { return h->ip < v; });
+    for (auto it = begin; it != servers.end() && (*it)->ip <= hi; ++it) {
+      const HostPortStats* server = *it;
       CollateralEvent ce;
       ce.server = server->ip;
       ce.event_index = e;
-      for (const std::size_t idx :
-           dataset.flows_to(net::Prefix::host(server->ip), ev.span)) {
-        const auto& rec = dataset.flows()[idx];
+      dataset.for_each_flow_to(net::Prefix::host(server->ip), ev.span,
+                               [&](const flow::FlowRecord& rec) {
         const net::ProtoPort pp{rec.proto, rec.dst_port};
         const bool to_top_port =
-            std::find(server->top_ports.begin(), server->top_ports.end(), pp) !=
-            server->top_ports.end();
-        if (!to_top_port) continue;
+            std::find(server->top_ports.begin(), server->top_ports.end(),
+                      pp) != server->top_ports.end();
+        if (!to_top_port) return;
         ce.packets_to_top_ports += rec.packets;
         if (rec.dropped()) ce.packets_actually_dropped += rec.packets;
-      }
+      });
       if (ce.packets_to_top_ports == 0) continue;
       ce.est_original_packets = ce.packets_to_top_ports * sampling_rate;
+      rows.push_back(ce);
+    }
+    return rows;
+  });
+
+  for (const auto& rows : per_event) {
+    for (const CollateralEvent& ce : rows) {
       report.total_top_port_packets += ce.packets_to_top_ports;
       report.total_dropped_packets += ce.packets_actually_dropped;
       report.events.push_back(ce);
     }
   }
+  // Tie-break on (event, server) so the order is fully deterministic.
   std::sort(report.events.begin(), report.events.end(),
             [](const CollateralEvent& a, const CollateralEvent& b) {
-              return a.packets_to_top_ports < b.packets_to_top_ports;
+              if (a.packets_to_top_ports != b.packets_to_top_ports) {
+                return a.packets_to_top_ports < b.packets_to_top_ports;
+              }
+              if (a.event_index != b.event_index) {
+                return a.event_index < b.event_index;
+              }
+              return a.server < b.server;
             });
   return report;
 }

@@ -29,8 +29,12 @@ struct CollateralReport {
   std::uint64_t total_dropped_packets{0};
 };
 
+/// Events fan out over `pool` (null: the global pool); per-event results
+/// are concatenated in event order, so the report is identical at any
+/// thread count.
 [[nodiscard]] CollateralReport compute_collateral(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const PortStatsReport& stats, std::uint32_t sampling_rate = 10000);
+    const PortStatsReport& stats, std::uint32_t sampling_rate = 10000,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace bw::core

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace bw::core {
 
 Dataset Dataset::from_run(ixp::RunResult run, const ixp::Platform& platform) {
@@ -30,40 +32,77 @@ Dataset::Dataset(bgp::UpdateLog control, flow::FlowLog data,
 }
 
 void Dataset::build_indices() {
-  bgp::sort_updates(control_);
-  flow::sort_flows(data_);
+  util::ThreadPool& pool = util::ThreadPool::global();
 
-  blackhole_updates_.clear();
-  for (const auto& u : control_) {
-    if (!u.is_blackhole()) continue;
-    blackhole_updates_.push_back(u);
-    if (u.type == bgp::UpdateType::kAnnounce) {
-      rs_index_.open(u.prefix, u.time, u.communities, u.sender_asn);
-    } else {
-      rs_index_.close(u.prefix, u.time);
+  // Sort the two raw corpora concurrently; each sort is itself parallel.
+  // Both comparators, with parallel_sort's stability, yield an order that
+  // is independent of the thread count.
+  auto control_sorted = pool.submit([&] {
+    util::parallel_sort(pool, control_.begin(), control_.end(),
+                        [](const bgp::Update& a, const bgp::Update& b) {
+                          if (a.time != b.time) return a.time < b.time;
+                          return a.type == bgp::UpdateType::kWithdraw &&
+                                 b.type == bgp::UpdateType::kAnnounce;
+                        });
+  });
+  util::parallel_sort(pool, data_.begin(), data_.end(),
+                      [](const flow::FlowRecord& a, const flow::FlowRecord& b) {
+                        return a.time < b.time;
+                      });
+  control_sorted.get();
+
+  // The route-server replay is inherently sequential (open/close state),
+  // but it only walks the control plane — overlap it with the trie build
+  // and the flow-index sorts below.
+  auto blackholes_done = pool.submit([&] {
+    blackhole_updates_.clear();
+    for (const auto& u : control_) {
+      if (!u.is_blackhole()) continue;
+      blackhole_updates_.push_back(u);
+      if (u.type == bgp::UpdateType::kAnnounce) {
+        rs_index_.open(u.prefix, u.time, u.communities, u.sender_asn);
+      } else {
+        rs_index_.close(u.prefix, u.time);
+      }
     }
-  }
-  rs_index_.finalize(period_.end);
-
-  for (const auto& [prefix, asn] : origin_prefixes_) {
-    origin_trie_.insert(prefix, asn);
-  }
+    rs_index_.finalize(period_.end);
+  });
+  auto trie_done = pool.submit([&] {
+    for (const auto& [prefix, asn] : origin_prefixes_) {
+      origin_trie_.insert(prefix, asn);
+    }
+  });
 
   by_dst_.resize(data_.size());
   by_src_.resize(data_.size());
   for (std::size_t i = 0; i < data_.size(); ++i) by_dst_[i] = by_src_[i] = i;
-  std::sort(by_dst_.begin(), by_dst_.end(), [this](std::size_t a, std::size_t b) {
-    if (data_[a].dst_ip != data_[b].dst_ip) {
-      return data_[a].dst_ip < data_[b].dst_ip;
-    }
-    return data_[a].time < data_[b].time;
+  // Tie-break on the flow index so the comparators induce a total order:
+  // the sorted indices are then unique, i.e. identical at any thread count.
+  auto by_dst_done = pool.submit([&] {
+    util::parallel_sort(pool, by_dst_.begin(), by_dst_.end(),
+                        [this](std::size_t a, std::size_t b) {
+                          if (data_[a].dst_ip != data_[b].dst_ip) {
+                            return data_[a].dst_ip < data_[b].dst_ip;
+                          }
+                          if (data_[a].time != data_[b].time) {
+                            return data_[a].time < data_[b].time;
+                          }
+                          return a < b;
+                        });
   });
-  std::sort(by_src_.begin(), by_src_.end(), [this](std::size_t a, std::size_t b) {
-    if (data_[a].src_ip != data_[b].src_ip) {
-      return data_[a].src_ip < data_[b].src_ip;
-    }
-    return data_[a].time < data_[b].time;
-  });
+  util::parallel_sort(pool, by_src_.begin(), by_src_.end(),
+                      [this](std::size_t a, std::size_t b) {
+                        if (data_[a].src_ip != data_[b].src_ip) {
+                          return data_[a].src_ip < data_[b].src_ip;
+                        }
+                        if (data_[a].time != data_[b].time) {
+                          return data_[a].time < data_[b].time;
+                        }
+                        return a < b;
+                      });
+  by_dst_done.get();
+  blackholes_done.get();
+  trie_done.get();
 }
 
 std::optional<bgp::Asn> Dataset::member_asn(net::Mac mac) const {
@@ -78,55 +117,61 @@ std::optional<bgp::Asn> Dataset::origin_asn(net::Ipv4 src) const {
   return *asn;
 }
 
-namespace {
-
-// Shared range-scan over an (ip, time)-sorted index.
-template <typename GetIp>
-std::vector<std::size_t> scan_index(const flow::FlowLog& data,
-                                    const std::vector<std::size_t>& index,
-                                    const net::Prefix& prefix,
-                                    util::TimeRange range, GetIp get_ip) {
-  std::vector<std::size_t> out;
-  const net::Ipv4 lo = prefix.network();
-  const net::Ipv4 hi = prefix.address_at(prefix.size() - 1);
-  auto begin = std::lower_bound(
-      index.begin(), index.end(), lo,
-      [&](std::size_t i, net::Ipv4 v) { return get_ip(data[i]) < v; });
-  for (auto it = begin; it != index.end(); ++it) {
-    const auto& rec = data[*it];
-    if (get_ip(rec) > hi) break;
-    if (range.contains(rec.time)) out.push_back(*it);
-  }
-  return out;
-}
-
-}  // namespace
-
 std::vector<std::size_t> Dataset::flows_to(const net::Prefix& prefix,
                                            util::TimeRange range) const {
-  return scan_index(data_, by_dst_, prefix, range,
-                    [](const flow::FlowRecord& r) { return r.dst_ip; });
+  std::vector<std::size_t> out;
+  scan_sorted_index(
+      by_dst_, prefix, range,
+      [](const flow::FlowRecord& r) { return r.dst_ip; },
+      [&](std::size_t idx, const flow::FlowRecord&) { out.push_back(idx); });
+  return out;
 }
 
 std::vector<std::size_t> Dataset::flows_from(const net::Prefix& prefix,
                                              util::TimeRange range) const {
-  return scan_index(data_, by_src_, prefix, range,
-                    [](const flow::FlowRecord& r) { return r.src_ip; });
+  std::vector<std::size_t> out;
+  scan_sorted_index(
+      by_src_, prefix, range,
+      [](const flow::FlowRecord& r) { return r.src_ip; },
+      [&](std::size_t idx, const flow::FlowRecord&) { out.push_back(idx); });
+  return out;
 }
 
-Dataset::Summary Dataset::summary() const {
+Dataset::Summary Dataset::summary(util::ThreadPool* pool_opt) const {
   Summary s;
   s.control_updates = control_.size();
   s.blackhole_updates = blackhole_updates_.size();
   s.blackholed_prefixes = rs_index_.prefix_count();
   s.flow_records = data_.size();
-  for (const auto& r : data_) {
-    s.sampled_packets += r.packets;
-    s.sampled_bytes += r.bytes;
-    if (r.dropped()) {
-      s.dropped_packets += r.packets;
-      s.dropped_bytes += r.bytes;
+
+  // Shard the volume sums over the pool; integer addition is associative,
+  // so the merged totals are exact and thread-count independent.
+  util::ThreadPool& pool = util::pool_or_global(pool_opt);
+  struct Volume {
+    std::uint64_t packets{0}, bytes{0}, dropped_packets{0}, dropped_bytes{0};
+  };
+  const std::size_t shards =
+      std::clamp<std::size_t>(data_.size() / 65536, 1, 64);
+  const std::size_t shard_len = (data_.size() + shards - 1) / shards;
+  const auto sums = util::parallel_map(pool, shards, [&](std::size_t k) {
+    Volume v;
+    const std::size_t end = std::min(data_.size(), (k + 1) * shard_len);
+    for (std::size_t i = k * shard_len; i < end; ++i) {
+      const auto& r = data_[i];
+      v.packets += r.packets;
+      v.bytes += r.bytes;
+      if (r.dropped()) {
+        v.dropped_packets += r.packets;
+        v.dropped_bytes += r.bytes;
+      }
     }
+    return v;
+  });
+  for (const Volume& v : sums) {
+    s.sampled_packets += v.packets;
+    s.sampled_bytes += v.bytes;
+    s.dropped_packets += v.dropped_packets;
+    s.dropped_bytes += v.dropped_bytes;
   }
   return s;
 }

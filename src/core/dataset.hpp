@@ -8,6 +8,7 @@
 // sorted by destination and by source address.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <span>
@@ -20,6 +21,10 @@
 #include "flow/record.hpp"
 #include "ixp/platform.hpp"
 #include "net/mac.hpp"
+
+namespace bw::util {
+class ThreadPool;
+}
 
 namespace bw::core {
 
@@ -79,6 +84,28 @@ class Dataset {
     return flows_to(net::Prefix::host(addr), period_);
   }
 
+  /// Allocation-free variants of flows_to / flows_from: invoke
+  /// `fn(const flow::FlowRecord&)` for every matching record, in the same
+  /// (ip, time) order the vector-returning versions use, without
+  /// materialising an index vector. This is the hot-kernel iteration API;
+  /// prefer it anywhere the indices themselves are not needed.
+  template <typename Fn>
+  void for_each_flow_to(const net::Prefix& prefix, util::TimeRange range,
+                        Fn&& fn) const {
+    scan_sorted_index(
+        by_dst_, prefix, range,
+        [](const flow::FlowRecord& r) { return r.dst_ip; },
+        [&](std::size_t, const flow::FlowRecord& rec) { fn(rec); });
+  }
+  template <typename Fn>
+  void for_each_flow_from(const net::Prefix& prefix, util::TimeRange range,
+                          Fn&& fn) const {
+    scan_sorted_index(
+        by_src_, prefix, range,
+        [](const flow::FlowRecord& r) { return r.src_ip; },
+        [&](std::size_t, const flow::FlowRecord& rec) { fn(rec); });
+  }
+
   // --- persistence (binary, versioned) ---
   void save(const std::string& path) const;
   static Dataset load(const std::string& path);
@@ -94,10 +121,31 @@ class Dataset {
     std::uint64_t dropped_packets{0};
     std::uint64_t dropped_bytes{0};
   };
-  [[nodiscard]] Summary summary() const;
+  /// Corpus totals; the volume sums shard over `pool` (null: the global
+  /// pool) and are exact at any thread count.
+  [[nodiscard]] Summary summary(util::ThreadPool* pool = nullptr) const;
 
  private:
   void build_indices();
+
+  /// Range-scan an (ip, time)-sorted index: binary-search the first record
+  /// at or above the prefix's network address, then walk forward until the
+  /// prefix's last address is passed. Calls `fn(flow_index, record)`.
+  template <typename GetIp, typename Fn>
+  void scan_sorted_index(const std::vector<std::size_t>& index,
+                         const net::Prefix& prefix, util::TimeRange range,
+                         GetIp get_ip, Fn&& fn) const {
+    const net::Ipv4 lo = prefix.network();
+    const net::Ipv4 hi = prefix.address_at(prefix.size() - 1);
+    auto begin = std::lower_bound(
+        index.begin(), index.end(), lo,
+        [&](std::size_t i, net::Ipv4 v) { return get_ip(data_[i]) < v; });
+    for (auto it = begin; it != index.end(); ++it) {
+      const flow::FlowRecord& rec = data_[*it];
+      if (get_ip(rec) > hi) break;
+      if (range.contains(rec.time)) fn(*it, rec);
+    }
+  }
 
   bgp::UpdateLog control_;
   flow::FlowLog data_;

@@ -16,45 +16,88 @@ double DropRateReport::traffic_share(std::uint8_t length) const {
   return 0.0;
 }
 
+namespace {
+
+/// Everything one event contributes, computed independently per event and
+/// merged in event order afterwards.
+struct EventDelta {
+  PrefixLenDropStats stats;
+  std::uint64_t ev_total{0};
+  std::uint64_t ev_dropped{0};
+  /// Per handover AS of traffic towards a /32 event, sorted by ASN.
+  std::vector<SourceAsReaction> sources;
+};
+
+}  // namespace
+
 DropRateReport compute_drop_rates(const Dataset& dataset,
                                   const std::vector<RtbhEvent>& events,
-                                  const DropRateConfig& config) {
+                                  const DropRateConfig& config,
+                                  util::ThreadPool* pool_opt) {
+  util::ThreadPool& pool = util::pool_or_global(pool_opt);
   DropRateReport report;
-  std::map<std::uint8_t, PrefixLenDropStats> by_length;
-  std::unordered_map<bgp::Asn, SourceAsReaction> sources32;
 
-  for (const auto& ev : events) {
-    std::uint64_t ev_total = 0;
-    std::uint64_t ev_dropped = 0;
+  const auto deltas = util::parallel_map(pool, events.size(), [&](std::size_t e) {
+    const auto& ev = events[e];
+    EventDelta d;
+    // The prefix length is fixed per event: hoist the per-length stats slot
+    // and the /32 check out of the per-record loop.
+    const std::uint8_t len = ev.prefix.length();
+    d.stats.length = len;
+    const bool host_event = len == 32;
+    std::map<bgp::Asn, SourceAsReaction> sources;
     for (const auto& active : ev.active) {
-      for (const std::size_t idx : dataset.flows_to(ev.prefix, active)) {
-        const auto& rec = dataset.flows()[idx];
-        auto& stats = by_length[ev.prefix.length()];
-        stats.length = ev.prefix.length();
-        stats.packets_total += rec.packets;
-        stats.bytes_total += rec.bytes;
-        ev_total += rec.packets;
+      dataset.for_each_flow_to(ev.prefix, active,
+                               [&](const flow::FlowRecord& rec) {
+        d.stats.packets_total += rec.packets;
+        d.stats.bytes_total += rec.bytes;
+        d.ev_total += rec.packets;
         if (rec.dropped()) {
-          stats.packets_dropped += rec.packets;
-          stats.bytes_dropped += rec.bytes;
-          ev_dropped += rec.packets;
+          d.stats.packets_dropped += rec.packets;
+          d.stats.bytes_dropped += rec.bytes;
+          d.ev_dropped += rec.packets;
         }
-        if (ev.prefix.length() == 32) {
-          const auto asn = dataset.member_asn(rec.src_mac);
-          if (asn) {
-            auto& src = sources32[*asn];
+        if (host_event) {
+          if (const auto asn = dataset.member_asn(rec.src_mac)) {
+            auto& src = sources[*asn];
             src.asn = *asn;
             src.packets_total += rec.packets;
             if (rec.dropped()) src.packets_dropped += rec.packets;
           }
         }
-      }
+      });
     }
-    if (ev_total >= config.min_event_samples) {
+    d.sources.reserve(sources.size());
+    for (const auto& [asn, src] : sources) d.sources.push_back(src);
+    return d;
+  });
+
+  // Merge in event order; integer sums make the totals exact and the
+  // ordering rules below make the whole report thread-count independent.
+  std::map<std::uint8_t, PrefixLenDropStats> by_length;
+  std::unordered_map<bgp::Asn, SourceAsReaction> sources32;
+  sources32.reserve(dataset.mac_table().size());
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const EventDelta& d = deltas[e];
+    if (d.stats.packets_total > 0) {
+      auto& stats = by_length[d.stats.length];
+      stats.length = d.stats.length;
+      stats.packets_total += d.stats.packets_total;
+      stats.packets_dropped += d.stats.packets_dropped;
+      stats.bytes_total += d.stats.bytes_total;
+      stats.bytes_dropped += d.stats.bytes_dropped;
+    }
+    for (const SourceAsReaction& s : d.sources) {
+      auto& src = sources32[s.asn];
+      src.asn = s.asn;
+      src.packets_total += s.packets_total;
+      src.packets_dropped += s.packets_dropped;
+    }
+    if (d.ev_total >= config.min_event_samples) {
       const double rate =
-          static_cast<double>(ev_dropped) / static_cast<double>(ev_total);
-      if (ev.prefix.length() == 32) report.event_rates_len32.push_back(rate);
-      if (ev.prefix.length() == 24) report.event_rates_len24.push_back(rate);
+          static_cast<double>(d.ev_dropped) / static_cast<double>(d.ev_total);
+      if (d.stats.length == 32) report.event_rates_len32.push_back(rate);
+      if (d.stats.length == 24) report.event_rates_len24.push_back(rate);
     }
   }
 
@@ -68,9 +111,14 @@ DropRateReport compute_drop_rates(const Dataset& dataset,
   for (const auto& [asn, src] : sources32) {
     report.sources_to_len32.push_back(src);
   }
+  // Tie-break on ASN so the order is deterministic however the map
+  // iterates.
   std::sort(report.sources_to_len32.begin(), report.sources_to_len32.end(),
             [](const SourceAsReaction& a, const SourceAsReaction& b) {
-              return a.packets_total > b.packets_total;
+              if (a.packets_total != b.packets_total) {
+                return a.packets_total > b.packets_total;
+              }
+              return a.asn < b.asn;
             });
   return report;
 }

@@ -13,6 +13,7 @@
 #include "core/dataset.hpp"
 #include "core/event_merge.hpp"
 #include "peeringdb/registry.hpp"
+#include "util/parallel.hpp"
 
 namespace bw::core {
 
@@ -74,9 +75,12 @@ struct DropRateConfig {
   std::uint64_t min_event_samples{5};
 };
 
+/// Events fan out over `pool` (null: the global pool); per-event deltas
+/// are merged in event order and the source list is sorted with a full
+/// tie-break, so the report is identical at any thread count.
 [[nodiscard]] DropRateReport compute_drop_rates(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const DropRateConfig& config = {});
+    const DropRateConfig& config = {}, util::ThreadPool* pool = nullptr);
 
 /// Fig. 7 summary: of the top `top_n` sources, how many drop > 99%, how
 /// many forward > 99%, and how many do both (inconsistent).

@@ -18,14 +18,14 @@ FilteringReport compute_filtering(const Dataset& dataset,
     const auto& ev = events[e];
     std::uint64_t total = 0;
     std::uint64_t matched = 0;
-    for (const std::size_t idx : dataset.flows_to(ev.prefix, ev.span)) {
-      const auto& rec = dataset.flows()[idx];
+    dataset.for_each_flow_to(ev.prefix, ev.span,
+                             [&](const flow::FlowRecord& rec) {
       total += rec.packets;
       if (rec.proto == net::Proto::kUdp &&
           net::is_amplification_port(rec.src_port)) {
         matched += rec.packets;
       }
-    }
+    });
     if (total == 0) continue;
     ++report.events_considered;
     report.coverage.push_back(static_cast<double>(matched) /

@@ -34,11 +34,11 @@ ParticipationReport compute_participation(const Dataset& dataset,
     std::unordered_map<bgp::Asn, std::uint64_t> ev_handover_pkts;
     std::unordered_map<bgp::Asn, std::uint64_t> ev_origin_pkts;
 
-    for (const std::size_t idx : dataset.flows_to(ev.prefix, ev.span)) {
-      const auto& rec = dataset.flows()[idx];
+    dataset.for_each_flow_to(ev.prefix, ev.span,
+                             [&](const flow::FlowRecord& rec) {
       if (rec.proto != net::Proto::kUdp ||
           !net::is_amplification_port(rec.src_port)) {
-        continue;
+        return;
       }
       amplifiers.insert(rec.src_ip.value());
       if (const auto asn = dataset.member_asn(rec.src_mac)) {
@@ -50,7 +50,7 @@ ParticipationReport compute_participation(const Dataset& dataset,
         ev_origin_pkts[*asn] += rec.packets;
       }
       total_packets += rec.packets;
-    }
+    });
     if (amplifiers.empty()) continue;  // not an amplification attack
 
     ++report.attacks;

@@ -9,23 +9,50 @@ namespace bw::core {
 
 AnalysisReport run_pipeline(const Dataset& dataset,
                             const AnalysisConfig& config) {
+  util::ThreadPool& pool = util::pool_or_global(config.pool);
   AnalysisReport report;
-  report.summary = dataset.summary();
+
+  // Serial prologue: event merging is cheap and everything depends on it;
+  // the pre-RTBH scan (the heaviest kernel) fans events out internally.
+  auto summary_done =
+      pool.submit([&] { report.summary = dataset.summary(&pool); });
   report.events = merge_events(dataset.blackhole_updates(),
                                dataset.period().end, config.merge_delta);
-  report.pre = compute_pre_rtbh(dataset, report.events, config.pre);
-  report.drop = compute_drop_rates(dataset, report.events, config.drop);
-  report.protocols =
-      compute_protocol_mix(dataset, report.events, report.pre, config.protocols);
-  report.filtering = compute_filtering(dataset, report.events, report.pre);
-  report.participation =
-      compute_participation(dataset, report.events, report.pre);
-  report.ports = compute_port_stats(dataset, report.events, config.ports);
-  report.radviz = radviz_projection(report.ports, config.ports.min_days);
-  report.collateral = compute_collateral(dataset, report.events, report.ports,
-                                         config.sampling_rate);
-  report.classes =
-      classify_events(dataset, report.events, report.pre, config.classify);
+  const std::vector<RtbhEvent>& events = report.events;
+  report.pre = compute_pre_rtbh(dataset, events, config.pre, &pool);
+
+  // Stage graph: with events and the pre-RTBH report fixed, the remaining
+  // stages only read shared immutable state and write disjoint report
+  // fields, so they run concurrently. The victims chain (port stats ->
+  // RadViz -> collateral) keeps its internal data dependency. Each stage
+  // computes a thread-count-independent result, so the stage graph changes
+  // wall-clock time only, never bytes. In serial mode (BW_THREADS=1)
+  // submit() runs inline, reproducing the sequential stage order exactly.
+  auto drop_done = pool.submit(
+      [&] { report.drop = compute_drop_rates(dataset, events, config.drop, &pool); });
+  auto protocols_done = pool.submit([&] {
+    report.protocols =
+        compute_protocol_mix(dataset, events, report.pre, config.protocols);
+  });
+  auto filtering_done = pool.submit(
+      [&] { report.filtering = compute_filtering(dataset, events, report.pre); });
+  auto participation_done = pool.submit([&] {
+    report.participation = compute_participation(dataset, events, report.pre);
+  });
+  auto victims_done = pool.submit([&] {
+    report.ports = compute_port_stats(dataset, events, config.ports, &pool);
+    report.radviz = radviz_projection(report.ports, config.ports.min_days);
+    report.collateral = compute_collateral(dataset, events, report.ports,
+                                           config.sampling_rate, &pool);
+  });
+  report.classes = classify_events(dataset, events, report.pre, config.classify);
+
+  summary_done.get();
+  drop_done.get();
+  protocols_done.get();
+  filtering_done.get();
+  participation_done.get();
+  victims_done.get();
   return report;
 }
 

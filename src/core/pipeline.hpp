@@ -35,6 +35,10 @@ struct AnalysisConfig {
   PortStatsConfig ports{};
   ClassifyConfig classify{};
   std::uint32_t sampling_rate{10000};
+  /// Thread pool for the stage graph and the per-event kernels; null uses
+  /// the process-wide pool (sized by $BW_THREADS). The report is identical
+  /// for every pool size.
+  util::ThreadPool* pool{nullptr};
 };
 
 struct AnalysisReport {

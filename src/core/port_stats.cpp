@@ -45,7 +45,9 @@ struct Accumulator {
 
 PortStatsReport compute_port_stats(const Dataset& dataset,
                                    const std::vector<RtbhEvent>& events,
-                                   const PortStatsConfig& config) {
+                                   const PortStatsConfig& config,
+                                   util::ThreadPool* pool_opt) {
+  util::ThreadPool& pool = util::pool_or_global(pool_opt);
   PortStatsReport report;
 
   // Host universe: every /32 RTBH event address, with its exclusion windows.
@@ -78,34 +80,73 @@ PortStatsReport compute_port_stats(const Dataset& dataset,
   }
   report.blackholed_hosts_total = exclusions.size();
 
-  // Single pass over the flow log, attributing both directions.
-  std::unordered_map<net::Ipv4, Accumulator> acc;
+  // Pass over the flow log, attributing both directions. The log is
+  // sharded over the pool with one accumulator map per shard; shard
+  // boundaries depend only on the log size, and the set/sum merge below is
+  // order-insensitive, so the result is identical at any thread count.
+  const flow::FlowLog& flows = dataset.flows();
   const util::TimeMs epoch = dataset.period().begin;
-  for (const auto& rec : dataset.flows()) {
-    const std::int64_t day = util::slot_index(rec.time - epoch, util::kDay);
-    if (auto it = exclusions.find(rec.dst_ip); it != exclusions.end()) {
-      if (!it->second.contains(rec.time)) {
-        auto& a = acc[rec.dst_ip];
-        a.src_in.insert(rec.src_port);
-        a.dst_in.insert(rec.dst_port);
-        a.days_in.insert(day);
-        a.daily_in[day][{rec.proto, rec.dst_port}] += rec.packets;
+  const std::size_t shards =
+      std::clamp<std::size_t>(flows.size() / 65536, 1, 64);
+  const std::size_t shard_len = (flows.size() + shards - 1) / shards;
+  auto shard_accs = util::parallel_map(pool, shards, [&](std::size_t k) {
+    std::unordered_map<net::Ipv4, Accumulator> acc;
+    const std::size_t end = std::min(flows.size(), (k + 1) * shard_len);
+    for (std::size_t i = k * shard_len; i < end; ++i) {
+      const auto& rec = flows[i];
+      const std::int64_t day = util::slot_index(rec.time - epoch, util::kDay);
+      if (auto it = exclusions.find(rec.dst_ip); it != exclusions.end()) {
+        if (!it->second.contains(rec.time)) {
+          auto& a = acc[rec.dst_ip];
+          a.src_in.insert(rec.src_port);
+          a.dst_in.insert(rec.dst_port);
+          a.days_in.insert(day);
+          a.daily_in[day][{rec.proto, rec.dst_port}] += rec.packets;
+        }
+      }
+      if (auto it = exclusions.find(rec.src_ip); it != exclusions.end()) {
+        if (!it->second.contains(rec.time)) {
+          auto& a = acc[rec.src_ip];
+          a.src_out.insert(rec.src_port);
+          a.dst_out.insert(rec.dst_port);
+          a.days_out.insert(day);
+        }
       }
     }
-    if (auto it = exclusions.find(rec.src_ip); it != exclusions.end()) {
-      if (!it->second.contains(rec.time)) {
-        auto& a = acc[rec.src_ip];
-        a.src_out.insert(rec.src_port);
-        a.dst_out.insert(rec.dst_port);
-        a.days_out.insert(day);
+    return acc;
+  });
+
+  std::unordered_map<net::Ipv4, Accumulator> acc;
+  acc.reserve(exclusions.size());
+  for (auto& shard : shard_accs) {
+    for (auto& [ip, sa] : shard) {
+      auto& a = acc[ip];
+      a.src_in.merge(sa.src_in);
+      a.dst_in.merge(sa.dst_in);
+      a.src_out.merge(sa.src_out);
+      a.dst_out.merge(sa.dst_out);
+      a.days_in.merge(sa.days_in);
+      a.days_out.merge(sa.days_out);
+      for (const auto& [day, ports] : sa.daily_in) {
+        auto& day_ports = a.daily_in[day];
+        for (const auto& [pp, packets] : ports) day_ports[pp] += packets;
       }
     }
   }
 
-  for (auto& [ip, a] : acc) {
+  // Finalise per host in sorted-address order (deterministic output and
+  // embarrassingly parallel).
+  std::vector<net::Ipv4> ips;
+  ips.reserve(acc.size());
+  for (const auto& [ip, a] : acc) ips.push_back(ip);
+  std::sort(ips.begin(), ips.end());
+
+  report.hosts = util::parallel_map(pool, ips.size(), [&](std::size_t i) {
+    const net::Ipv4 ip = ips[i];
+    const Accumulator& a = acc.at(ip);
     HostPortStats h;
     h.ip = ip;
-    h.origin = host_origin[ip];
+    h.origin = host_origin.at(ip);
     h.unique_src_ports_in = a.src_in.size();
     h.unique_dst_ports_in = a.dst_in.size();
     h.unique_src_ports_out = a.src_out.size();
@@ -133,21 +174,20 @@ PortStatsReport compute_port_stats(const Dataset& dataset,
             : 0.0;
 
     if (h.days_bidirectional >= config.min_days) {
-      ++report.eligible_hosts;
       if (h.port_variation >= config.client_variation_min) {
         h.classification = HostClass::kClient;
-        ++report.clients;
       } else {
         h.classification = HostClass::kServer;
-        ++report.servers;
       }
     }
-    report.hosts.push_back(std::move(h));
+    return h;
+  });
+  for (const HostPortStats& h : report.hosts) {
+    if (h.classification == HostClass::kUnclassified) continue;
+    ++report.eligible_hosts;
+    if (h.classification == HostClass::kClient) ++report.clients;
+    else ++report.servers;
   }
-  std::sort(report.hosts.begin(), report.hosts.end(),
-            [](const HostPortStats& a, const HostPortStats& b) {
-              return a.ip < b.ip;
-            });
   return report;
 }
 

@@ -17,6 +17,7 @@
 #include "core/dataset.hpp"
 #include "core/event_merge.hpp"
 #include "peeringdb/registry.hpp"
+#include "util/parallel.hpp"
 
 namespace bw::core {
 
@@ -61,9 +62,12 @@ struct PortStatsConfig {
   util::DurationMs reaction_window{10 * util::kMinute};
 };
 
+/// The flow-log pass shards over `pool` (null: the global pool) with
+/// per-shard accumulators; set/sum merging keeps the result identical at
+/// any thread count.
 [[nodiscard]] PortStatsReport compute_port_stats(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const PortStatsConfig& config = {});
+    const PortStatsConfig& config = {}, util::ThreadPool* pool = nullptr);
 
 /// Table 4: origin-AS type distribution of detected clients and servers.
 struct AsnTypeRow {

@@ -6,9 +6,10 @@ namespace bw::core {
 
 PreRtbhReport compute_pre_rtbh(const Dataset& dataset,
                                const std::vector<RtbhEvent>& events,
-                               const PreRtbhConfig& config) {
+                               const PreRtbhConfig& config,
+                               util::ThreadPool* pool_opt) {
+  util::ThreadPool& pool = util::pool_or_global(pool_opt);
   PreRtbhReport report;
-  report.per_event.reserve(events.size());
 
   const auto slots_10min =
       static_cast<std::size_t>(std::max<util::DurationMs>(
@@ -16,7 +17,9 @@ PreRtbhReport compute_pre_rtbh(const Dataset& dataset,
   const auto slots_1h = static_cast<std::size_t>(std::max<util::DurationMs>(
       (util::kHour + config.slot - 1) / config.slot, 1));
 
-  for (std::size_t e = 0; e < events.size(); ++e) {
+  // Each pre-RTBH event is independent: fan the events out over the pool
+  // and collect the per-event results in index order.
+  report.per_event = util::parallel_map(pool, events.size(), [&](std::size_t e) {
     const auto& ev = events[e];
     PreRtbhResult res;
     res.event_index = e;
@@ -65,13 +68,15 @@ PreRtbhReport compute_pre_rtbh(const Dataset& dataset,
         }
       }
     }
+    return res;
+  });
 
+  // Tally the Table 2 classes serially, in event order.
+  for (const PreRtbhResult& res : report.per_event) {
     if (!res.has_data) ++report.no_data;
     else if (res.anomaly_within_10min) ++report.data_anomaly_10m;
     else ++report.data_no_anomaly;
     if (res.has_data && res.anomaly_within_1h) ++report.anomaly_1h;
-
-    report.per_event.push_back(std::move(res));
   }
   return report;
 }

@@ -12,6 +12,7 @@
 
 #include "core/anomaly.hpp"
 #include "core/event_merge.hpp"
+#include "util/parallel.hpp"
 
 namespace bw::core {
 
@@ -54,8 +55,10 @@ struct PreRtbhConfig {
   util::CusumConfig cusum{};
 };
 
+/// Events fan out over `pool` (null: the global pool); per-event results
+/// land in index order, so the report is identical at any thread count.
 [[nodiscard]] PreRtbhReport compute_pre_rtbh(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const PreRtbhConfig& config = {});
+    const PreRtbhConfig& config = {}, util::ThreadPool* pool = nullptr);
 
 }  // namespace bw::core

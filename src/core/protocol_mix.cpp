@@ -23,14 +23,12 @@ ProtocolMixReport compute_protocol_mix(const Dataset& dataset,
       continue;
     }
     const auto& ev = events[e];
-    const auto indices = dataset.flows_to(ev.prefix, ev.span);
-    if (indices.empty()) continue;
-
-    ++report.events_considered;
+    std::size_t matched_records = 0;
     std::uint64_t ev_packets = 0;
     std::unordered_map<net::Port, std::uint64_t> amp_packets;
-    for (const std::size_t idx : indices) {
-      const auto& rec = dataset.flows()[idx];
+    dataset.for_each_flow_to(ev.prefix, ev.span,
+                             [&](const flow::FlowRecord& rec) {
+      ++matched_records;
       ev_packets += rec.packets;
       switch (rec.proto) {
         case net::Proto::kUdp: udp += rec.packets; break;
@@ -42,7 +40,9 @@ ProtocolMixReport compute_protocol_mix(const Dataset& dataset,
           net::is_amplification_port(rec.src_port)) {
         amp_packets[rec.src_port] += rec.packets;
       }
-    }
+    });
+    if (matched_records == 0) continue;
+    ++report.events_considered;
 
     std::size_t protocols = 0;
     for (const auto& [port, pkts] : amp_packets) {

@@ -1,0 +1,257 @@
+// Parallel execution layer: a reusable thread pool plus deterministic
+// parallel-for / parallel-map / parallel-sort helpers.
+//
+// Concurrency is sized by $BW_THREADS (default: hardware_concurrency).
+// BW_THREADS=1 yields an exact serial fallback: the pool owns no worker
+// threads and every task runs inline on the calling thread, in call order.
+//
+// Determinism contract: all helpers here produce results that are
+// *independent of the thread count*.
+//   - parallel_map collects results by index, so output order equals input
+//     order no matter which thread computed an element.
+//   - parallel_sort partitions the range by size only (never by thread
+//     count) and merges chunks stably in a fixed tree order, so its output
+//     equals std::stable_sort for every BW_THREADS value.
+//   - parallel_for guarantees each index runs exactly once; when the body
+//     accumulates into shards, merge the shards in index order (see
+//     core/drop_rate.cpp for the pattern) to keep results bit-identical.
+//
+// Nesting: parallel_for/map/sort may be called from inside a pool task.
+// Completion never waits on queued-but-unscheduled helpers — the calling
+// thread participates in the work and only waits for chunks that some
+// running thread has already claimed — so nested use cannot deadlock.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bw::util {
+
+class ThreadPool {
+ public:
+  /// A pool executing on `workers` background threads plus the calling
+  /// thread. `workers == 0` is the exact serial fallback: submit() runs
+  /// tasks inline and the helpers degrade to plain loops.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (0 in serial mode).
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+  /// Usable concurrency: workers plus the participating caller.
+  [[nodiscard]] std::size_t concurrency() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Schedule `fn` and return its future. Exceptions thrown by `fn`
+  /// propagate through the future. In serial mode the task runs inline,
+  /// before submit() returns.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return future;
+    }
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// $BW_THREADS, clamped to >= 1; hardware_concurrency when unset.
+  [[nodiscard]] static std::size_t configured_concurrency();
+
+  /// The process-wide pool, lazily built with configured_concurrency().
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Low-level: schedule a fire-and-forget task with no future. Must not
+  /// be called on a serial pool (there is no worker to run it).
+  void enqueue(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience for APIs taking an optional pool: the given pool, or the
+/// process-wide one when null.
+[[nodiscard]] inline ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : ThreadPool::global();
+}
+
+namespace detail {
+
+/// Shared bookkeeping for one parallel_for: chunk claiming, completion
+/// counting, and first-exception capture. Kept alive by shared_ptr so
+/// helper tasks scheduled after completion can still exit cleanly.
+struct ForLoopState {
+  std::size_t n{0};
+  std::size_t grain{1};
+  std::size_t chunks{0};
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  void finish_chunks(std::size_t count) {
+    if (done_chunks.fetch_add(count) + count == chunks) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      done_cv.notify_all();
+    }
+  }
+
+  /// Claim and run chunks until none remain. On an exception, record the
+  /// first one, then claim-and-skip the rest so completion still counts up
+  /// to `chunks` without waiting on unscheduled helpers.
+  template <typename F>
+  void drain(F& body) {
+    std::size_t c;
+    while ((c = next_chunk.fetch_add(1)) < chunks) {
+      const std::size_t begin = c * grain;
+      const std::size_t end = std::min(n, begin + grain);
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+        }
+        finish_chunks(1);
+        std::size_t skipped = 0;
+        while (next_chunk.fetch_add(1) < chunks) ++skipped;
+        if (skipped > 0) finish_chunks(skipped);
+        return;
+      }
+      finish_chunks(1);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Run `body(i)` exactly once for every i in [0, n), spread over the pool's
+/// workers plus the calling thread. Blocks until every index has run.
+/// `grain` indices are executed per claimed chunk (0 = pick automatically).
+/// The first exception thrown by any body is rethrown on the caller.
+template <typename F>
+void parallel_for(ThreadPool& pool, std::size_t n, F&& body,
+                  std::size_t grain = 0) {
+  if (n == 0) return;
+  auto& fn = body;
+  if (pool.worker_count() == 0 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * pool.concurrency()));
+  auto state = std::make_shared<detail::ForLoopState>();
+  state->n = n;
+  state->grain = grain;
+  state->chunks = (n + grain - 1) / grain;
+
+  const std::size_t helpers =
+      std::min(pool.worker_count(), state->chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.enqueue([state, &fn] { state->drain(fn); });
+  }
+  state->drain(fn);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->done_chunks.load() == state->chunks;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+/// Map [0, n) through `fn` and return the results in index order. The
+/// output is identical for every thread count.
+template <typename F,
+          typename R = std::decay_t<std::invoke_result_t<F&, std::size_t>>>
+std::vector<R> parallel_map(ThreadPool& pool, std::size_t n, F&& fn,
+                            std::size_t grain = 0) {
+  std::vector<R> results(n);
+  auto& f = fn;
+  parallel_for(
+      pool, n, [&](std::size_t i) { results[i] = f(i); }, grain);
+  return results;
+}
+
+namespace detail {
+
+inline constexpr std::size_t kSortSerialCutoff = 1u << 14;
+
+/// Chunk layout for parallel_sort, derived from the range size only, so
+/// the result does not depend on the thread count.
+inline std::size_t sort_chunk_count(std::size_t n) {
+  std::size_t chunks = 1;
+  while (chunks < 64 && n / (chunks * 2) >= kSortSerialCutoff / 2) {
+    chunks *= 2;
+  }
+  return chunks;
+}
+
+}  // namespace detail
+
+/// Stable parallel sort: equivalent to std::stable_sort(first, last, comp)
+/// at every thread count. Chunks are stable-sorted concurrently, then
+/// merged stably in a fixed binary tree order.
+template <typename It, typename Comp>
+void parallel_sort(ThreadPool& pool, It first, It last, Comp comp) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  const std::size_t chunks = detail::sort_chunk_count(n);
+  if (pool.worker_count() == 0 || chunks == 1) {
+    std::stable_sort(first, last, comp);
+    return;
+  }
+  const std::size_t chunk_len = (n + chunks - 1) / chunks;
+  auto bound = [&](std::size_t c) {
+    return first + static_cast<std::ptrdiff_t>(std::min(n, c * chunk_len));
+  };
+  parallel_for(
+      pool, chunks,
+      [&](std::size_t c) { std::stable_sort(bound(c), bound(c + 1), comp); },
+      1);
+  for (std::size_t width = 1; width < chunks; width *= 2) {
+    const std::size_t pairs = chunks / (2 * width);
+    parallel_for(
+        pool, pairs,
+        [&](std::size_t p) {
+          const std::size_t lo = p * 2 * width;
+          std::inplace_merge(bound(lo), bound(lo + width),
+                             bound(lo + 2 * width), comp);
+        },
+        1);
+  }
+}
+
+template <typename It>
+void parallel_sort(ThreadPool& pool, It first, It last) {
+  parallel_sort(pool, first, last, std::less<>{});
+}
+
+}  // namespace bw::util

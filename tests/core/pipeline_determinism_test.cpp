@@ -1,0 +1,239 @@
+// Determinism of the parallel analysis engine: run_pipeline must produce a
+// byte-identical AnalysisReport at every thread count. We run the default
+// pipeline over one generated corpus with a serial pool (the BW_THREADS=1
+// fallback) and with an 8-way pool, and compare the reports field by field
+// (exact integer and bit-exact double equality) plus via the rendered
+// markdown document.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "util/parallel.hpp"
+
+namespace bw::core {
+namespace {
+
+gen::ScenarioConfig test_config() {
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.04;
+  cfg.seed = 20191021;
+  return cfg;
+}
+
+class PipelineDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    run_ = new ScenarioRun(run_scenario(test_config(), std::string{}));
+
+    util::ThreadPool serial(0);
+    AnalysisConfig serial_cfg;
+    serial_cfg.pool = &serial;
+    serial_report_ = new AnalysisReport(run_pipeline(run_->dataset, serial_cfg));
+
+    util::ThreadPool wide(7);  // 8-way: 7 workers + the calling thread
+    AnalysisConfig wide_cfg;
+    wide_cfg.pool = &wide;
+    wide_report_ = new AnalysisReport(run_pipeline(run_->dataset, wide_cfg));
+  }
+  static void TearDownTestSuite() {
+    delete wide_report_;
+    delete serial_report_;
+    wide_report_ = nullptr;
+    serial_report_ = nullptr;
+    delete run_;
+    run_ = nullptr;
+  }
+
+  static ScenarioRun* run_;
+  static AnalysisReport* serial_report_;
+  static AnalysisReport* wide_report_;
+};
+
+ScenarioRun* PipelineDeterminismTest::run_ = nullptr;
+AnalysisReport* PipelineDeterminismTest::serial_report_ = nullptr;
+AnalysisReport* PipelineDeterminismTest::wide_report_ = nullptr;
+
+TEST_F(PipelineDeterminismTest, SummaryIdentical) {
+  const auto& a = serial_report_->summary;
+  const auto& b = wide_report_->summary;
+  EXPECT_EQ(a.control_updates, b.control_updates);
+  EXPECT_EQ(a.blackhole_updates, b.blackhole_updates);
+  EXPECT_EQ(a.blackholed_prefixes, b.blackholed_prefixes);
+  EXPECT_EQ(a.flow_records, b.flow_records);
+  EXPECT_EQ(a.sampled_packets, b.sampled_packets);
+  EXPECT_EQ(a.sampled_bytes, b.sampled_bytes);
+  EXPECT_EQ(a.dropped_packets, b.dropped_packets);
+  EXPECT_EQ(a.dropped_bytes, b.dropped_bytes);
+}
+
+TEST_F(PipelineDeterminismTest, EventsIdentical) {
+  const auto& a = serial_report_->events;
+  const auto& b = wide_report_->events;
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prefix, b[i].prefix);
+    EXPECT_EQ(a[i].sender, b[i].sender);
+    EXPECT_EQ(a[i].origin, b[i].origin);
+    EXPECT_EQ(a[i].span.begin, b[i].span.begin);
+    EXPECT_EQ(a[i].span.end, b[i].span.end);
+    EXPECT_EQ(a[i].announcements, b[i].announcements);
+  }
+}
+
+TEST_F(PipelineDeterminismTest, PreRtbhIdentical) {
+  const auto& a = serial_report_->pre;
+  const auto& b = wide_report_->pre;
+  EXPECT_EQ(a.no_data, b.no_data);
+  EXPECT_EQ(a.data_no_anomaly, b.data_no_anomaly);
+  EXPECT_EQ(a.data_anomaly_10m, b.data_anomaly_10m);
+  EXPECT_EQ(a.anomaly_1h, b.anomaly_1h);
+  ASSERT_EQ(a.per_event.size(), b.per_event.size());
+  for (std::size_t i = 0; i < a.per_event.size(); ++i) {
+    const auto& x = a.per_event[i];
+    const auto& y = b.per_event[i];
+    EXPECT_EQ(x.event_index, y.event_index);
+    EXPECT_EQ(x.has_data, y.has_data);
+    EXPECT_EQ(x.slots_with_data, y.slots_with_data);
+    EXPECT_EQ(x.anomaly_within_10min, y.anomaly_within_10min);
+    EXPECT_EQ(x.anomaly_within_1h, y.anomaly_within_1h);
+    EXPECT_EQ(x.max_level, y.max_level);
+    EXPECT_EQ(x.anomalies, y.anomalies);
+    for (std::size_t f = 0; f < kFeatureCount; ++f) {
+      EXPECT_EQ(x.amplification[f], y.amplification[f]);  // bit-exact
+    }
+  }
+}
+
+TEST_F(PipelineDeterminismTest, DropRatesIdentical) {
+  const auto& a = serial_report_->drop;
+  const auto& b = wide_report_->drop;
+  EXPECT_EQ(a.packets_all_lengths, b.packets_all_lengths);
+  EXPECT_EQ(a.bytes_all_lengths, b.bytes_all_lengths);
+  ASSERT_EQ(a.by_length.size(), b.by_length.size());
+  for (std::size_t i = 0; i < a.by_length.size(); ++i) {
+    EXPECT_EQ(a.by_length[i].length, b.by_length[i].length);
+    EXPECT_EQ(a.by_length[i].packets_total, b.by_length[i].packets_total);
+    EXPECT_EQ(a.by_length[i].packets_dropped, b.by_length[i].packets_dropped);
+    EXPECT_EQ(a.by_length[i].bytes_total, b.by_length[i].bytes_total);
+    EXPECT_EQ(a.by_length[i].bytes_dropped, b.by_length[i].bytes_dropped);
+  }
+  EXPECT_EQ(a.event_rates_len32, b.event_rates_len32);  // bit-exact doubles
+  EXPECT_EQ(a.event_rates_len24, b.event_rates_len24);
+  ASSERT_EQ(a.sources_to_len32.size(), b.sources_to_len32.size());
+  ASSERT_GT(a.sources_to_len32.size(), 10u);
+  for (std::size_t i = 0; i < a.sources_to_len32.size(); ++i) {
+    EXPECT_EQ(a.sources_to_len32[i].asn, b.sources_to_len32[i].asn);
+    EXPECT_EQ(a.sources_to_len32[i].packets_total,
+              b.sources_to_len32[i].packets_total);
+    EXPECT_EQ(a.sources_to_len32[i].packets_dropped,
+              b.sources_to_len32[i].packets_dropped);
+  }
+}
+
+TEST_F(PipelineDeterminismTest, AttackMixIdentical) {
+  const auto& a = serial_report_->protocols;
+  const auto& b = wide_report_->protocols;
+  EXPECT_EQ(a.events_considered, b.events_considered);
+  EXPECT_EQ(a.packets_total, b.packets_total);
+  EXPECT_EQ(a.udp_share, b.udp_share);
+  EXPECT_EQ(a.tcp_share, b.tcp_share);
+  EXPECT_EQ(a.icmp_share, b.icmp_share);
+  EXPECT_EQ(a.other_share, b.other_share);
+  EXPECT_EQ(a.protocol_event_counts, b.protocol_event_counts);
+  EXPECT_EQ(a.amp_protocol_events, b.amp_protocol_events);
+
+  EXPECT_EQ(serial_report_->filtering.events_considered,
+            wide_report_->filtering.events_considered);
+  EXPECT_EQ(serial_report_->filtering.coverage,
+            wide_report_->filtering.coverage);
+  EXPECT_EQ(serial_report_->filtering.fully_filterable_fraction,
+            wide_report_->filtering.fully_filterable_fraction);
+
+  const auto& pa = serial_report_->participation;
+  const auto& pb = wide_report_->participation;
+  EXPECT_EQ(pa.attacks, pb.attacks);
+  EXPECT_EQ(pa.avg_amplifiers_per_attack, pb.avg_amplifiers_per_attack);
+  ASSERT_EQ(pa.handover.size(), pb.handover.size());
+  ASSERT_EQ(pa.origins.size(), pb.origins.size());
+}
+
+TEST_F(PipelineDeterminismTest, VictimAnalysisIdentical) {
+  const auto& a = serial_report_->ports;
+  const auto& b = wide_report_->ports;
+  EXPECT_EQ(a.eligible_hosts, b.eligible_hosts);
+  EXPECT_EQ(a.clients, b.clients);
+  EXPECT_EQ(a.servers, b.servers);
+  EXPECT_EQ(a.blackholed_hosts_total, b.blackholed_hosts_total);
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  ASSERT_GT(a.hosts.size(), 50u);
+  for (std::size_t i = 0; i < a.hosts.size(); ++i) {
+    const auto& x = a.hosts[i];
+    const auto& y = b.hosts[i];
+    EXPECT_EQ(x.ip, y.ip);
+    EXPECT_EQ(x.origin, y.origin);
+    EXPECT_EQ(x.unique_src_ports_in, y.unique_src_ports_in);
+    EXPECT_EQ(x.unique_dst_ports_in, y.unique_dst_ports_in);
+    EXPECT_EQ(x.unique_src_ports_out, y.unique_src_ports_out);
+    EXPECT_EQ(x.unique_dst_ports_out, y.unique_dst_ports_out);
+    EXPECT_EQ(x.days_with_inbound, y.days_with_inbound);
+    EXPECT_EQ(x.days_with_outbound, y.days_with_outbound);
+    EXPECT_EQ(x.days_bidirectional, y.days_bidirectional);
+    EXPECT_EQ(x.top_ports, y.top_ports);
+    EXPECT_EQ(x.port_variation, y.port_variation);
+    EXPECT_EQ(x.classification, y.classification);
+  }
+
+  const auto& ra = serial_report_->radviz;
+  const auto& rb = wide_report_->radviz;
+  ASSERT_EQ(ra.points.size(), rb.points.size());
+  for (std::size_t i = 0; i < ra.points.size(); ++i) {
+    EXPECT_EQ(ra.points[i].ip, rb.points[i].ip);
+    EXPECT_EQ(ra.points[i].x, rb.points[i].x);
+    EXPECT_EQ(ra.points[i].y, rb.points[i].y);
+    EXPECT_EQ(ra.points[i].client_side, rb.points[i].client_side);
+  }
+
+  const auto& ca = serial_report_->collateral;
+  const auto& cb = wide_report_->collateral;
+  EXPECT_EQ(ca.servers_considered, cb.servers_considered);
+  EXPECT_EQ(ca.total_top_port_packets, cb.total_top_port_packets);
+  EXPECT_EQ(ca.total_dropped_packets, cb.total_dropped_packets);
+  ASSERT_EQ(ca.events.size(), cb.events.size());
+  for (std::size_t i = 0; i < ca.events.size(); ++i) {
+    EXPECT_EQ(ca.events[i].server, cb.events[i].server);
+    EXPECT_EQ(ca.events[i].event_index, cb.events[i].event_index);
+    EXPECT_EQ(ca.events[i].packets_to_top_ports,
+              cb.events[i].packets_to_top_ports);
+    EXPECT_EQ(ca.events[i].packets_actually_dropped,
+              cb.events[i].packets_actually_dropped);
+  }
+}
+
+TEST_F(PipelineDeterminismTest, ClassificationIdentical) {
+  const auto& a = serial_report_->classes;
+  const auto& b = wide_report_->classes;
+  EXPECT_EQ(a.infrastructure, b.infrastructure);
+  EXPECT_EQ(a.squatting, b.squatting);
+  EXPECT_EQ(a.squatting_prefixes, b.squatting_prefixes);
+  EXPECT_EQ(a.zombies, b.zombies);
+  EXPECT_EQ(a.zombies_until_period_end, b.zombies_until_period_end);
+  EXPECT_EQ(a.other, b.other);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].cls, b.events[i].cls);
+    EXPECT_EQ(a.events[i].sampled_packets, b.events[i].sampled_packets);
+  }
+}
+
+TEST_F(PipelineDeterminismTest, RenderedMarkdownIsByteIdentical) {
+  const std::string serial_md =
+      render_markdown(run_->dataset, *serial_report_, nullptr);
+  const std::string wide_md =
+      render_markdown(run_->dataset, *wide_report_, nullptr);
+  EXPECT_EQ(serial_md, wide_md);
+  EXPECT_GT(serial_md.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace bw::core
