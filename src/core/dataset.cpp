@@ -22,13 +22,92 @@ Dataset Dataset::from_run(ixp::RunResult run, const ixp::Platform& platform) {
 Dataset::Dataset(bgp::UpdateLog control, flow::FlowLog data,
                  std::unordered_map<net::Mac, bgp::Asn> mac_to_asn,
                  std::vector<std::pair<net::Prefix, bgp::Asn>> origin_prefixes,
-                 util::TimeRange period)
+                 util::TimeRange period, const BuildOptions& options)
     : control_(std::move(control)),
       data_(std::move(data)),
       mac_to_asn_(std::move(mac_to_asn)),
       origin_prefixes_(std::move(origin_prefixes)),
       period_(period) {
+  sanitize(options);
   build_indices();
+}
+
+namespace {
+
+/// Adjacent input-order time inversions — what an out-of-order feed looks
+/// like before the build sorts it.
+template <typename Records>
+std::size_t count_inversions(const Records& records) {
+  std::size_t n = 0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].time < records[i - 1].time) ++n;
+  }
+  return n;
+}
+
+bool flow_records_equal(const flow::FlowRecord& a, const flow::FlowRecord& b) {
+  return a.time == b.time && a.src_ip == b.src_ip && a.dst_ip == b.dst_ip &&
+         a.proto == b.proto && a.src_port == b.src_port &&
+         a.dst_port == b.dst_port && a.src_mac == b.src_mac &&
+         a.dst_mac == b.dst_mac && a.packets == b.packets && a.bytes == b.bytes;
+}
+
+/// Total order over every FlowRecord field, so exact duplicates sort
+/// adjacent and the dedupe pass is thread-count independent.
+bool flow_record_less(const flow::FlowRecord& a, const flow::FlowRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.src_ip != b.src_ip) return a.src_ip < b.src_ip;
+  if (a.dst_ip != b.dst_ip) return a.dst_ip < b.dst_ip;
+  if (a.proto != b.proto) return a.proto < b.proto;
+  if (a.src_port != b.src_port) return a.src_port < b.src_port;
+  if (a.dst_port != b.dst_port) return a.dst_port < b.dst_port;
+  if (a.src_mac != b.src_mac) return a.src_mac < b.src_mac;
+  if (a.dst_mac != b.dst_mac) return a.dst_mac < b.dst_mac;
+  if (a.packets != b.packets) return a.packets < b.packets;
+  return a.bytes < b.bytes;
+}
+
+}  // namespace
+
+void Dataset::sanitize(const BuildOptions& options) {
+  quality_.reordered_updates = count_inversions(control_);
+  quality_.reordered_flows = count_inversions(data_);
+
+  if (options.quarantine_out_of_period) {
+    const util::TimeMs lo = period_.begin - options.period_slack;
+    const util::TimeMs hi = period_.end + options.period_slack;
+    auto out_of_period = [&](util::TimeMs t) { return t < lo || t >= hi; };
+    const std::size_t control_before = control_.size();
+    std::erase_if(control_,
+                  [&](const bgp::Update& u) { return out_of_period(u.time); });
+    quality_.out_of_period_updates = control_before - control_.size();
+    const std::size_t flows_before = data_.size();
+    std::erase_if(data_, [&](const flow::FlowRecord& r) {
+      return out_of_period(r.time);
+    });
+    quality_.out_of_period_flows = flows_before - data_.size();
+  }
+
+  if (options.dedupe_flows && !data_.empty()) {
+    // Full-key sort makes exact duplicates adjacent; build_indices re-sorts
+    // by time afterwards, so the record order analyses see is unchanged.
+    util::parallel_sort(util::ThreadPool::global(), data_.begin(), data_.end(),
+                        flow_record_less);
+    const std::size_t before = data_.size();
+    data_.erase(std::unique(data_.begin(), data_.end(), flow_records_equal),
+                data_.end());
+    quality_.duplicate_flows = before - data_.size();
+  }
+
+  // Unattributable MACs (e.g. a damaged MAC table): flows whose handover
+  // port — or egress port, blackhole MAC aside — has no member mapping.
+  const net::Mac blackhole = net::Mac::blackhole();
+  for (const auto& r : data_) {
+    const bool src_unknown = mac_to_asn_.find(r.src_mac) == mac_to_asn_.end();
+    const bool dst_unknown = r.dst_mac != blackhole &&
+                             mac_to_asn_.find(r.dst_mac) == mac_to_asn_.end();
+    if (src_unknown || dst_unknown) ++quality_.unknown_mac_flows;
+  }
 }
 
 void Dataset::build_indices() {
@@ -203,9 +282,9 @@ std::uint64_t get_u64(std::ifstream& is) { return get<std::uint64_t>(is); }
 
 }  // namespace
 
-void Dataset::save(const std::string& path) const {
+util::Status Dataset::try_save(const std::string& path) const {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("Dataset::save: cannot open " + path);
+  if (!os) return util::not_found("Dataset::try_save: cannot open " + path);
   put_u64(os, kMagic);
   put(os, period_.begin);
   put(os, period_.end);
@@ -252,20 +331,43 @@ void Dataset::save(const std::string& path) const {
     put(os, prefix.length());
     put(os, asn);
   }
-  if (!os) throw std::runtime_error("Dataset::save: write failed: " + path);
+  if (!os) {
+    return util::data_loss("Dataset::try_save: write failed: " + path);
+  }
+  return util::ok_status();
 }
 
-Dataset Dataset::load(const std::string& path) {
+void Dataset::save(const std::string& path) const {
+  const util::Status st = try_save(path);
+  if (!st.ok()) throw std::runtime_error(st.to_string());
+}
+
+util::Result<Dataset> Dataset::try_load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("Dataset::load: cannot open " + path);
+  if (!is) return util::not_found("Dataset::try_load: cannot open " + path);
+  // Bound every element count by the file size: a corrupt header must not
+  // translate into a multi-terabyte allocation.
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+  auto checked_count = [&](const char* what) -> util::Result<std::uint64_t> {
+    const std::uint64_t n = get_u64(is);
+    if (!is || n > file_size) {
+      return util::data_loss(std::string("Dataset::try_load: implausible ") +
+                             what + " count in " + path);
+    }
+    return n;
+  };
   if (get_u64(is) != kMagic) {
-    throw std::runtime_error("Dataset::load: bad magic in " + path);
+    return util::data_loss("Dataset::try_load: bad magic in " + path);
   }
   util::TimeRange period;
   period.begin = get<util::TimeMs>(is);
   period.end = get<util::TimeMs>(is);
 
-  bgp::UpdateLog control(get_u64(is));
+  const auto n_control = checked_count("control update");
+  if (!n_control.ok()) return n_control.status();
+  bgp::UpdateLog control(*n_control);
   for (auto& u : control) {
     u.time = get<util::TimeMs>(is);
     u.type = static_cast<bgp::UpdateType>(get<std::uint8_t>(is));
@@ -275,14 +377,18 @@ Dataset Dataset::load(const std::string& path) {
     const auto len = get<std::uint8_t>(is);
     u.prefix = net::Prefix(net::Ipv4(net_v), len);
     u.next_hop = net::Ipv4(get<std::uint32_t>(is));
-    u.communities.resize(get_u64(is));
+    const auto n_comms = checked_count("community");
+    if (!n_comms.ok()) return n_comms.status();
+    u.communities.resize(*n_comms);
     for (auto& c : u.communities) {
       c.global = get<std::uint16_t>(is);
       c.local = get<std::uint16_t>(is);
     }
   }
 
-  flow::FlowLog data(get_u64(is));
+  const auto n_flows = checked_count("flow record");
+  if (!n_flows.ok()) return n_flows.status();
+  flow::FlowLog data(*n_flows);
   for (auto& r : data) {
     r.time = get<util::TimeMs>(is);
     r.src_ip = net::Ipv4(get<std::uint32_t>(is));
@@ -297,23 +403,34 @@ Dataset Dataset::load(const std::string& path) {
   }
 
   std::unordered_map<net::Mac, bgp::Asn> macs;
-  const std::uint64_t n_macs = get_u64(is);
-  for (std::uint64_t i = 0; i < n_macs; ++i) {
+  const auto n_macs = checked_count("mac table");
+  if (!n_macs.ok()) return n_macs.status();
+  for (std::uint64_t i = 0; i < *n_macs; ++i) {
     const auto mac = net::Mac(get<std::uint64_t>(is));
     macs[mac] = get<bgp::Asn>(is);
   }
 
-  std::vector<std::pair<net::Prefix, bgp::Asn>> origins(get_u64(is));
+  const auto n_origins = checked_count("origin prefix");
+  if (!n_origins.ok()) return n_origins.status();
+  std::vector<std::pair<net::Prefix, bgp::Asn>> origins(*n_origins);
   for (auto& [prefix, asn] : origins) {
     const auto net_v = get<std::uint32_t>(is);
     const auto len = get<std::uint8_t>(is);
     prefix = net::Prefix(net::Ipv4(net_v), len);
     asn = get<bgp::Asn>(is);
   }
-  if (!is) throw std::runtime_error("Dataset::load: truncated file " + path);
+  if (!is) {
+    return util::data_loss("Dataset::try_load: truncated file " + path);
+  }
 
   return Dataset(std::move(control), std::move(data), std::move(macs),
                  std::move(origins), period);
+}
+
+Dataset Dataset::load(const std::string& path) {
+  auto result = try_load(path);
+  if (!result.ok()) throw std::runtime_error(result.status().to_string());
+  return std::move(result).value();
 }
 
 }  // namespace bw::core

@@ -21,6 +21,7 @@
 #include "flow/record.hpp"
 #include "ixp/platform.hpp"
 #include "net/mac.hpp"
+#include "util/status.hpp"
 
 namespace bw::util {
 class ThreadPool;
@@ -32,15 +33,57 @@ class Dataset {
  public:
   using OriginResolver = std::function<std::optional<bgp::Asn>(net::Ipv4)>;
 
+  /// Ingest sanitation policy. Defaults are pass-through (trust the
+  /// corpus); tolerant loaders (load_dataset_csv under kSkip/kRepair)
+  /// enable quarantine so dirty telemetry costs records, not the run.
+  struct BuildOptions {
+    /// Drop exact-duplicate flow records (all fields equal), keeping one.
+    bool dedupe_flows{false};
+    /// Drop control updates / flow records whose timestamp falls outside
+    /// the measurement period by more than `period_slack`.
+    bool quarantine_out_of_period{false};
+    /// Clock-skew tolerance before a record counts as out-of-period: the
+    /// control and data planes legitimately disagree by seconds (the paper
+    /// estimates the offset in Section 3.2), not hours.
+    util::DurationMs period_slack{5 * util::kMinute};
+  };
+
+  /// What sanitation saw and did. Reordered counts are input-order
+  /// inversions (always measured — sorting repairs them); quarantine and
+  /// dedupe counts are non-zero only when enabled in BuildOptions.
+  struct Quality {
+    std::size_t reordered_updates{0};   ///< control rows out of time order
+    std::size_t reordered_flows{0};     ///< flow rows out of time order
+    std::size_t out_of_period_updates{0};
+    std::size_t out_of_period_flows{0};
+    std::size_t duplicate_flows{0};
+    std::size_t unknown_mac_flows{0};   ///< flows with an unattributable MAC
+
+    [[nodiscard]] bool clean() const {
+      return reordered_updates == 0 && reordered_flows == 0 &&
+             out_of_period_updates == 0 && out_of_period_flows == 0 &&
+             duplicate_flows == 0 && unknown_mac_flows == 0;
+    }
+    friend bool operator==(const Quality&, const Quality&) = default;
+  };
+
   /// Build from a platform replay. Copies the MAC table and origin table
   /// out of the platform so the Dataset is self-contained afterwards.
   static Dataset from_run(ixp::RunResult run, const ixp::Platform& platform);
 
-  /// Build from raw corpora (e.g. deserialised from disk).
+  /// Build from raw corpora (e.g. deserialised from disk). Sanitation is
+  /// applied per `options` before the indices are built.
   Dataset(bgp::UpdateLog control, flow::FlowLog data,
           std::unordered_map<net::Mac, bgp::Asn> mac_to_asn,
           std::vector<std::pair<net::Prefix, bgp::Asn>> origin_prefixes,
-          util::TimeRange period);
+          util::TimeRange period, const BuildOptions& options);
+  /// Pass-through build (no sanitation) — the trusting default.
+  Dataset(bgp::UpdateLog control, flow::FlowLog data,
+          std::unordered_map<net::Mac, bgp::Asn> mac_to_asn,
+          std::vector<std::pair<net::Prefix, bgp::Asn>> origin_prefixes,
+          util::TimeRange period)
+      : Dataset(std::move(control), std::move(data), std::move(mac_to_asn),
+                std::move(origin_prefixes), period, BuildOptions()) {}
 
   // --- raw corpora ---
   [[nodiscard]] const bgp::UpdateLog& control() const noexcept {
@@ -58,6 +101,9 @@ class Dataset {
   [[nodiscard]] const bgp::BlackholeIndex& rs_index() const noexcept {
     return rs_index_;
   }
+
+  /// Sanitation accounting from construction (see BuildOptions).
+  [[nodiscard]] const Quality& quality() const noexcept { return quality_; }
 
   // --- attribution ---
   [[nodiscard]] std::optional<bgp::Asn> member_asn(net::Mac mac) const;
@@ -107,6 +153,11 @@ class Dataset {
   }
 
   // --- persistence (binary, versioned) ---
+  /// Structured-error variants: the Status carries what failed and where
+  /// (path, magic, truncation point).
+  [[nodiscard]] util::Status try_save(const std::string& path) const;
+  [[nodiscard]] static util::Result<Dataset> try_load(const std::string& path);
+  /// Legacy wrappers; throw std::runtime_error on failure.
   void save(const std::string& path) const;
   static Dataset load(const std::string& path);
 
@@ -126,6 +177,7 @@ class Dataset {
   [[nodiscard]] Summary summary(util::ThreadPool* pool = nullptr) const;
 
  private:
+  void sanitize(const BuildOptions& options);
   void build_indices();
 
   /// Range-scan an (ip, time)-sorted index: binary-search the first record
@@ -153,6 +205,7 @@ class Dataset {
   std::vector<std::pair<net::Prefix, bgp::Asn>> origin_prefixes_;
   util::TimeRange period_;
 
+  Quality quality_;
   bgp::UpdateLog blackhole_updates_;
   bgp::BlackholeIndex rs_index_;
   net::PrefixTrie<bgp::Asn> origin_trie_;

@@ -1,0 +1,68 @@
+#include "core/ingest.hpp"
+
+#include <sstream>
+
+namespace bw::core {
+
+std::string_view to_string(Strictness s) {
+  switch (s) {
+    case Strictness::kStrict: return "strict";
+    case Strictness::kSkip: return "skip";
+    case Strictness::kRepair: return "repair";
+  }
+  return "unknown";
+}
+
+void LoadReport::note(std::size_t line, std::string message, std::size_t cap) {
+  ++diagnostics_total;
+  if (diagnostics.size() < cap) {
+    diagnostics.push_back({line, std::move(message)});
+  }
+}
+
+std::string LoadReport::summary() const {
+  std::ostringstream os;
+  os << file << ": " << rows_read << " rows";
+  if (!clean()) {
+    os << " (" << rows_skipped << " skipped, " << rows_repaired
+       << " repaired)";
+    for (const auto& d : diagnostics) {
+      os << "; line " << d.line << ": " << d.message;
+    }
+    if (diagnostics_total > diagnostics.size()) {
+      os << "; ... " << (diagnostics_total - diagnostics.size())
+         << " more fault(s)";
+    }
+  }
+  return os.str();
+}
+
+bool IngestReport::clean() const {
+  for (const auto& f : files) {
+    if (!f.clean()) return false;
+  }
+  return true;
+}
+
+std::size_t IngestReport::rows_skipped() const {
+  std::size_t n = 0;
+  for (const auto& f : files) n += f.rows_skipped;
+  return n;
+}
+
+std::size_t IngestReport::rows_repaired() const {
+  std::size_t n = 0;
+  for (const auto& f : files) n += f.rows_repaired;
+  return n;
+}
+
+std::string IngestReport::summary() const {
+  std::string out;
+  for (const auto& f : files) {
+    out += f.summary();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bw::core

@@ -1,0 +1,68 @@
+// Ingest policy and accounting shared by every corpus loader.
+//
+// Real IXP exports arrive truncated, duplicated and mangled; a loader that
+// dies on the first bad byte discards 104 days of telemetry for one corrupt
+// row. Every CSV reader in core/io_text takes a LoadOptions and fills a
+// per-file LoadReport, so a caller can choose between failing fast
+// (kStrict), paying one record per fault (kSkip), or additionally salvaging
+// rows whose damage is confined to recoverable fields (kRepair) — and can
+// always account for exactly what was lost.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bw::core {
+
+enum class Strictness : std::uint8_t {
+  kStrict,  ///< first malformed row fails the whole load
+  kSkip,    ///< malformed rows are dropped and counted
+  kRepair,  ///< like kSkip, but recoverable rows are salvaged and counted
+};
+
+[[nodiscard]] std::string_view to_string(Strictness s);
+
+struct LoadOptions {
+  Strictness strictness{Strictness::kStrict};
+  /// Cap on per-file diagnostics retained (counts are always exact).
+  std::size_t max_diagnostics{8};
+};
+
+/// Per-file ingest accounting: what was read, dropped, repaired, and why.
+struct LoadReport {
+  std::string file;
+  std::size_t rows_read{0};      ///< rows accepted (incl. repaired)
+  std::size_t rows_skipped{0};   ///< malformed rows dropped
+  std::size_t rows_repaired{0};  ///< rows salvaged with defaulted fields
+  std::size_t diagnostics_total{0};  ///< all faults seen (>= diagnostics.size())
+
+  struct Diagnostic {
+    std::size_t line{0};  ///< 1-based physical line number in the file
+    std::string message;
+  };
+  std::vector<Diagnostic> diagnostics;  ///< first max_diagnostics faults
+
+  /// Record one fault, keeping at most `cap` detailed diagnostics.
+  void note(std::size_t line, std::string message, std::size_t cap);
+
+  [[nodiscard]] bool clean() const {
+    return rows_skipped == 0 && rows_repaired == 0;
+  }
+  /// "flows.csv: 9998 rows (2 skipped, 1 repaired); line 17: bad src_ip"
+  [[nodiscard]] std::string summary() const;
+};
+
+/// All files of one dataset-directory load.
+struct IngestReport {
+  std::vector<LoadReport> files;
+
+  [[nodiscard]] bool clean() const;
+  [[nodiscard]] std::size_t rows_skipped() const;
+  [[nodiscard]] std::size_t rows_repaired() const;
+  /// One summary line per file, newline-terminated.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace bw::core

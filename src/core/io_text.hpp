@@ -15,6 +15,15 @@
 // Attribution tables:
 //   mac,asn                (MAC -> member AS)
 //   prefix,asn             (source prefix -> origin AS)
+//
+// The readers are streaming and fault-tolerant: lines are processed one at
+// a time (CRLF-terminated lines from Windows-edited files are handled), and
+// LoadOptions selects what a malformed row costs. Under Strictness::kStrict
+// the first fault fails the load with a line-numbered Status; under kSkip a
+// fault costs exactly one record; kRepair additionally salvages rows whose
+// damage is confined to recoverable fields (malformed communities, a
+// truncated packets/bytes tail). Every reader fills a LoadReport so callers
+// can account for precisely what was dropped or repaired.
 #pragma once
 
 #include <iosfwd>
@@ -22,6 +31,8 @@
 #include <string>
 
 #include "core/dataset.hpp"
+#include "core/ingest.hpp"
+#include "util/status.hpp"
 
 namespace bw::core {
 
@@ -34,11 +45,28 @@ void write_origins_csv(
     std::ostream& os,
     const std::vector<std::pair<net::Prefix, bgp::Asn>>& origins);
 
-/// Write all four files of a dataset under `directory` (created if absent):
+/// Write all five files of a dataset under `directory` (created if absent):
 /// control.csv, flows.csv, macs.csv, origins.csv, period.csv.
 void export_dataset_csv(const Dataset& dataset, const std::string& directory);
 
-// --- readers (return nullopt on any malformed row) ---
+// --- streaming readers ---
+// `report` (optional) receives per-row accounting; its `file` field is
+// defaulted to the canonical file name when empty.
+[[nodiscard]] util::Result<bgp::UpdateLog> read_control_csv(
+    std::istream& is, const LoadOptions& options, LoadReport* report = nullptr);
+[[nodiscard]] util::Result<flow::FlowLog> read_flows_csv(
+    std::istream& is, const LoadOptions& options, LoadReport* report = nullptr);
+[[nodiscard]] util::Result<std::unordered_map<net::Mac, bgp::Asn>>
+read_macs_csv(std::istream& is, const LoadOptions& options,
+              LoadReport* report = nullptr);
+[[nodiscard]] util::Result<std::vector<std::pair<net::Prefix, bgp::Asn>>>
+read_origins_csv(std::istream& is, const LoadOptions& options,
+                 LoadReport* report = nullptr);
+/// period.csv holds the measurement window itself; it cannot be skipped, so
+/// a malformed period is an error at every strictness level.
+[[nodiscard]] util::Result<util::TimeRange> read_period_csv(std::istream& is);
+
+// --- legacy wrappers (strict mode; nullopt on any malformed row) ---
 [[nodiscard]] std::optional<bgp::UpdateLog> read_control_csv(std::istream& is);
 [[nodiscard]] std::optional<flow::FlowLog> read_flows_csv(std::istream& is);
 [[nodiscard]] std::optional<std::unordered_map<net::Mac, bgp::Asn>>
@@ -46,8 +74,16 @@ read_macs_csv(std::istream& is);
 [[nodiscard]] std::optional<std::vector<std::pair<net::Prefix, bgp::Asn>>>
 read_origins_csv(std::istream& is);
 
-/// Load a dataset from a directory written by export_dataset_csv.
-/// Throws std::runtime_error on missing files or malformed content.
+/// Load a dataset from a directory written by export_dataset_csv. Under
+/// kSkip/kRepair the Dataset is built with quarantine enabled (exact
+/// duplicate flows deduplicated, out-of-period records dropped) and the
+/// corpus survives any fault that leaves period.csv intact.
+[[nodiscard]] util::Result<Dataset> load_dataset_csv(
+    const std::string& directory, const LoadOptions& options = {},
+    IngestReport* report = nullptr);
+
+/// Legacy wrapper: strict load_dataset_csv; throws std::runtime_error on
+/// missing files or malformed content.
 [[nodiscard]] Dataset import_dataset_csv(const std::string& directory);
 
 }  // namespace bw::core

@@ -5,8 +5,8 @@
 
 namespace bw::core {
 
-LoadReport compute_load(const Dataset& dataset, util::DurationMs slot) {
-  LoadReport report;
+RtbhLoadReport compute_load(const Dataset& dataset, util::DurationMs slot) {
+  RtbhLoadReport report;
   report.slot = std::max<util::DurationMs>(slot, 1);
   const util::TimeRange period = dataset.period();
   const auto slots = static_cast<std::size_t>(
@@ -49,7 +49,7 @@ LoadReport compute_load(const Dataset& dataset, util::DurationMs slot) {
   double sum_active = 0.0;
   for (std::size_t s = 0; s < slots; ++s) {
     active += active_diff[s];
-    LoadPoint p;
+    RtbhLoadPoint p;
     p.time = period.begin + static_cast<util::TimeMs>(s) * report.slot;
     p.active_prefixes = static_cast<std::size_t>(std::max<std::int64_t>(active, 0));
     p.messages = messages[s];

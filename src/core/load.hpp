@@ -1,6 +1,7 @@
 // RTBH signalling load (Section 3.2, Fig. 3): number of concurrently
 // active blackhole prefixes over time, BGP message rate, and the number of
-// distinct announcing peers and origin ASes.
+// distinct announcing peers and origin ASes. (The Rtbh* prefix keeps these
+// distinct from the ingest-accounting core::LoadReport in core/ingest.hpp.)
 #pragma once
 
 #include <vector>
@@ -9,15 +10,15 @@
 
 namespace bw::core {
 
-struct LoadPoint {
+struct RtbhLoadPoint {
   util::TimeMs time{0};
   std::size_t active_prefixes{0};
   std::size_t messages{0};  ///< RTBH-related BGP messages in this slot
 };
 
-struct LoadReport {
+struct RtbhLoadReport {
   util::DurationMs slot{util::kMinute};
-  std::vector<LoadPoint> series;
+  std::vector<RtbhLoadPoint> series;
   double mean_active{0.0};
   std::size_t max_active{0};
   std::size_t max_messages_per_slot{0};
@@ -25,7 +26,7 @@ struct LoadReport {
   std::size_t origin_ases{0};       ///< origin ASes ever blackholed
 };
 
-[[nodiscard]] LoadReport compute_load(const Dataset& dataset,
+[[nodiscard]] RtbhLoadReport compute_load(const Dataset& dataset,
                                       util::DurationMs slot = util::kMinute);
 
 }  // namespace bw::core

@@ -1,25 +1,70 @@
 #include "core/pipeline.hpp"
 
+#include <array>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
+#include <iterator>
 #include <sstream>
+#include <stdexcept>
 
 namespace bw::core {
+
+namespace {
+
+/// Fixed stage order: the report's stage table (and therefore the rendered
+/// document) is identical at every thread count.
+constexpr const char* kStageNames[] = {
+    "summary",   "event_merge",   "pre_rtbh", "drop_rate", "protocol_mix",
+    "filtering", "participation", "victims",  "classify",
+};
+constexpr std::size_t kStageCount = std::size(kStageNames);
+
+}  // namespace
 
 AnalysisReport run_pipeline(const Dataset& dataset,
                             const AnalysisConfig& config) {
   util::ThreadPool& pool = util::pool_or_global(config.pool);
   AnalysisReport report;
+  report.data_quality.dataset = dataset.quality();
+
+  // Per-stage isolation: each stage body runs inside a guard that converts
+  // an escaped exception into a degraded StageStatus. The stage's report
+  // section stays default-constructed; every other stage still runs. Each
+  // guard writes only its own pre-allocated slot, so the guards are safe to
+  // run from concurrent stage-graph tasks.
+  std::array<StageStatus, kStageCount> stages;
+  for (std::size_t i = 0; i < kStageCount; ++i) stages[i].name = kStageNames[i];
+  auto guarded = [&](std::size_t slot, auto&& body) {
+    StageStatus& status = stages[slot];
+    try {
+      for (const auto& fault : config.inject_stage_faults) {
+        if (fault == status.name) {
+          throw std::runtime_error("injected stage fault");
+        }
+      }
+      body();
+    } catch (const std::exception& e) {
+      status.degraded = true;
+      status.error = e.what();
+    } catch (...) {
+      status.degraded = true;
+      status.error = "unknown failure";
+    }
+  };
 
   // Serial prologue: event merging is cheap and everything depends on it;
   // the pre-RTBH scan (the heaviest kernel) fans events out internally.
-  auto summary_done =
-      pool.submit([&] { report.summary = dataset.summary(&pool); });
-  report.events = merge_events(dataset.blackhole_updates(),
-                               dataset.period().end, config.merge_delta);
+  auto summary_done = pool.submit(
+      [&] { guarded(0, [&] { report.summary = dataset.summary(&pool); }); });
+  guarded(1, [&] {
+    report.events = merge_events(dataset.blackhole_updates(),
+                                 dataset.period().end, config.merge_delta);
+  });
   const std::vector<RtbhEvent>& events = report.events;
-  report.pre = compute_pre_rtbh(dataset, events, config.pre, &pool);
+  guarded(2, [&] {
+    report.pre = compute_pre_rtbh(dataset, events, config.pre, &pool);
+  });
 
   // Stage graph: with events and the pre-RTBH report fixed, the remaining
   // stages only read shared immutable state and write disjoint report
@@ -28,24 +73,39 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   // computes a thread-count-independent result, so the stage graph changes
   // wall-clock time only, never bytes. In serial mode (BW_THREADS=1)
   // submit() runs inline, reproducing the sequential stage order exactly.
-  auto drop_done = pool.submit(
-      [&] { report.drop = compute_drop_rates(dataset, events, config.drop, &pool); });
-  auto protocols_done = pool.submit([&] {
-    report.protocols =
-        compute_protocol_mix(dataset, events, report.pre, config.protocols);
+  auto drop_done = pool.submit([&] {
+    guarded(3, [&] {
+      report.drop = compute_drop_rates(dataset, events, config.drop, &pool);
+    });
   });
-  auto filtering_done = pool.submit(
-      [&] { report.filtering = compute_filtering(dataset, events, report.pre); });
+  auto protocols_done = pool.submit([&] {
+    guarded(4, [&] {
+      report.protocols =
+          compute_protocol_mix(dataset, events, report.pre, config.protocols);
+    });
+  });
+  auto filtering_done = pool.submit([&] {
+    guarded(5, [&] {
+      report.filtering = compute_filtering(dataset, events, report.pre);
+    });
+  });
   auto participation_done = pool.submit([&] {
-    report.participation = compute_participation(dataset, events, report.pre);
+    guarded(6, [&] {
+      report.participation = compute_participation(dataset, events, report.pre);
+    });
   });
   auto victims_done = pool.submit([&] {
-    report.ports = compute_port_stats(dataset, events, config.ports, &pool);
-    report.radviz = radviz_projection(report.ports, config.ports.min_days);
-    report.collateral = compute_collateral(dataset, events, report.ports,
-                                           config.sampling_rate, &pool);
+    guarded(7, [&] {
+      report.ports = compute_port_stats(dataset, events, config.ports, &pool);
+      report.radviz = radviz_projection(report.ports, config.ports.min_days);
+      report.collateral = compute_collateral(dataset, events, report.ports,
+                                             config.sampling_rate, &pool);
+    });
   });
-  report.classes = classify_events(dataset, events, report.pre, config.classify);
+  guarded(8, [&] {
+    report.classes =
+        classify_events(dataset, events, report.pre, config.classify);
+  });
 
   summary_done.get();
   drop_done.get();
@@ -53,6 +113,8 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   filtering_done.get();
   participation_done.get();
   victims_done.get();
+
+  report.data_quality.stages.assign(stages.begin(), stages.end());
   return report;
 }
 

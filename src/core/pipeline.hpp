@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/classify.hpp"
 #include "core/collateral.hpp"
@@ -15,6 +16,7 @@
 #include "core/drop_rate.hpp"
 #include "core/event_merge.hpp"
 #include "core/filtering.hpp"
+#include "core/ingest.hpp"
 #include "core/load.hpp"
 #include "core/participation.hpp"
 #include "core/port_stats.hpp"
@@ -39,6 +41,42 @@ struct AnalysisConfig {
   /// the process-wide pool (sized by $BW_THREADS). The report is identical
   /// for every pool size.
   util::ThreadPool* pool{nullptr};
+  /// Fault injection: stages named here throw at entry, exercising the
+  /// degraded-mode path (names as in DataQuality::stages). Testing only.
+  std::vector<std::string> inject_stage_faults{};
+};
+
+/// Outcome of one pipeline stage. A stage that throws (or reports a Status
+/// error) is marked degraded; its report section stays default-constructed
+/// and every other section is computed normally.
+struct StageStatus {
+  std::string name;
+  bool degraded{false};
+  std::string error;  ///< failure description when degraded
+
+  friend bool operator==(const StageStatus&, const StageStatus&) = default;
+};
+
+/// The report's account of how trustworthy this run is: what ingest and
+/// sanitation dropped, and which analysis stages failed.
+struct DataQuality {
+  Dataset::Quality dataset;       ///< quarantine/dedupe accounting
+  std::vector<LoadReport> files;  ///< per-file ingest reports (CSV loads)
+  std::vector<StageStatus> stages;  ///< every stage, in fixed order
+
+  [[nodiscard]] bool degraded() const {
+    for (const auto& s : stages) {
+      if (s.degraded) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool clean() const {
+    if (degraded() || !dataset.clean()) return false;
+    for (const auto& f : files) {
+      if (!f.clean()) return false;
+    }
+    return true;
+  }
 };
 
 struct AnalysisReport {
@@ -53,11 +91,14 @@ struct AnalysisReport {
   RadvizReport radviz;
   CollateralReport collateral;
   ClassificationReport classes;
+  DataQuality data_quality;
 };
 
 /// Run the full chain: merge -> pre-RTBH -> drop rates -> protocol mix ->
 /// filtering -> participation -> port stats -> RadViz -> collateral ->
-/// classification.
+/// classification. Stages are isolated: a stage failure degrades its own
+/// report section (recorded in data_quality.stages) and never aborts the
+/// run or disturbs other sections.
 [[nodiscard]] AnalysisReport run_pipeline(const Dataset& dataset,
                                           const AnalysisConfig& config = {});
 

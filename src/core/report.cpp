@@ -33,6 +33,56 @@ std::string render_markdown(const Dataset& dataset,
      << cnt(s.blackhole_updates) << " RTBH-related) | " << cnt(s.flow_records)
      << " sampled flow records\n\n";
 
+  // Data-quality section: only rendered when there is something to say, so
+  // a clean run's document is unchanged by the degraded-mode machinery.
+  const DataQuality& dq = report.data_quality;
+  if (!dq.clean()) {
+    md << "## Data quality\n\n";
+    if (dq.degraded()) {
+      md << "**Degraded run** — the following stages failed and their "
+            "sections are empty:\n\n";
+      for (const auto& stage : dq.stages) {
+        if (stage.degraded) {
+          md << "- `" << stage.name << "`: " << stage.error << "\n";
+        }
+      }
+      md << "\n";
+    }
+    bool dirty_files = false;
+    for (const auto& f : dq.files) dirty_files = dirty_files || !f.clean();
+    if (dirty_files) {
+      md << "| file | rows read | skipped | repaired |\n|---|---|---|---|\n";
+      for (const auto& f : dq.files) {
+        md << "| " << f.file << " | " << cnt(f.rows_read) << " | "
+           << cnt(f.rows_skipped) << " | " << cnt(f.rows_repaired) << " |\n";
+      }
+      md << "\n";
+    }
+    const auto& q = dq.dataset;
+    if (!q.clean()) {
+      if (q.reordered_updates + q.reordered_flows > 0) {
+        md << "- " << cnt(q.reordered_updates + q.reordered_flows)
+           << " out-of-order rows re-sorted (" << cnt(q.reordered_updates)
+           << " control, " << cnt(q.reordered_flows) << " flow)\n";
+      }
+      if (q.out_of_period_updates + q.out_of_period_flows > 0) {
+        md << "- " << cnt(q.out_of_period_updates + q.out_of_period_flows)
+           << " out-of-period records quarantined ("
+           << cnt(q.out_of_period_updates) << " control, "
+           << cnt(q.out_of_period_flows) << " flow)\n";
+      }
+      if (q.duplicate_flows > 0) {
+        md << "- " << cnt(q.duplicate_flows)
+           << " exact-duplicate flow records removed\n";
+      }
+      if (q.unknown_mac_flows > 0) {
+        md << "- " << cnt(q.unknown_mac_flows)
+           << " flow records with an unattributable MAC\n";
+      }
+      md << "\n";
+    }
+  }
+
   md << "## Blackholing activity\n\n";
   md << "- " << cnt(s.blackholed_prefixes) << " prefixes blackholed, merged "
      << "into " << cnt(report.events.size()) << " RTBH events (Δ = 10 min)\n";

@@ -1,0 +1,364 @@
+#include "testing/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace bw::testing {
+
+namespace {
+
+constexpr const char* kCorpusFiles[] = {
+    "control.csv", "flows.csv", "macs.csv", "origins.csv", "period.csv",
+};
+
+/// Distinct row indices, ascending. Empty when the file has no rows.
+std::vector<std::size_t> pick_rows(util::Rng& rng, std::size_t n,
+                                   std::size_t k) {
+  auto picked = rng.sample_indices(n, k);
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+/// A byte that breaks any of our numeric/address/mac fields.
+char garbage_byte(util::Rng& rng, char original) {
+  const char candidates[] = {'x', 'y', 'z', '~'};
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    const char c = candidates[rng.index(std::size(candidates))];
+    if (c != original) return c;
+  }
+  return '~';
+}
+
+std::size_t fault_truncate(CsvFile& file, util::Rng& rng, double fraction) {
+  if (file.rows.empty()) return 0;
+  std::size_t cut = static_cast<std::size_t>(
+      fraction * static_cast<double>(file.rows.size()));
+  cut = std::clamp<std::size_t>(cut, 1, file.rows.size());
+  file.rows.resize(file.rows.size() - cut);
+  std::size_t affected = cut;
+  if (!file.rows.empty()) {
+    // End mid-row: keep a prefix of the (new) last row as an unterminated
+    // tail. Cutting within the first half guarantees the remnant has too
+    // few fields to parse.
+    std::string& last = file.rows.back();
+    if (last.size() >= 2) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(last.size() / 2)));
+      file.partial_tail = last.substr(0, pos);
+      file.rows.pop_back();
+      ++affected;
+    }
+  }
+  return affected;
+}
+
+std::size_t fault_byte_flip(CsvFile& file, util::Rng& rng, std::size_t count) {
+  const auto picked = pick_rows(rng, file.rows.size(), count);
+  std::size_t affected = 0;
+  for (const std::size_t idx : picked) {
+    std::string& row = file.rows[idx];
+    if (row.empty()) continue;
+    const std::size_t pos = rng.index(row.size());
+    row[pos] = garbage_byte(rng, row[pos]);
+    ++affected;
+  }
+  return affected;
+}
+
+std::size_t fault_duplicate(CsvFile& file, util::Rng& rng, std::size_t count) {
+  if (file.rows.empty()) return 0;
+  std::size_t affected = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string copy = file.rows[rng.index(file.rows.size())];
+    const std::size_t at = rng.index(file.rows.size() + 1);
+    file.rows.insert(file.rows.begin() + static_cast<std::ptrdiff_t>(at),
+                     copy);
+    ++affected;
+  }
+  return affected;
+}
+
+std::size_t fault_reorder(CsvFile& file, util::Rng& rng, std::size_t count) {
+  const auto picked = pick_rows(rng, file.rows.size(), count);
+  if (picked.size() < 2) return 0;
+  // Cyclic shift of the chosen rows: the earliest position receives the
+  // latest row, guaranteeing out-of-order timestamps for distinct times.
+  const std::string last = file.rows[picked.back()];
+  for (std::size_t i = picked.size() - 1; i > 0; --i) {
+    file.rows[picked[i]] = file.rows[picked[i - 1]];
+  }
+  file.rows[picked.front()] = last;
+  return picked.size();
+}
+
+std::size_t fault_mangle(CsvFile& file, util::Rng& rng, std::size_t count) {
+  const auto picked = pick_rows(rng, file.rows.size(), count);
+  std::size_t affected = 0;
+  for (const std::size_t idx : picked) {
+    std::string& row = file.rows[idx];
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t pos = row.find(',', start);
+      if (pos == std::string::npos) {
+        fields.push_back(row.substr(start));
+        break;
+      }
+      fields.push_back(row.substr(start, pos - start));
+      start = pos + 1;
+    }
+    fields[rng.index(fields.size())] = "##mangled##";
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) out += ',';
+      out += fields[i];
+    }
+    row = std::move(out);
+    ++affected;
+  }
+  return affected;
+}
+
+std::size_t fault_clock_skew(CsvFile& file, util::Rng& rng, std::size_t count,
+                             std::int64_t skew_ms) {
+  const auto picked = pick_rows(rng, file.rows.size(), count);
+  std::size_t affected = 0;
+  for (const std::size_t idx : picked) {
+    std::string& row = file.rows[idx];
+    const std::size_t comma = row.find(',');
+    if (comma == std::string::npos) continue;
+    std::int64_t time = 0;
+    const auto [p, ec] = std::from_chars(row.data(), row.data() + comma, time);
+    if (ec != std::errc{} || p != row.data() + comma) continue;
+    row = std::to_string(time + skew_ms) + row.substr(comma);
+    ++affected;
+  }
+  return affected;
+}
+
+std::size_t fault_drop_rows(CsvFile& file, util::Rng& rng, std::size_t count) {
+  const auto picked = pick_rows(rng, file.rows.size(), count);
+  for (auto it = picked.rbegin(); it != picked.rend(); ++it) {
+    file.rows.erase(file.rows.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  return picked.size();
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kByteFlip: return "byteflip";
+    case FaultKind::kDuplicateRows: return "dup";
+    case FaultKind::kReorderRows: return "reorder";
+    case FaultKind::kMangleField: return "mangle";
+    case FaultKind::kClockSkew: return "skew";
+    case FaultKind::kDropMacs: return "dropmacs";
+  }
+  return "unknown";
+}
+
+CsvFile* CsvCorpus::find(std::string_view name) {
+  for (auto& f : files) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+util::Result<CsvCorpus> CsvCorpus::load(const std::string& directory) {
+  CsvCorpus corpus;
+  for (const char* name : kCorpusFiles) {
+    std::ifstream is(directory + "/" + name);
+    if (!is) {
+      return util::not_found(std::string("CsvCorpus::load: cannot open ") +
+                             directory + "/" + name);
+    }
+    CsvFile file;
+    file.name = name;
+    if (!std::getline(is, file.header)) {
+      return util::data_loss(std::string("CsvCorpus::load: empty file ") +
+                             directory + "/" + name);
+    }
+    std::string line;
+    while (std::getline(is, line)) file.rows.push_back(line);
+    corpus.files.push_back(std::move(file));
+  }
+  return corpus;
+}
+
+util::Status CsvCorpus::save(const std::string& directory) const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  for (const auto& file : files) {
+    std::ofstream os(directory + "/" + file.name, std::ios::trunc);
+    if (!os) {
+      return util::not_found(std::string("CsvCorpus::save: cannot open ") +
+                             directory + "/" + file.name);
+    }
+    os << file.header << '\n';
+    for (const auto& row : file.rows) os << row << '\n';
+    os << file.partial_tail;  // unterminated on purpose (truncation fault)
+    if (!os) {
+      return util::data_loss(std::string("CsvCorpus::save: write failed: ") +
+                             directory + "/" + file.name);
+    }
+  }
+  return util::ok_status();
+}
+
+FaultPlan FaultPlan::default_mix(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.faults = {
+      {FaultKind::kTruncate, "flows.csv", 0, 0.01, 0},
+      {FaultKind::kByteFlip, "control.csv", 4, 0.0, 0},
+      {FaultKind::kDuplicateRows, "flows.csv", 6, 0.0, 0},
+      {FaultKind::kReorderRows, "flows.csv", 12, 0.0, 0},
+      {FaultKind::kMangleField, "control.csv", 3, 0.0, 0},
+      {FaultKind::kClockSkew, "flows.csv", 5, 0.0, 3 * 24 * 3600 * 1000LL},
+      {FaultKind::kDropMacs, "macs.csv", 2, 0.0, 0},
+  };
+  return plan;
+}
+
+std::size_t FaultLog::total(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : entries) {
+    if (e.kind == kind) n += e.rows_affected;
+  }
+  return n;
+}
+
+std::string FaultLog::summary() const {
+  std::ostringstream os;
+  for (const auto& e : entries) {
+    os << to_string(e.kind) << ' ' << e.file << ": " << e.rows_affected
+       << " row(s)\n";
+  }
+  return os.str();
+}
+
+FaultLog apply_faults(CsvCorpus& corpus, const FaultPlan& plan) {
+  FaultLog log;
+  const util::Rng root(plan.seed);
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    const Fault& fault = plan.faults[i];
+    // One substream per fault position: appending a fault to the plan never
+    // changes what the earlier faults did.
+    util::Rng rng = root.fork(i);
+    const std::string& target =
+        fault.kind == FaultKind::kDropMacs ? "macs.csv" : fault.file;
+    FaultLog::Entry entry{fault.kind, target, 0};
+    if (CsvFile* file = corpus.find(target)) {
+      switch (fault.kind) {
+        case FaultKind::kTruncate:
+          entry.rows_affected = fault_truncate(*file, rng, fault.fraction);
+          break;
+        case FaultKind::kByteFlip:
+          entry.rows_affected = fault_byte_flip(*file, rng, fault.count);
+          break;
+        case FaultKind::kDuplicateRows:
+          entry.rows_affected = fault_duplicate(*file, rng, fault.count);
+          break;
+        case FaultKind::kReorderRows:
+          entry.rows_affected = fault_reorder(*file, rng, fault.count);
+          break;
+        case FaultKind::kMangleField:
+          entry.rows_affected = fault_mangle(*file, rng, fault.count);
+          break;
+        case FaultKind::kClockSkew:
+          entry.rows_affected =
+              fault_clock_skew(*file, rng, fault.count, fault.skew_ms);
+          break;
+        case FaultKind::kDropMacs:
+          entry.rows_affected = fault_drop_rows(*file, rng, fault.count);
+          break;
+      }
+    }
+    log.entries.push_back(std::move(entry));
+  }
+  return log;
+}
+
+util::Result<FaultPlan> parse_fault_spec(std::string_view spec,
+                                         std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = std::min(spec.find(',', start), spec.size());
+    const std::string_view item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+
+    std::string_view parts[3];
+    std::size_t n_parts = 0;
+    std::size_t p = 0;
+    while (n_parts < 3) {
+      const std::size_t colon = std::min(item.find(':', p), item.size());
+      parts[n_parts++] = item.substr(p, colon - p);
+      if (colon == item.size()) break;
+      p = colon + 1;
+    }
+
+    Fault fault;
+    const std::string_view kind = parts[0];
+    if (kind == "truncate") {
+      fault = {FaultKind::kTruncate, "flows.csv", 0, 0.01, 0};
+    } else if (kind == "byteflip") {
+      fault = {FaultKind::kByteFlip, "flows.csv", 4, 0.0, 0};
+    } else if (kind == "dup") {
+      fault = {FaultKind::kDuplicateRows, "flows.csv", 6, 0.0, 0};
+    } else if (kind == "reorder") {
+      fault = {FaultKind::kReorderRows, "flows.csv", 12, 0.0, 0};
+    } else if (kind == "mangle") {
+      fault = {FaultKind::kMangleField, "control.csv", 3, 0.0, 0};
+    } else if (kind == "skew") {
+      fault = {FaultKind::kClockSkew, "flows.csv", 8, 0.0,
+               3 * 24 * 3600 * 1000LL};
+    } else if (kind == "dropmacs") {
+      fault = {FaultKind::kDropMacs, "macs.csv", 2, 0.0, 0};
+    } else {
+      return util::invalid_argument("unknown fault kind '" +
+                                    std::string(kind) + "'");
+    }
+    if (n_parts >= 2 && !parts[1].empty()) fault.file = std::string(parts[1]);
+    if (n_parts >= 3 && !parts[2].empty()) {
+      const std::string_view arg = parts[2];
+      const char* argend = arg.data() + arg.size();
+      bool ok = false;
+      if (fault.kind == FaultKind::kTruncate) {
+        // std::from_chars for doubles is spotty across libstdc++ versions;
+        // fractions are short, so strtod on a copy is fine.
+        try {
+          fault.fraction = std::stod(std::string(arg));
+          ok = fault.fraction > 0.0 && fault.fraction <= 1.0;
+        } catch (...) {
+          ok = false;
+        }
+      } else if (fault.kind == FaultKind::kClockSkew) {
+        const auto [q, ec] = std::from_chars(arg.data(), argend, fault.skew_ms);
+        ok = ec == std::errc{} && q == argend;
+      } else {
+        const auto [q, ec] = std::from_chars(arg.data(), argend, fault.count);
+        ok = ec == std::errc{} && q == argend;
+      }
+      if (!ok) {
+        return util::invalid_argument("bad fault argument '" +
+                                      std::string(arg) + "' for " +
+                                      std::string(kind));
+      }
+    }
+    plan.faults.push_back(std::move(fault));
+  }
+  if (plan.faults.empty()) {
+    return util::invalid_argument("empty fault spec");
+  }
+  return plan;
+}
+
+}  // namespace bw::testing

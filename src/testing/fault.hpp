@@ -1,0 +1,107 @@
+// Fault injection for measurement corpora.
+//
+// Real IXP feeds fail in boring, specific ways: a transfer truncates a
+// file, a disk flips bytes, an exporter re-emits or reorders records,
+// clocks skew between planes, and the MAC table misses entries. This
+// library applies exactly those corruptions — seeded and composable — to a
+// CSV corpus written by export_dataset_csv, so tests and CI can prove every
+// degradation path in the loaders, Dataset sanitation, and the pipeline.
+// `tools/bw_faultgen` is the CLI face.
+//
+// Everything operates at the text level (lines and bytes), like the faults
+// themselves do: the library never parses rows beyond what a fault needs
+// (e.g. the time field for clock skew).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace bw::testing {
+
+/// One CSV file as a header line plus body rows (newlines stripped). A
+/// truncation fault may leave `partial_tail` — a final, unterminated
+/// half-row appended verbatim on save.
+struct CsvFile {
+  std::string name;
+  std::string header;
+  std::vector<std::string> rows;
+  std::string partial_tail;
+};
+
+/// The five files of a dataset directory, in canonical order.
+struct CsvCorpus {
+  std::vector<CsvFile> files;
+
+  [[nodiscard]] CsvFile* find(std::string_view name);
+
+  /// Read every *.csv of a directory written by export_dataset_csv.
+  [[nodiscard]] static util::Result<CsvCorpus> load(
+      const std::string& directory);
+  /// Write the corpus under `directory` (created if absent).
+  [[nodiscard]] util::Status save(const std::string& directory) const;
+};
+
+enum class FaultKind : std::uint8_t {
+  kTruncate,       ///< cut the file's tail, ending mid-row
+  kByteFlip,       ///< overwrite one byte in each of N rows
+  kDuplicateRows,  ///< re-insert exact copies of N rows
+  kReorderRows,    ///< permute N rows among themselves
+  kMangleField,    ///< replace a random field of N rows with garbage
+  kClockSkew,      ///< shift the time_ms field of N rows by a fixed offset
+  kDropMacs,       ///< delete N entries from macs.csv
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+struct Fault {
+  FaultKind kind{FaultKind::kByteFlip};
+  std::string file{"flows.csv"};  ///< target (kDropMacs always hits macs.csv)
+  std::size_t count{1};           ///< rows affected (kinds with a count)
+  double fraction{0.0};           ///< kTruncate: fraction of body rows cut
+  std::int64_t skew_ms{0};        ///< kClockSkew: offset added to time_ms
+};
+
+struct FaultPlan {
+  std::uint64_t seed{1};
+  std::vector<Fault> faults;
+
+  /// The default mix: every fault kind once, at small magnitudes — a
+  /// corpus that exercises skip, repair, quarantine, dedupe, and MAC
+  /// attribution loss all at once.
+  [[nodiscard]] static FaultPlan default_mix(std::uint64_t seed);
+};
+
+/// Ground truth of what was actually corrupted — what loader/sanitation
+/// counts must account for.
+struct FaultLog {
+  struct Entry {
+    FaultKind kind;
+    std::string file;
+    std::size_t rows_affected{0};
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::size_t total(FaultKind kind) const;
+  /// Human-readable one-line-per-entry summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Apply every fault of `plan` to `corpus`, in order, each drawing from an
+/// independent substream of plan.seed (composable: adding a fault never
+/// changes what an earlier fault did).
+FaultLog apply_faults(CsvCorpus& corpus, const FaultPlan& plan);
+
+/// Parse a CLI fault spec: comma-separated `kind[:file[:arg]]` items, e.g.
+///   "truncate:flows.csv:0.05,byteflip:control.csv:4,skew:flows.csv:7200000"
+/// Kinds: truncate (arg: fraction), byteflip, dup, reorder, mangle
+/// (arg: count), skew (arg: offset ms, applied to `count=8` rows),
+/// dropmacs (arg: count).
+[[nodiscard]] util::Result<FaultPlan> parse_fault_spec(std::string_view spec,
+                                                       std::uint64_t seed);
+
+}  // namespace bw::testing

@@ -133,5 +133,131 @@ TEST(IoTextTest, ImportMissingDirectoryThrows) {
                std::runtime_error);
 }
 
+// --- streaming readers: CRLF, strictness, per-file accounting ---
+
+constexpr const char* kFlowsHeader =
+    "time_ms,src_ip,dst_ip,proto,src_port,dst_port,src_mac,dst_mac,"
+    "packets,bytes";
+
+std::string flow_row(std::int64_t time) {
+  return std::to_string(time) +
+         ",64.0.0.1,24.0.0.1,17,123,4444,"
+         "aa:bb:cc:00:00:01,aa:bb:cc:00:00:02,3,1500";
+}
+
+TEST(IoTextTest, CrlfTerminatedLinesParse) {
+  std::stringstream macs("mac,asn\r\naa:bb:cc:00:00:01,42\r\n");
+  const auto parsed_macs = read_macs_csv(macs);
+  ASSERT_TRUE(parsed_macs);
+  ASSERT_EQ(parsed_macs->size(), 1u);
+  EXPECT_EQ(parsed_macs->begin()->second, 42u);
+
+  std::stringstream flows(std::string(kFlowsHeader) + "\r\n" + flow_row(100) +
+                          "\r\n");
+  const auto parsed_flows = read_flows_csv(flows);
+  ASSERT_TRUE(parsed_flows);
+  ASSERT_EQ(parsed_flows->size(), 1u);
+  EXPECT_EQ((*parsed_flows)[0].time, 100);
+  EXPECT_EQ((*parsed_flows)[0].bytes, 1500);
+}
+
+TEST(IoTextTest, StrictFailsWithLineNumber) {
+  std::stringstream ss(std::string(kFlowsHeader) + "\n" + flow_row(100) +
+                       "\ngarbage\n" + flow_row(200) + "\n");
+  const auto r = read_flows_csv(ss, LoadOptions{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("flows.csv"), std::string::npos);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(IoTextTest, SkipModeCostsOneRecordPerFault) {
+  std::stringstream ss(std::string(kFlowsHeader) + "\n" + flow_row(100) +
+                       "\ngarbage\n" + flow_row(200) + "\n");
+  LoadOptions options;
+  options.strictness = Strictness::kSkip;
+  LoadReport report;
+  const auto r = read_flows_csv(ss, options, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(report.rows_read, 2u);
+  EXPECT_EQ(report.rows_skipped, 1u);
+  EXPECT_EQ(report.rows_repaired, 0u);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].line, 3u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(IoTextTest, TruncatedTailCostsOneRecord) {
+  // No terminating newline: the file ends mid-row.
+  std::stringstream ss(std::string(kFlowsHeader) + "\n" + flow_row(100) + "\n" +
+                       flow_row(200).substr(0, 20));
+  LoadOptions options;
+  options.strictness = Strictness::kSkip;
+  LoadReport report;
+  const auto r = read_flows_csv(ss, options, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(report.rows_skipped, 1u);
+}
+
+TEST(IoTextTest, RepairDefaultsDamagedVolumeTail) {
+  // 8 intact leading fields (tail cut after dst_mac).
+  std::string damaged = flow_row(100);
+  damaged = damaged.substr(0, damaged.rfind(",3,1500"));
+  std::stringstream ss(std::string(kFlowsHeader) + "\n" + damaged + "\n");
+  LoadOptions options;
+  options.strictness = Strictness::kRepair;
+  LoadReport report;
+  const auto r = read_flows_csv(ss, options, &report);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].packets, 1);
+  EXPECT_EQ(r.value()[0].bytes, 0);
+  EXPECT_EQ(report.rows_repaired, 1u);
+  EXPECT_EQ(report.rows_skipped, 0u);
+
+  // kSkip must not salvage the same row.
+  std::stringstream again(std::string(kFlowsHeader) + "\n" + damaged + "\n");
+  options.strictness = Strictness::kSkip;
+  LoadReport skip_report;
+  const auto r2 = read_flows_csv(again, options, &skip_report);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.value().empty());
+  EXPECT_EQ(skip_report.rows_skipped, 1u);
+}
+
+TEST(IoTextTest, RepairDropsMangledCommunities) {
+  const std::string row = "100,A,500,100,24.0.0.1/32,10.0.0.1,##mangled##";
+  std::stringstream ss("time_ms,type,sender_asn,origin_asn,prefix,next_hop,"
+                       "communities\n" +
+                       row + "\n");
+  LoadOptions options;
+  options.strictness = Strictness::kRepair;
+  LoadReport report;
+  const auto r = read_control_csv(ss, options, &report);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_TRUE(r.value()[0].communities.empty());
+  EXPECT_EQ(r.value()[0].prefix.to_string(), "24.0.0.1/32");
+  EXPECT_EQ(report.rows_repaired, 1u);
+}
+
+TEST(IoTextTest, IngestReportSummarizes) {
+  LoadReport report;
+  report.file = "flows.csv";
+  report.rows_read = 10;
+  report.rows_skipped = 2;
+  report.note(17, "bad src_ip 'x'", 8);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("flows.csv"), std::string::npos);
+  EXPECT_NE(summary.find("line 17"), std::string::npos);
+
+  IngestReport ingest;
+  ingest.files.push_back(report);
+  EXPECT_FALSE(ingest.clean());
+  EXPECT_EQ(ingest.rows_skipped(), 2u);
+}
+
 }  // namespace
 }  // namespace bw::core

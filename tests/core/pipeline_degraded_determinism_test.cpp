@@ -1,0 +1,110 @@
+// Determinism under degradation: a corpus corrupted by the default fault
+// mix, loaded tolerantly, must still produce a byte-identical report at
+// every thread count — including the data-quality section and a degraded
+// stage — and the sections unaffected by a failing stage must match the
+// healthy run exactly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/io_text.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "testing/fault.hpp"
+#include "util/parallel.hpp"
+
+namespace bw::core {
+namespace {
+
+namespace bt = bw::testing;
+
+class DegradedDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::ScenarioConfig cfg;
+    cfg.scale = 0.04;
+    cfg.seed = 20191021;
+    const ScenarioRun run = run_scenario(cfg, std::string{});
+
+    const std::string dir = ::testing::TempDir() + "/bw_degraded_corpus";
+    std::filesystem::remove_all(dir);
+    export_dataset_csv(run.dataset, dir);
+    auto corpus = bt::CsvCorpus::load(dir);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().to_string();
+    bt::apply_faults(corpus.value(), bt::FaultPlan::default_mix(7));
+    ASSERT_TRUE(corpus.value().save(dir).ok());
+
+    LoadOptions options;
+    options.strictness = Strictness::kSkip;
+    ingest_ = new IngestReport;
+    auto loaded = load_dataset_csv(dir, options, ingest_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+    dataset_ = new Dataset(std::move(loaded).value());
+    std::filesystem::remove_all(dir);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+    delete ingest_;
+    ingest_ = nullptr;
+  }
+
+  static AnalysisReport run_with_pool(std::size_t workers,
+                                      std::vector<std::string> stage_faults) {
+    util::ThreadPool pool(workers);
+    AnalysisConfig cfg;
+    cfg.pool = &pool;
+    cfg.inject_stage_faults = std::move(stage_faults);
+    AnalysisReport report = run_pipeline(*dataset_, cfg);
+    report.data_quality.files = ingest_->files;
+    return report;
+  }
+
+  static Dataset* dataset_;
+  static IngestReport* ingest_;
+};
+
+Dataset* DegradedDeterminismTest::dataset_ = nullptr;
+IngestReport* DegradedDeterminismTest::ingest_ = nullptr;
+
+TEST_F(DegradedDeterminismTest, DirtyCorpusReportIsThreadCountIndependent) {
+  const AnalysisReport serial = run_with_pool(0, {});
+  const AnalysisReport wide = run_with_pool(7, {});
+
+  EXPECT_FALSE(serial.data_quality.clean());
+  EXPECT_FALSE(serial.data_quality.degraded());
+  EXPECT_EQ(serial.data_quality.dataset, wide.data_quality.dataset);
+  ASSERT_EQ(serial.data_quality.stages.size(),
+            wide.data_quality.stages.size());
+  for (std::size_t i = 0; i < serial.data_quality.stages.size(); ++i) {
+    EXPECT_EQ(serial.data_quality.stages[i], wide.data_quality.stages[i]);
+  }
+
+  const std::string serial_md = render_markdown(*dataset_, serial, nullptr);
+  const std::string wide_md = render_markdown(*dataset_, wide, nullptr);
+  EXPECT_EQ(serial_md, wide_md);
+  EXPECT_NE(serial_md.find("## Data quality"), std::string::npos);
+}
+
+TEST_F(DegradedDeterminismTest, StageFaultIsThreadCountIndependent) {
+  const AnalysisReport serial = run_with_pool(0, {"filtering"});
+  const AnalysisReport wide = run_with_pool(7, {"filtering"});
+  const AnalysisReport healthy = run_with_pool(3, {});
+
+  EXPECT_TRUE(serial.data_quality.degraded());
+  const std::string serial_md = render_markdown(*dataset_, serial, nullptr);
+  const std::string wide_md = render_markdown(*dataset_, wide, nullptr);
+  EXPECT_EQ(serial_md, wide_md);
+  EXPECT_NE(serial_md.find("`filtering`"), std::string::npos);
+
+  // Sections the failed stage does not own match the healthy run.
+  EXPECT_EQ(serial.events.size(), healthy.events.size());
+  EXPECT_EQ(serial.pre.no_data, healthy.pre.no_data);
+  EXPECT_EQ(serial.protocols.udp_share, healthy.protocols.udp_share);
+  EXPECT_EQ(serial.classes.infrastructure, healthy.classes.infrastructure);
+  EXPECT_EQ(serial.ports.clients, healthy.ports.clients);
+  EXPECT_EQ(serial.filtering.events_considered, 0u);
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -1,0 +1,41 @@
+# End-to-end fault drill, run as a CTest script (label: fault):
+#   1. bw-generate a small corpus and export it to CSV
+#   2. bw-faultgen applies the default fault mix
+#   3. bw-analyze --strict must reject the corrupted corpus (exit 3)
+#   4. bw-analyze --skip-bad-rows must survive it (exit 0)
+#
+# Expects -DBW_GENERATE, -DBW_FAULTGEN, -DBW_ANALYZE (tool paths) and
+# -DWORK_DIR (scratch directory, wiped on entry).
+
+foreach(var BW_GENERATE BW_FAULTGEN BW_ANALYZE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "fault_e2e: missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_step expect_rc)
+  execute_process(COMMAND ${ARGN}
+                  WORKING_DIRECTORY "${WORK_DIR}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL expect_rc)
+    message(FATAL_ERROR "fault_e2e: '${ARGN}' exited ${rc}, expected "
+                        "${expect_rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+run_step(0 "${BW_GENERATE}" --out corpus.bwds --scale 0.05 --seed 7
+           --days 21 --csv clean_csv)
+run_step(0 "${BW_FAULTGEN}" --in clean_csv --out faulty_csv --seed 7)
+
+# A corrupted corpus must fail a strict load with a data error...
+run_step(3 "${BW_ANALYZE}" faulty_csv --strict)
+# ...and must survive a tolerant load, degraded but complete.
+run_step(0 "${BW_ANALYZE}" faulty_csv --skip-bad-rows --markdown faulty.md)
+
+# The clean CSV corpus round-trips strictly.
+run_step(0 "${BW_ANALYZE}" clean_csv --strict)

@@ -1,0 +1,127 @@
+// Property: across randomly corrupted flow files, the strictness levels
+// agree with each other — a strict load succeeds exactly when a tolerant
+// load reports a clean file, the first skip diagnostic names the same line
+// the strict error points at, and on clean inputs every mode reads the
+// same rows.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/io_text.hpp"
+#include "testing/fault.hpp"
+#include "util/rng.hpp"
+
+namespace bw::core {
+namespace {
+
+namespace bt = bw::testing;
+
+constexpr const char* kFlowsHeader =
+    "time_ms,src_ip,dst_ip,proto,src_port,dst_port,src_mac,dst_mac,"
+    "packets,bytes";
+
+/// A deterministic valid flows.csv body of `n` rows.
+bt::CsvFile make_flows_file(util::Rng& rng, std::size_t n) {
+  bt::CsvFile file;
+  file.name = "flows.csv";
+  file.header = kFlowsHeader;
+  std::int64_t time = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    time += rng.uniform_int(1, 5000);
+    std::ostringstream row;
+    row << time << ",64.0." << rng.uniform_int(0, 255) << '.'
+        << rng.uniform_int(1, 254) << ",24.0.0." << rng.uniform_int(1, 254)
+        << ',' << (rng.chance(0.5) ? 17 : 6) << ',' << rng.uniform_int(1, 65535)
+        << ',' << rng.uniform_int(1, 65535)
+        << ",aa:bb:cc:00:00:01,aa:bb:cc:00:00:02," << rng.uniform_int(1, 9)
+        << ',' << rng.uniform_int(40, 1500);
+    file.rows.push_back(row.str());
+  }
+  return file;
+}
+
+/// A random fault plan over flows.csv: any subset of the row-level kinds.
+bt::FaultPlan make_plan(util::Rng& rng, std::uint64_t seed) {
+  bt::FaultPlan plan;
+  plan.seed = seed;
+  if (rng.chance(0.4)) {
+    plan.faults.push_back({bt::FaultKind::kByteFlip, "flows.csv",
+                           static_cast<std::size_t>(rng.uniform_int(1, 4)),
+                           0.0, 0});
+  }
+  if (rng.chance(0.4)) {
+    plan.faults.push_back({bt::FaultKind::kMangleField, "flows.csv",
+                           static_cast<std::size_t>(rng.uniform_int(1, 3)),
+                           0.0, 0});
+  }
+  if (rng.chance(0.3)) {
+    plan.faults.push_back(
+        {bt::FaultKind::kTruncate, "flows.csv", 0, rng.uniform(0.01, 0.2), 0});
+  }
+  return plan;
+}
+
+std::string render(const bt::CsvFile& file) {
+  std::string text = file.header + "\n";
+  for (const auto& row : file.rows) text += row + "\n";
+  text += file.partial_tail;
+  return text;
+}
+
+TEST(LoadStrictnessProperty, StrictRejectsExactlyWhatSkipCounts) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    util::Rng rng(seed);
+    bt::CsvCorpus corpus;
+    corpus.files.push_back(
+        make_flows_file(rng, static_cast<std::size_t>(rng.uniform_int(5, 80))));
+    const bt::FaultPlan plan = make_plan(rng, seed * 977);
+    const bt::FaultLog log = bt::apply_faults(corpus, plan);
+    const std::string text = render(corpus.files[0]);
+
+    std::istringstream strict_is(text);
+    LoadReport strict_report;
+    const auto strict =
+        read_flows_csv(strict_is, LoadOptions{}, &strict_report);
+
+    std::istringstream skip_is(text);
+    LoadOptions skip_options;
+    skip_options.strictness = Strictness::kSkip;
+    LoadReport skip_report;
+    const auto skip = read_flows_csv(skip_is, skip_options, &skip_report);
+    ASSERT_TRUE(skip.ok()) << "seed " << seed << ": "
+                           << skip.status().to_string();
+
+    // Strict succeeds exactly when the tolerant load saw nothing to skip.
+    EXPECT_EQ(strict.ok(), skip_report.clean()) << "seed " << seed;
+
+    if (strict.ok()) {
+      // Clean input: both modes read every row identically.
+      EXPECT_EQ(strict.value().size(), skip.value().size()) << "seed " << seed;
+      EXPECT_EQ(strict_report.rows_read, skip_report.rows_read);
+      EXPECT_TRUE(log.entries.empty() ||
+                  log.total(bt::FaultKind::kByteFlip) +
+                          log.total(bt::FaultKind::kMangleField) +
+                          log.total(bt::FaultKind::kTruncate) ==
+                      0)
+          << "seed " << seed;
+    } else {
+      // The strict error names the same line as the first skip diagnostic.
+      ASSERT_FALSE(skip_report.diagnostics.empty()) << "seed " << seed;
+      const std::string needle =
+          "line " + std::to_string(skip_report.diagnostics[0].line);
+      EXPECT_NE(strict.status().message().find(needle), std::string::npos)
+          << "seed " << seed << ": " << strict.status().message()
+          << " vs first diagnostic at " << needle;
+      // Accepted + skipped rows account for the whole (possibly truncated,
+      // possibly duplicated) body.
+      EXPECT_EQ(skip_report.rows_read + skip_report.rows_skipped,
+                corpus.files[0].rows.size() +
+                    (corpus.files[0].partial_tail.empty() ? 0u : 1u))
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bw::core

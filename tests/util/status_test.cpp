@@ -1,0 +1,67 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bw::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+  EXPECT_EQ(s, ok_status());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = data_loss("truncated row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "truncated row");
+  EXPECT_EQ(s.to_string(), "DATA_LOSS: truncated row");
+}
+
+TEST(Status, ErrorWithOkCodeBecomesInternal) {
+  const Status s = Status::error(StatusCode::kOk, "impossible");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(Status, WithContextPrependsFrames) {
+  const Status leaf = invalid_argument("bad src_ip 'x'");
+  const Status mid = leaf.with_context("line 17");
+  const Status top = mid.with_context("flows.csv");
+  EXPECT_EQ(top.message(), "flows.csv: line 17: bad src_ip 'x'");
+  EXPECT_EQ(top.code(), StatusCode::kInvalidArgument);
+  // Context on an OK status is a no-op.
+  EXPECT_EQ(ok_status().with_context("load"), ok_status());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = not_found("missing.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, RejectsOkStatusConstruction) {
+  Result<int> r{Status()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace bw::util

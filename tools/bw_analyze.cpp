@@ -1,14 +1,21 @@
-// bw-analyze: run the complete IMC'19 analysis pipeline over a .bwds corpus
-// and print the full operational report — the command-line face of the
-// library for corpora produced by bw-generate (or converted real exports).
+// bw-analyze: run the complete IMC'19 analysis pipeline over a corpus and
+// print the full operational report — the command-line face of the library.
+// The corpus is either a .bwds dataset from bw-generate or a CSV directory
+// (as written by `bw-generate --csv` or bw-faultgen).
 //
-//   bw-analyze corpus.bwds [--delta MINUTES] [--no-portstats]
+//   bw-analyze CORPUS [--delta MINUTES] [--markdown OUT.md]
+//              [--strict | --skip-bad-rows | --repair]
+//
+// Exit codes: 0 ok, 2 usage, 3 data error, 4 internal (see tools/cli.hpp).
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
-#include <fstream>
-
+#include "cli.hpp"
+#include "core/io_text.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/whatif.hpp"
@@ -18,7 +25,13 @@
 namespace {
 
 void usage() {
-  std::cerr << "usage: bw-analyze FILE.bwds [--delta MINUTES] [--markdown OUT.md]\n";
+  std::cerr << "usage: bw-analyze CORPUS [--delta MINUTES] [--markdown OUT.md]\n"
+               "                  [--strict | --skip-bad-rows | --repair]\n"
+               "  CORPUS is a .bwds file or a CSV corpus directory.\n"
+               "  --strict        fail on the first malformed CSV row (default)\n"
+               "  --skip-bad-rows drop malformed rows; account in data quality\n"
+               "  --repair        like --skip-bad-rows, salvaging rows whose\n"
+               "                  damage is confined to recoverable fields\n";
 }
 
 std::string pct(double f, int p = 1) { return bw::util::fmt_percent(f, p); }
@@ -30,6 +43,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string markdown_out;
   core::AnalysisConfig acfg;
+  core::LoadOptions load_options;  // default: Strictness::kStrict
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -37,128 +51,187 @@ int main(int argc, char** argv) {
       acfg.merge_delta = util::minutes(std::atof(argv[++i]));
     } else if (arg == "--markdown" && i + 1 < argc) {
       markdown_out = argv[++i];
+    } else if (arg == "--strict") {
+      load_options.strictness = core::Strictness::kStrict;
+    } else if (arg == "--skip-bad-rows") {
+      load_options.strictness = core::Strictness::kSkip;
+    } else if (arg == "--repair") {
+      load_options.strictness = core::Strictness::kRepair;
     } else if (arg == "--help" || arg == "-h") {
       usage();
-      return 0;
+      return tools::kExitOk;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
       usage();
-      return 2;
+      return tools::kExitUsage;
     }
   }
   if (path.empty()) {
     usage();
-    return 2;
+    return tools::kExitUsage;
   }
 
-  std::cout << "Loading " << path << "...\n";
-  const core::Dataset dataset = core::Dataset::load(path);
-  const auto s = dataset.summary();
-  std::cout << "Corpus: "
-            << util::fmt_count(static_cast<std::int64_t>(s.control_updates))
-            << " BGP updates, "
-            << util::fmt_count(static_cast<std::int64_t>(s.flow_records))
-            << " flow records over "
-            << util::format_duration(dataset.period().length()) << "\n";
+  try {
+    std::cout << "Loading " << path << "...\n";
+    std::optional<core::Dataset> dataset;
+    core::IngestReport ingest;
+    if (std::filesystem::is_directory(path)) {
+      auto loaded = core::load_dataset_csv(path, load_options, &ingest);
+      if (!loaded.ok()) {
+        std::cerr << "bw-analyze: " << loaded.status().to_string() << "\n";
+        return tools::kExitData;
+      }
+      dataset.emplace(std::move(loaded).value());
+      for (const auto& f : ingest.files) {
+        if (!f.clean()) std::cerr << f.summary() << "\n";
+      }
+    } else {
+      auto loaded = core::Dataset::try_load(path);
+      if (!loaded.ok()) {
+        std::cerr << "bw-analyze: " << loaded.status().to_string() << "\n";
+        return tools::kExitData;
+      }
+      dataset.emplace(std::move(loaded).value());
+    }
 
-  const core::AnalysisReport r = core::run_pipeline(dataset, acfg);
-  const double total_events = static_cast<double>(r.events.size());
+    const auto s = dataset->summary();
+    std::cout << "Corpus: "
+              << util::fmt_count(static_cast<std::int64_t>(s.control_updates))
+              << " BGP updates, "
+              << util::fmt_count(static_cast<std::int64_t>(s.flow_records))
+              << " flow records over "
+              << util::format_duration(dataset->period().length()) << "\n";
 
-  std::cout << "\n--- RTBH events (delta = "
-            << util::format_duration(acfg.merge_delta) << ") ---\n";
-  std::cout << util::fmt_count(static_cast<std::int64_t>(s.blackhole_updates))
-            << " RTBH updates -> "
-            << util::fmt_count(static_cast<std::int64_t>(r.events.size()))
-            << " events over "
-            << util::fmt_count(static_cast<std::int64_t>(
-                   s.blackholed_prefixes))
-            << " prefixes\n";
+    core::AnalysisReport r = core::run_pipeline(*dataset, acfg);
+    r.data_quality.files = ingest.files;
+    for (const auto& stage : r.data_quality.stages) {
+      if (stage.degraded) {
+        std::cerr << "bw-analyze: stage '" << stage.name
+                  << "' degraded: " << stage.error << "\n";
+      }
+    }
+    const double total_events =
+        std::max<double>(static_cast<double>(r.events.size()), 1.0);
 
-  std::cout << "\n--- Pre-RTBH classification (Table 2) ---\n";
-  util::TextTable t2({"class", "events", "share"});
-  t2.add_row({"no sampled traffic",
-              util::fmt_count(static_cast<std::int64_t>(r.pre.no_data)),
-              pct(static_cast<double>(r.pre.no_data) / total_events)});
-  t2.add_row({"traffic, no anomaly <=10min",
-              util::fmt_count(static_cast<std::int64_t>(r.pre.data_no_anomaly)),
-              pct(static_cast<double>(r.pre.data_no_anomaly) / total_events)});
-  t2.add_row({"traffic + anomaly <=10min (DDoS-like)",
-              util::fmt_count(static_cast<std::int64_t>(r.pre.data_anomaly_10m)),
-              pct(static_cast<double>(r.pre.data_anomaly_10m) / total_events)});
-  std::cout << t2;
+    std::cout << "\n--- RTBH events (delta = "
+              << util::format_duration(acfg.merge_delta) << ") ---\n";
+    std::cout << util::fmt_count(static_cast<std::int64_t>(s.blackhole_updates))
+              << " RTBH updates -> "
+              << util::fmt_count(static_cast<std::int64_t>(r.events.size()))
+              << " events over "
+              << util::fmt_count(
+                     static_cast<std::int64_t>(s.blackholed_prefixes))
+              << " prefixes\n";
 
-  std::cout << "\n--- Acceptance / drop rates (Figs. 5-7) ---\n";
-  util::TextTable t5({"prefix len", "traffic share", "dropped"});
-  for (const auto& len : r.drop.by_length) {
-    t5.add_row({"/" + std::to_string(len.length),
-                pct(r.drop.traffic_share(len.length), 2),
-                pct(len.packet_drop_rate())});
+    std::cout << "\n--- Pre-RTBH classification (Table 2) ---\n";
+    util::TextTable t2({"class", "events", "share"});
+    t2.add_row({"no sampled traffic",
+                util::fmt_count(static_cast<std::int64_t>(r.pre.no_data)),
+                pct(static_cast<double>(r.pre.no_data) / total_events)});
+    t2.add_row(
+        {"traffic, no anomaly <=10min",
+         util::fmt_count(static_cast<std::int64_t>(r.pre.data_no_anomaly)),
+         pct(static_cast<double>(r.pre.data_no_anomaly) / total_events)});
+    t2.add_row(
+        {"traffic + anomaly <=10min (DDoS-like)",
+         util::fmt_count(static_cast<std::int64_t>(r.pre.data_anomaly_10m)),
+         pct(static_cast<double>(r.pre.data_anomaly_10m) / total_events)});
+    std::cout << t2;
+
+    std::cout << "\n--- Acceptance / drop rates (Figs. 5-7) ---\n";
+    util::TextTable t5({"prefix len", "traffic share", "dropped"});
+    for (const auto& len : r.drop.by_length) {
+      t5.add_row({"/" + std::to_string(len.length),
+                  pct(r.drop.traffic_share(len.length), 2),
+                  pct(len.packet_drop_rate())});
+    }
+    std::cout << t5;
+    const auto top = core::summarize_top_sources(r.drop, 100);
+    std::cout << "top-100 sources towards /32 blackholes: " << top.full_droppers
+              << " drop >99%, " << top.full_forwarders
+              << " forward >99%, " << top.inconsistent << " inconsistent\n";
+
+    std::cout << "\n--- Attack traffic (Tables 3, Figs. 14-15) ---\n";
+    std::cout << "transport mix during attack events: "
+              << pct(r.protocols.udp_share) << " UDP / "
+              << pct(r.protocols.tcp_share) << " TCP\n";
+    std::cout << "events fully coverable by amplification-port filters: "
+              << pct(r.filtering.fully_filterable_fraction) << " of "
+              << r.filtering.events_considered << "\n";
+    if (!r.participation.origins.empty()) {
+      std::cout << "top reflector origin AS" << r.participation.origins[0].asn
+                << ": in " << pct(r.participation.origins[0].event_share, 0)
+                << " of attacks, "
+                << pct(r.participation.origins[0].traffic_share, 1)
+                << " of attack traffic\n";
+    }
+
+    std::cout << "\n--- Victims (Figs. 16-18, Table 4) ---\n";
+    std::cout << r.ports.clients << " client-like and " << r.ports.servers
+              << " server-like blackholed hosts ("
+              << pct(r.ports.blackholed_hosts_total > 0
+                         ? static_cast<double>(r.ports.eligible_hosts) /
+                               static_cast<double>(
+                                   r.ports.blackholed_hosts_total)
+                         : 0.0,
+                     0)
+              << " of blackholed addresses meet the 20-day criterion)\n";
+    std::cout << r.collateral.events.size()
+              << " (server,event) pairs with service-port traffic during an "
+                 "active blackhole\n";
+
+    std::cout << "\n--- Use-case classification (Fig. 19) ---\n";
+    util::TextTable t19({"class", "events", "share"});
+    t19.add_row(
+        {"infrastructure protection",
+         util::fmt_count(static_cast<std::int64_t>(r.classes.infrastructure)),
+         pct(static_cast<double>(r.classes.infrastructure) / total_events)});
+    t19.add_row(
+        {"squatting candidates",
+         util::fmt_count(static_cast<std::int64_t>(r.classes.squatting)),
+         pct(static_cast<double>(r.classes.squatting) / total_events)});
+    t19.add_row({"zombie candidates",
+                 util::fmt_count(static_cast<std::int64_t>(r.classes.zombies)),
+                 pct(static_cast<double>(r.classes.zombies) / total_events)});
+    t19.add_row({"other",
+                 util::fmt_count(static_cast<std::int64_t>(r.classes.other)),
+                 pct(static_cast<double>(r.classes.other) / total_events)});
+    std::cout << t19;
+
+    std::cout << "\n--- Mitigation what-if (extension) ---\n";
+    const auto whatif = core::compute_whatif(*dataset, r.events, r.pre);
+    util::TextTable tw({"strategy", "attack dropped", "legit dropped"});
+    for (const auto& o : whatif.outcomes) {
+      tw.add_row({std::string(core::to_string(o.strategy)), pct(o.efficacy()),
+                  pct(o.collateral())});
+    }
+    std::cout << tw;
+
+    if (!r.data_quality.clean()) {
+      std::cout << "\n--- Data quality ---\n";
+      for (const auto& f : r.data_quality.files) {
+        if (!f.clean()) std::cout << f.summary() << "\n";
+      }
+      const auto& q = r.data_quality.dataset;
+      if (!q.clean()) {
+        std::cout << "sanitation: " << q.reordered_updates + q.reordered_flows
+                  << " re-sorted, "
+                  << q.out_of_period_updates + q.out_of_period_flows
+                  << " out-of-period, " << q.duplicate_flows
+                  << " duplicate flows, " << q.unknown_mac_flows
+                  << " unattributable-MAC flows\n";
+      }
+    }
+
+    if (!markdown_out.empty()) {
+      std::ofstream md(markdown_out, std::ios::trunc);
+      md << core::render_markdown(*dataset, r, &whatif);
+      std::cout << "\nWrote markdown report to " << markdown_out << "\n";
+    }
+    return tools::kExitOk;
+  } catch (const std::exception& e) {
+    std::cerr << "bw-analyze: internal error: " << e.what() << "\n";
+    return tools::kExitInternal;
   }
-  std::cout << t5;
-  const auto top = core::summarize_top_sources(r.drop, 100);
-  std::cout << "top-100 sources towards /32 blackholes: "
-            << top.full_droppers << " drop >99%, " << top.full_forwarders
-            << " forward >99%, " << top.inconsistent << " inconsistent\n";
-
-  std::cout << "\n--- Attack traffic (Tables 3, Figs. 14-15) ---\n";
-  std::cout << "transport mix during attack events: "
-            << pct(r.protocols.udp_share) << " UDP / "
-            << pct(r.protocols.tcp_share) << " TCP\n";
-  std::cout << "events fully coverable by amplification-port filters: "
-            << pct(r.filtering.fully_filterable_fraction) << " of "
-            << r.filtering.events_considered << "\n";
-  if (!r.participation.origins.empty()) {
-    std::cout << "top reflector origin AS" << r.participation.origins[0].asn
-              << ": in " << pct(r.participation.origins[0].event_share, 0)
-              << " of attacks, " << pct(r.participation.origins[0].traffic_share, 1)
-              << " of attack traffic\n";
-  }
-
-  std::cout << "\n--- Victims (Figs. 16-18, Table 4) ---\n";
-  std::cout << r.ports.clients << " client-like and " << r.ports.servers
-            << " server-like blackholed hosts ("
-            << pct(r.ports.blackholed_hosts_total > 0
-                       ? static_cast<double>(r.ports.eligible_hosts) /
-                             static_cast<double>(r.ports.blackholed_hosts_total)
-                       : 0.0,
-                   0)
-            << " of blackholed addresses meet the 20-day criterion)\n";
-  std::cout << r.collateral.events.size()
-            << " (server,event) pairs with service-port traffic during an "
-               "active blackhole\n";
-
-  std::cout << "\n--- Use-case classification (Fig. 19) ---\n";
-  util::TextTable t19({"class", "events", "share"});
-  t19.add_row({"infrastructure protection",
-               util::fmt_count(static_cast<std::int64_t>(
-                   r.classes.infrastructure)),
-               pct(static_cast<double>(r.classes.infrastructure) /
-                   total_events)});
-  t19.add_row({"squatting candidates",
-               util::fmt_count(static_cast<std::int64_t>(r.classes.squatting)),
-               pct(static_cast<double>(r.classes.squatting) / total_events)});
-  t19.add_row({"zombie candidates",
-               util::fmt_count(static_cast<std::int64_t>(r.classes.zombies)),
-               pct(static_cast<double>(r.classes.zombies) / total_events)});
-  t19.add_row({"other",
-               util::fmt_count(static_cast<std::int64_t>(r.classes.other)),
-               pct(static_cast<double>(r.classes.other) / total_events)});
-  std::cout << t19;
-
-  std::cout << "\n--- Mitigation what-if (extension) ---\n";
-  const auto whatif = core::compute_whatif(dataset, r.events, r.pre);
-  util::TextTable tw({"strategy", "attack dropped", "legit dropped"});
-  for (const auto& o : whatif.outcomes) {
-    tw.add_row({std::string(core::to_string(o.strategy)), pct(o.efficacy()),
-                pct(o.collateral())});
-  }
-  std::cout << tw;
-
-  if (!markdown_out.empty()) {
-    std::ofstream md(markdown_out, std::ios::trunc);
-    md << core::render_markdown(dataset, r, &whatif);
-    std::cout << "\nWrote markdown report to " << markdown_out << "\n";
-  }
-  return 0;
 }

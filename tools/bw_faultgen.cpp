@@ -1,0 +1,111 @@
+// bw-faultgen: corrupt a CSV measurement corpus in controlled, seeded ways.
+//
+//   bw-faultgen --in DIR|FILE.bwds --out DIR [--seed N] [--faults SPEC]
+//
+// The input is either a CSV corpus directory (as written by
+// `bw-generate --csv` / export_dataset_csv) or a .bwds dataset, which is
+// exported to CSV first. Faults are applied at the text level and the
+// corrupted corpus is written under --out, with a ground-truth log of what
+// was damaged printed to stdout. Without --faults the default mix runs:
+// every fault kind once, at small magnitudes.
+//
+// SPEC is comma-separated `kind[:file[:arg]]`, e.g.
+//   --faults truncate:flows.csv:0.05,byteflip:control.csv:4,dropmacs::3
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "cli.hpp"
+#include "core/dataset.hpp"
+#include "core/io_text.hpp"
+#include "testing/fault.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: bw-faultgen --in DIR|FILE.bwds --out DIR"
+               " [--seed N] [--faults SPEC]\n"
+               "  SPEC: comma-separated kind[:file[:arg]] with kinds\n"
+               "        truncate(arg: fraction), byteflip, dup, reorder,\n"
+               "        mangle, dropmacs (arg: count), skew (arg: ms)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bw;
+  std::string in;
+  std::string out;
+  std::string spec;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(tools::kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (arg == "--in") in = value();
+    else if (arg == "--out") out = value();
+    else if (arg == "--seed") seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--faults") spec = value();
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return tools::kExitOk;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      usage();
+      return tools::kExitUsage;
+    }
+  }
+  if (in.empty() || out.empty()) {
+    usage();
+    return tools::kExitUsage;
+  }
+
+  try {
+    testing::FaultPlan plan = testing::FaultPlan::default_mix(seed);
+    if (!spec.empty()) {
+      auto parsed = testing::parse_fault_spec(spec, seed);
+      if (!parsed.ok()) {
+        std::cerr << "bw-faultgen: " << parsed.status().to_string() << "\n";
+        return tools::kExitUsage;
+      }
+      plan = std::move(parsed).value();
+    }
+
+    std::string csv_dir = in;
+    if (!std::filesystem::is_directory(in)) {
+      // .bwds input: materialise the CSV corpus under --out, corrupt there.
+      auto dataset = core::Dataset::try_load(in);
+      if (!dataset.ok()) {
+        std::cerr << "bw-faultgen: " << dataset.status().to_string() << "\n";
+        return tools::kExitData;
+      }
+      core::export_dataset_csv(dataset.value(), out);
+      csv_dir = out;
+    }
+
+    auto corpus = testing::CsvCorpus::load(csv_dir);
+    if (!corpus.ok()) {
+      std::cerr << "bw-faultgen: " << corpus.status().to_string() << "\n";
+      return tools::kExitData;
+    }
+
+    const testing::FaultLog log = testing::apply_faults(corpus.value(), plan);
+    if (const auto st = corpus.value().save(out); !st.ok()) {
+      std::cerr << "bw-faultgen: " << st.to_string() << "\n";
+      return tools::kExitData;
+    }
+    std::cout << "Applied " << plan.faults.size() << " fault(s) (seed " << seed
+              << ") to " << out << ":\n"
+              << log.summary();
+    return tools::kExitOk;
+  } catch (const std::exception& e) {
+    std::cerr << "bw-faultgen: internal error: " << e.what() << "\n";
+    return tools::kExitInternal;
+  }
+}

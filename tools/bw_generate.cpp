@@ -1,13 +1,19 @@
 // bw-generate: produce a synthetic RTBH measurement corpus and write it to
-// a self-contained .bwds file for later analysis with bw-analyze.
+// a self-contained .bwds file for later analysis with bw-analyze — or
+// convert an existing CSV corpus directory into a .bwds dataset.
 //
 //   bw-generate --out corpus.bwds [--scale 0.25] [--seed 20191021]
-//               [--days 104] [--sampling 10000]
+//               [--days 104] [--sampling 10000] [--csv DIR]
+//   bw-generate --out corpus.bwds --from-csv DIR
+//               [--strict | --skip-bad-rows | --repair]
+//
+// Exit codes: 0 ok, 2 usage, 3 data error, 4 internal (see tools/cli.hpp).
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "cli.hpp"
 #include "core/io_text.hpp"
 #include "core/pipeline.hpp"
 #include "util/table.hpp"
@@ -17,11 +23,14 @@ namespace {
 void usage() {
   std::cerr << "usage: bw-generate --out FILE [--scale S] [--seed N]\n"
                "                   [--days D] [--sampling N] [--csv DIR]\n"
+               "       bw-generate --out FILE --from-csv DIR\n"
+               "                   [--strict | --skip-bad-rows | --repair]\n"
                "\n"
                "Generates a 104-day (configurable) synthetic IXP corpus —\n"
                "route-server BGP log plus sampled flow records — calibrated\n"
                "to the IMC'19 blackholing study, and saves it as a .bwds\n"
-               "dataset.\n";
+               "dataset. With --from-csv, converts a CSV corpus directory\n"
+               "into a .bwds dataset instead of generating one.\n";
 }
 
 }  // namespace
@@ -30,6 +39,8 @@ int main(int argc, char** argv) {
   using namespace bw;
   std::string out;
   std::string csv_dir;
+  std::string from_csv;
+  core::LoadOptions load_options;  // default: Strictness::kStrict
   gen::ScenarioConfig cfg;
   cfg.scale = 0.25;
 
@@ -38,12 +49,16 @@ int main(int argc, char** argv) {
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
         usage();
-        std::exit(2);
+        std::exit(tools::kExitUsage);
       }
       return argv[++i];
     };
     if (arg == "--out") out = value();
     else if (arg == "--csv") csv_dir = value();
+    else if (arg == "--from-csv") from_csv = value();
+    else if (arg == "--strict") load_options.strictness = core::Strictness::kStrict;
+    else if (arg == "--skip-bad-rows") load_options.strictness = core::Strictness::kSkip;
+    else if (arg == "--repair") load_options.strictness = core::Strictness::kRepair;
     else if (arg == "--scale") cfg.scale = std::atof(value());
     else if (arg == "--seed") cfg.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--days") {
@@ -52,42 +67,69 @@ int main(int argc, char** argv) {
       cfg.sampling_rate = static_cast<std::uint32_t>(std::atoi(value()));
     } else if (arg == "--help" || arg == "-h") {
       usage();
-      return 0;
+      return tools::kExitOk;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       usage();
-      return 2;
+      return tools::kExitUsage;
     }
   }
-  if (out.empty() || cfg.scale <= 0.0) {
+  if (out.empty() || (from_csv.empty() && cfg.scale <= 0.0)) {
     usage();
-    return 2;
+    return tools::kExitUsage;
   }
 
-  std::cout << "Generating scenario: scale " << cfg.scale << ", seed "
-            << cfg.seed << ", "
-            << util::format_duration(cfg.period.length()) << ", 1:"
-            << cfg.sampling_rate << " sampling...\n";
-  const core::ScenarioRun run = core::run_scenario(cfg, std::string{});
-  run.dataset.save(out);
+  try {
+    if (!from_csv.empty()) {
+      core::IngestReport ingest;
+      auto loaded = core::load_dataset_csv(from_csv, load_options, &ingest);
+      for (const auto& f : ingest.files) {
+        if (!f.clean()) std::cerr << f.summary() << "\n";
+      }
+      if (!loaded.ok()) {
+        std::cerr << "bw-generate: " << loaded.status().to_string() << "\n";
+        return tools::kExitData;
+      }
+      if (const auto st = loaded.value().try_save(out); !st.ok()) {
+        std::cerr << "bw-generate: " << st.to_string() << "\n";
+        return tools::kExitData;
+      }
+      std::cout << "Converted " << from_csv << " -> " << out << "\n";
+      return tools::kExitOk;
+    }
 
-  const auto s = run.dataset.summary();
-  util::TextTable table({"corpus", "value"});
-  table.add_row({"BGP updates", util::fmt_count(
-                                    static_cast<std::int64_t>(s.control_updates))});
-  table.add_row({"RTBH updates", util::fmt_count(static_cast<std::int64_t>(
-                                     s.blackhole_updates))});
-  table.add_row({"blackholed prefixes",
-                 util::fmt_count(static_cast<std::int64_t>(
-                     s.blackholed_prefixes))});
-  table.add_row({"sampled flow records",
-                 util::fmt_count(static_cast<std::int64_t>(s.flow_records))});
-  table.add_row({"sampled packets dropped",
-                 util::fmt_count(static_cast<std::int64_t>(s.dropped_packets))});
-  std::cout << table << "Wrote " << out << "\n";
-  if (!csv_dir.empty()) {
-    core::export_dataset_csv(run.dataset, csv_dir);
-    std::cout << "Exported CSV corpus to " << csv_dir << "/\n";
+    std::cout << "Generating scenario: scale " << cfg.scale << ", seed "
+              << cfg.seed << ", "
+              << util::format_duration(cfg.period.length()) << ", 1:"
+              << cfg.sampling_rate << " sampling...\n";
+    const core::ScenarioRun run = core::run_scenario(cfg, std::string{});
+    if (const auto st = run.dataset.try_save(out); !st.ok()) {
+      std::cerr << "bw-generate: " << st.to_string() << "\n";
+      return tools::kExitData;
+    }
+
+    const auto s = run.dataset.summary();
+    util::TextTable table({"corpus", "value"});
+    table.add_row({"BGP updates", util::fmt_count(static_cast<std::int64_t>(
+                                      s.control_updates))});
+    table.add_row({"RTBH updates", util::fmt_count(static_cast<std::int64_t>(
+                                       s.blackhole_updates))});
+    table.add_row({"blackholed prefixes",
+                   util::fmt_count(static_cast<std::int64_t>(
+                       s.blackholed_prefixes))});
+    table.add_row({"sampled flow records",
+                   util::fmt_count(static_cast<std::int64_t>(s.flow_records))});
+    table.add_row(
+        {"sampled packets dropped",
+         util::fmt_count(static_cast<std::int64_t>(s.dropped_packets))});
+    std::cout << table << "Wrote " << out << "\n";
+    if (!csv_dir.empty()) {
+      core::export_dataset_csv(run.dataset, csv_dir);
+      std::cout << "Exported CSV corpus to " << csv_dir << "/\n";
+    }
+    return tools::kExitOk;
+  } catch (const std::exception& e) {
+    std::cerr << "bw-generate: internal error: " << e.what() << "\n";
+    return tools::kExitInternal;
   }
-  return 0;
 }

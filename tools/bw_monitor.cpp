@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "cli.hpp"
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
 #include "util/table.hpp"
@@ -53,27 +54,32 @@ int main(int argc, char** argv) {
         const auto kind = kind_from(name);
         if (!kind) {
           usage();
-          return 2;
+          return bw::tools::kExitUsage;
         }
         kinds.insert(*kind);
       }
     } else if (arg == "--help" || arg == "-h") {
       usage();
-      return 0;
+      return bw::tools::kExitOk;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
       usage();
-      return 2;
+      return tools::kExitUsage;
     }
   }
   if (path.empty()) {
     usage();
-    return 2;
+    return tools::kExitUsage;
   }
 
   std::cout << "Loading " << path << "...\n";
-  const core::Dataset dataset = core::Dataset::load(path);
+  auto loaded = core::Dataset::try_load(path);
+  if (!loaded.ok()) {
+    std::cerr << "bw-monitor: " << loaded.status().to_string() << "\n";
+    return tools::kExitData;
+  }
+  const core::Dataset& dataset = loaded.value();
 
   std::map<core::AlertKind, std::size_t> counts;
   core::RtbhMonitor monitor({}, [&](const core::Alert& alert) {
@@ -105,5 +111,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n" << table << "Events observed: " << monitor.total_events()
             << "\n";
-  return 0;
+  return tools::kExitOk;
 }

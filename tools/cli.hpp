@@ -1,0 +1,17 @@
+// Shared CLI conventions for the bw-* tools.
+//
+// Exit codes are part of the tool contract (scripts and CI branch on them):
+//   0  success
+//   2  usage error (bad flags/arguments; nothing was attempted)
+//   3  data error (input missing, malformed, or rejected by --strict)
+//   4  internal error (unexpected exception; a bug, not an input problem)
+#pragma once
+
+namespace bw::tools {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitData = 3;
+inline constexpr int kExitInternal = 4;
+
+}  // namespace bw::tools
