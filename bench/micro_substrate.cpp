@@ -1,11 +1,27 @@
 // Performance microbenchmarks for the IXP substrate: sampling, policy
 // evaluation, per-packet forwarding decisions, and route-server update
 // processing — the hot paths of a full-scale scenario run.
+//
+// After the google-benchmark run, main() times sharded corpus generation
+// once per thread count and writes machine-readable
+// $BW_CSV_DIR/BENCH_generate.json (default bench_out/) so the generation
+// perf trajectory is tracked across PRs alongside BENCH_pipeline.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
 #include "bgp/route_server.hpp"
+#include "core/pipeline.hpp"
 #include "flow/sampler.hpp"
 #include "ixp/blackhole_service.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -109,6 +125,65 @@ void BM_RouteServerProcess(benchmark::State& state) {
 }
 BENCHMARK(BM_RouteServerProcess)->Unit(benchmark::kMillisecond);
 
+double time_generate_s(const gen::ScenarioConfig& cfg, std::size_t threads,
+                       std::size_t* flows_out) {
+  util::ThreadPool pool(threads - 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ScenarioRun run =
+      core::run_scenario(cfg, std::string{}, &pool);  // cache disabled
+  const auto t1 = std::chrono::steady_clock::now();
+  if (flows_out != nullptr) *flows_out = run.dataset.flows().size();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// bench_out/BENCH_generate.json: the cross-PR generation-perf record.
+void write_generate_json() {
+  const char* dir_env = std::getenv("BW_CSV_DIR");
+  const std::string dir = dir_env != nullptr ? dir_env : "bench_out";
+  std::filesystem::create_directories(dir);
+
+  const gen::ScenarioConfig cfg = core::default_benchmark_scenario();
+  std::ofstream os(dir + "/BENCH_generate.json", std::ios::trunc);
+  os << "{\n";
+  os << "  \"benchmark\": \"run_scenario\",\n";
+  os << "  \"scale\": " << cfg.scale << ",\n";
+  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  std::size_t flows = 0;
+  double serial_s = 0.0;
+  double t8 = 0.0;
+  const std::size_t counts[] = {1, 2, 4, 8};
+  std::ostringstream wall;
+  std::ostringstream shards;
+  std::ostringstream rate;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double s = time_generate_s(cfg, counts[i], &flows);
+    if (counts[i] == 1) serial_s = s;
+    if (counts[i] == 8) t8 = s;
+    const char* sep = i + 1 < 4 ? ",\n" : "\n";
+    wall << "    \"" << counts[i] << "\": " << s * 1e3 << sep;
+    shards << "    \"" << counts[i] << "\": "
+           << core::generation_shards(counts[i]) << sep;
+    rate << "    \"" << counts[i] << "\": "
+         << (s > 0.0 ? static_cast<double>(flows) / s : 0.0) << sep;
+    std::cerr << "generate threads=" << counts[i] << " wall_s=" << s
+              << " flows=" << flows << "\n";
+  }
+  os << "  \"flow_records\": " << flows << ",\n";
+  os << "  \"wall_ms_by_threads\": {\n" << wall.str() << "  },\n";
+  os << "  \"shards_by_threads\": {\n" << shards.str() << "  },\n";
+  os << "  \"flows_per_s_by_threads\": {\n" << rate.str() << "  },\n";
+  os << "  \"speedup_8_vs_1\": " << (t8 > 0.0 ? serial_s / t8 : 0.0) << "\n";
+  os << "}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_generate_json();
+  return 0;
+}

@@ -8,6 +8,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "gen/shard.hpp"
+#include "util/parallel.hpp"
+
 namespace bw::core {
 
 namespace {
@@ -122,7 +125,7 @@ namespace {
 
 std::string config_fingerprint(const gen::ScenarioConfig& cfg) {
   std::ostringstream os;
-  os << "v5|" << cfg.sampling_rate << '|' << cfg.scale << '|' << cfg.seed
+  os << "v6|" << cfg.sampling_rate << '|' << cfg.scale << '|' << cfg.seed
      << '|' << cfg.period.begin << '|'
      << cfg.period.end << '|' << cfg.members << '|' << cfg.blackholer_members
      << '|' << cfg.victim_origin_as << '|' << cfg.amplifier_origins << '|'
@@ -140,8 +143,13 @@ std::string config_fingerprint(const gen::ScenarioConfig& cfg) {
 
 }  // namespace
 
+std::size_t generation_shards(std::size_t concurrency) {
+  return concurrency <= 1 ? 1 : concurrency * 4;
+}
+
 ScenarioRun run_scenario(const gen::ScenarioConfig& config,
-                         std::optional<std::string> cache_dir) {
+                         std::optional<std::string> cache_dir,
+                         util::ThreadPool* pool) {
   gen::Scenario scenario(config);
   ixp::Platform platform(gen::Scenario::platform_config(config));
   scenario.install(platform);
@@ -166,8 +174,25 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
     return finish(Dataset::load(cache_path));
   }
 
-  ixp::RunResult result =
-      platform.run(scenario.control(), scenario.traffic_source());
+  // Sharded generation: cut the anchor-ordered emission plan into
+  // contiguous, cost-balanced time slices and replay them concurrently
+  // against the prepared platform. Every per-unit and per-burst draw is
+  // content-keyed, and the slice outputs merge in shard order, so the
+  // corpus bytes are invariant to the shard count (and thus BW_THREADS).
+  util::ThreadPool& workers = util::pool_or_global(pool);
+  const std::vector<gen::EmissionUnit> plan = scenario.emission_plan();
+  const std::vector<gen::ShardRange> shards =
+      gen::plan_shards(plan, generation_shards(workers.concurrency()));
+
+  platform.prepare(scenario.control());
+  std::vector<ixp::Platform::SliceResult> slices = util::parallel_map(
+      workers, shards.size(), [&](std::size_t i) {
+        std::vector<gen::EmissionUnit> units(
+            plan.begin() + static_cast<std::ptrdiff_t>(shards[i].begin),
+            plan.begin() + static_cast<std::ptrdiff_t>(shards[i].end));
+        return platform.run_slice(scenario.traffic_source(std::move(units)));
+      });
+  ixp::RunResult result = platform.finish(std::move(slices));
   Dataset dataset = Dataset::from_run(std::move(result), platform);
   if (!cache_path.empty()) dataset.save(cache_path);
   return finish(std::move(dataset));

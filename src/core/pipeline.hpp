@@ -114,9 +114,20 @@ struct ScenarioRun {
 /// Dataset when available (key: config fingerprint). The cache directory is
 /// $BW_CACHE_DIR, defaulting to "bw_cache" under the current directory; an
 /// empty cache_dir disables caching.
+///
+/// Generation is sharded over `pool` (null: the process-wide pool, sized by
+/// $BW_THREADS): the scenario's emission plan is cut into contiguous time
+/// slices, each replayed concurrently against the prepared platform, and
+/// the slice outputs are stitched with a deterministic ordered merge. The
+/// corpus is byte-identical at every pool size.
 [[nodiscard]] ScenarioRun run_scenario(
     const gen::ScenarioConfig& config,
-    std::optional<std::string> cache_dir = std::nullopt);
+    std::optional<std::string> cache_dir = std::nullopt,
+    util::ThreadPool* pool = nullptr);
+
+/// Shard count used when generating with `concurrency`-way parallelism: a
+/// few shards per worker so the cost-balanced planner can even out slices.
+[[nodiscard]] std::size_t generation_shards(std::size_t concurrency);
 
 /// The scenario configuration used by all exp_* harnesses: paper-shaped
 /// counts at the scale given by $BW_SCALE (default 0.25).

@@ -4,13 +4,16 @@
 
 namespace bw::flow {
 
-void Collector::ingest(FlowRecord record) {
+void Collector::ingest(FlowRecord record) { ingest(record, rng_); }
+
+void Collector::ingest(FlowRecord record, util::Rng& jitter_rng) {
   if (macs_->is_internal(record.src_mac) || macs_->is_internal(record.dst_mac)) {
     ++internal_removed_;
     return;
   }
-  const double jitter =
-      clock_.jitter_sd_ms > 0.0 ? rng_.normal(0.0, clock_.jitter_sd_ms) : 0.0;
+  const double jitter = clock_.jitter_sd_ms > 0.0
+                            ? jitter_rng.normal(0.0, clock_.jitter_sd_ms)
+                            : 0.0;
   record.time += clock_.offset_ms + static_cast<util::DurationMs>(std::lround(jitter));
   flows_.push_back(record);
 }

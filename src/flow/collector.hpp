@@ -28,7 +28,18 @@ class Collector {
   /// Ingest a record whose `time` field holds the *true* event time; the
   /// collector re-stamps it with the skewed data-plane clock. Internal
   /// flows are counted but not stored, as in the paper's preprocessing.
+  /// Jitter draws from the collector's sequential stream (serial replay).
   void ingest(FlowRecord record);
+
+  /// Same, drawing the NTP jitter from a caller-provided stream. Pass
+  /// `jitter_stream(key)` with a content-derived key so the stamped time is
+  /// independent of ingest order (required for sharded generation).
+  void ingest(FlowRecord record, util::Rng& jitter_rng);
+
+  /// Independent per-key jitter substream of this collector's seed.
+  [[nodiscard]] util::Rng jitter_stream(std::uint64_t key) const {
+    return rng_.fork(key);
+  }
 
   /// Finish collection: chronologically sorts the stored records.
   void finalize();

@@ -1,14 +1,44 @@
 #include "flow/record.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace bw::flow {
 
+namespace {
+
+bool time_less(const FlowRecord& a, const FlowRecord& b) {
+  return a.time < b.time;
+}
+
+}  // namespace
+
 void sort_flows(FlowLog& flows) {
-  std::sort(flows.begin(), flows.end(),
-            [](const FlowRecord& a, const FlowRecord& b) {
-              return a.time < b.time;
-            });
+  std::stable_sort(flows.begin(), flows.end(), time_less);
+}
+
+FlowLog merge_sorted_flows(std::vector<FlowLog> parts) {
+  std::erase_if(parts, [](const FlowLog& p) { return p.empty(); });
+  if (parts.empty()) return {};
+  // Tree of pairwise std::inplace_merge passes. Each pass merges part 2k
+  // into part 2k+1's predecessor, left-before-right on ties, so the overall
+  // order equals a stable sort of the in-order concatenation.
+  while (parts.size() > 1) {
+    std::vector<FlowLog> next;
+    next.reserve((parts.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
+      FlowLog& a = parts[i];
+      FlowLog& b = parts[i + 1];
+      const auto mid = static_cast<FlowLog::difference_type>(a.size());
+      a.insert(a.end(), std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()));
+      std::inplace_merge(a.begin(), a.begin() + mid, a.end(), time_less);
+      next.push_back(std::move(a));
+    }
+    if (parts.size() % 2 == 1) next.push_back(std::move(parts.back()));
+    parts = std::move(next);
+  }
+  return std::move(parts.front());
 }
 
 }  // namespace bw::flow

@@ -32,6 +32,13 @@ struct TrafficBurst {
   std::int64_t packets{0};
   std::int32_t avg_packet_bytes{500};
   MemberId handover{0};  ///< member port where the traffic enters the fabric
+  /// Content key for the fabric's per-burst RNG substreams (sampling count,
+  /// sample times, collector jitter). Keying by burst identity instead of
+  /// arrival order makes the sampled corpus independent of how the burst
+  /// stream is partitioned across generation shards. 0 = unkeyed; the
+  /// fabric then falls back to an arrival-order counter (serial-replay
+  /// sources only — unkeyed streams are not shard-invariant).
+  std::uint64_t id{0};
 };
 
 /// One sampled IPFIX record as exported by the IXP monitoring system.
@@ -54,7 +61,15 @@ struct FlowRecord {
 
 using FlowLog = std::vector<FlowRecord>;
 
-/// Chronological sort by data-plane timestamp.
+/// Chronological sort by data-plane timestamp. Stable: records with equal
+/// timestamps keep their input order, so sorting per-shard slices and
+/// stitching them with merge_sorted_flows is equivalent to sorting the
+/// concatenated log in one pass.
 void sort_flows(FlowLog& flows);
+
+/// Stable ordered merge of individually time-sorted logs: equal timestamps
+/// resolve in favour of the earlier part, i.e. the result is byte-identical
+/// to concatenating `parts` in order and calling sort_flows once.
+[[nodiscard]] FlowLog merge_sorted_flows(std::vector<FlowLog> parts);
 
 }  // namespace bw::flow

@@ -5,15 +5,20 @@
 namespace bw::flow {
 
 std::vector<util::TimeMs> IpfixSampler::sample_times(const TrafficBurst& burst) {
+  return sample_times(burst, rng_);
+}
+
+std::vector<util::TimeMs> IpfixSampler::sample_times(const TrafficBurst& burst,
+                                                     util::Rng& rng) const {
   std::vector<util::TimeMs> times;
   if (burst.packets <= 0) return times;
-  const std::int64_t k = rng_.binomial(burst.packets, probability());
+  const std::int64_t k = rng.binomial(burst.packets, probability());
   if (k <= 0) return times;
   times.reserve(static_cast<std::size_t>(k));
   const util::TimeMs begin = burst.window.begin;
   const util::DurationMs len = std::max<util::DurationMs>(burst.window.length(), 1);
   for (std::int64_t i = 0; i < k; ++i) {
-    times.push_back(begin + rng_.uniform_int(0, len - 1));
+    times.push_back(begin + rng.uniform_int(0, len - 1));
   }
   std::sort(times.begin(), times.end());
   return times;

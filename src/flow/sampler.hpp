@@ -25,7 +25,20 @@ class IpfixSampler {
   [[nodiscard]] double probability() const noexcept { return 1.0 / n_; }
 
   /// Draw the sampled-packet timestamps for one burst, sorted ascending.
+  /// Draws from the sampler's own sequential stream — order-dependent, so
+  /// only suitable for serial replay.
   [[nodiscard]] std::vector<util::TimeMs> sample_times(const TrafficBurst& burst);
+
+  /// Same draw from a caller-provided stream. Pass `stream(key)` with a
+  /// content-derived key (burst id) and the sample is a pure function of
+  /// (sampler seed, key, burst), independent of burst arrival order.
+  [[nodiscard]] std::vector<util::TimeMs> sample_times(const TrafficBurst& burst,
+                                                       util::Rng& rng) const;
+
+  /// Independent per-key substream of this sampler's seed.
+  [[nodiscard]] util::Rng stream(std::uint64_t key) const {
+    return rng_.fork(key);
+  }
 
   /// Expected number of samples for a burst (for tests and sanity checks).
   [[nodiscard]] double expected_samples(const TrafficBurst& burst) const {

@@ -55,6 +55,11 @@ class LegitGenerator {
   void emit_day(const HostProfile& host, int day,
                 const ixp::Platform::BurstSink& sink);
 
+  /// Replace the generator's stream. The sharded scenario driver reseeds
+  /// one shared instance per (host, day) emission unit so each unit's
+  /// draws are a pure function of its identity, not of emission order.
+  void reseed(util::Rng rng) { rng_ = rng; }
+
  private:
   void emit_server_day(const HostProfile& host, util::TimeMs day_start,
                        const ixp::Platform::BurstSink& sink);

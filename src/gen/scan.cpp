@@ -2,6 +2,13 @@
 
 namespace bw::gen {
 
+namespace {
+
+// Commonly scanned service ports (telnet/ssh/web/rdp/smb).
+constexpr net::Port kScannedPorts[] = {23, 22, 80, 443, 3389, 445, 8080};
+
+}  // namespace
+
 void ScanGenerator::emit(std::span<const net::Ipv4> targets,
                          std::span<const flow::MemberId> ingress,
                          util::TimeRange period,
@@ -9,33 +16,49 @@ void ScanGenerator::emit(std::span<const net::Ipv4> targets,
   if (ingress.empty() || targets.empty()) return;
   const auto total_days =
       static_cast<int>(period.length() / util::kDay);
-  // Commonly scanned service ports (telnet/ssh/web/rdp/smb).
-  constexpr net::Port kScannedPorts[] = {23, 22, 80, 443, 3389, 445, 8080};
-
   for (const net::Ipv4 target : targets) {
     for (int day = 0; day < total_days; ++day) {
-      if (!rng_.chance(cfg_.bursts_per_ip_day)) continue;
-      flow::TrafficBurst b;
-      const util::TimeMs begin = period.begin +
-                                 static_cast<util::TimeMs>(day) * util::kDay +
-                                 util::hours(rng_.uniform(0.0, 24.0));
-      b.window = {begin, begin + util::minutes(rng_.uniform(1.0, 30.0))};
-      b.src_ip = net::Ipv4(static_cast<std::uint32_t>(
-          0xC6000000u | rng_.uniform_int(0, 0x00FFFFFF)));  // 198/8 scanners
-      b.dst_ip = target;
-      b.proto = rng_.chance(0.8) ? net::Proto::kTcp : net::Proto::kUdp;
-      b.src_port = static_cast<net::Port>(rng_.uniform_int(1024, 65535));
-      b.dst_port = kScannedPorts[rng_.index(std::size(kScannedPorts))];
-      b.packets = std::max<std::int64_t>(
-          static_cast<std::int64_t>(
-              rng_.lognormal(0.0, 1.0) *
-              static_cast<double>(cfg_.packets_per_burst)),
-          1);
-      b.avg_packet_bytes = 60;
-      b.handover = ingress[rng_.index(ingress.size())];
-      sink(b);
+      maybe_emit_burst(target, ingress,
+                       period.begin + static_cast<util::TimeMs>(day) * util::kDay,
+                       sink);
     }
   }
+}
+
+void ScanGenerator::emit_day(std::span<const net::Ipv4> targets,
+                             std::span<const flow::MemberId> ingress,
+                             util::TimeRange period, int day,
+                             const ixp::Platform::BurstSink& sink) {
+  if (ingress.empty() || targets.empty()) return;
+  const util::TimeMs day_begin =
+      period.begin + static_cast<util::TimeMs>(day) * util::kDay;
+  for (const net::Ipv4 target : targets) {
+    maybe_emit_burst(target, ingress, day_begin, sink);
+  }
+}
+
+void ScanGenerator::maybe_emit_burst(net::Ipv4 target,
+                                     std::span<const flow::MemberId> ingress,
+                                     util::TimeMs day_begin,
+                                     const ixp::Platform::BurstSink& sink) {
+  if (!rng_.chance(cfg_.bursts_per_ip_day)) return;
+  flow::TrafficBurst b;
+  const util::TimeMs begin = day_begin + util::hours(rng_.uniform(0.0, 24.0));
+  b.window = {begin, begin + util::minutes(rng_.uniform(1.0, 30.0))};
+  b.src_ip = net::Ipv4(static_cast<std::uint32_t>(
+      0xC6000000u | rng_.uniform_int(0, 0x00FFFFFF)));  // 198/8 scanners
+  b.dst_ip = target;
+  b.proto = rng_.chance(0.8) ? net::Proto::kTcp : net::Proto::kUdp;
+  b.src_port = static_cast<net::Port>(rng_.uniform_int(1024, 65535));
+  b.dst_port = kScannedPorts[rng_.index(std::size(kScannedPorts))];
+  b.packets = std::max<std::int64_t>(
+      static_cast<std::int64_t>(
+          rng_.lognormal(0.0, 1.0) *
+          static_cast<double>(cfg_.packets_per_burst)),
+      1);
+  b.avg_packet_bytes = 60;
+  b.handover = ingress[rng_.index(ingress.size())];
+  sink(b);
 }
 
 }  // namespace bw::gen

@@ -29,7 +29,23 @@ class ScanGenerator {
             std::span<const flow::MemberId> ingress, util::TimeRange period,
             const ixp::Platform::BurstSink& sink);
 
+  /// Emit a single day's scan traffic (`day` indexes from period start) —
+  /// the sharded scenario driver's per-day emission unit.
+  void emit_day(std::span<const net::Ipv4> targets,
+                std::span<const flow::MemberId> ingress,
+                util::TimeRange period, int day,
+                const ixp::Platform::BurstSink& sink);
+
+  /// Replace the generator's stream (see LegitGenerator::reseed).
+  void reseed(util::Rng rng) { rng_ = rng; }
+
  private:
+  /// One Bernoulli trial for (target, day): maybe emit one probe burst.
+  void maybe_emit_burst(net::Ipv4 target,
+                        std::span<const flow::MemberId> ingress,
+                        util::TimeMs day_begin,
+                        const ixp::Platform::BurstSink& sink);
+
   ScanConfig cfg_;
   util::Rng rng_;
 };

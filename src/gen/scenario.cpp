@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <stdexcept>
+#include <tuple>
 
 namespace bw::gen {
 
@@ -699,73 +701,190 @@ void Scenario::build_events(ixp::Platform& platform) {
 // Traffic
 // ---------------------------------------------------------------------------
 
+std::vector<EmissionUnit> Scenario::emission_plan() const {
+  if (!installed_) {
+    throw std::logic_error("Scenario: emission_plan() before install()");
+  }
+  const int total_days = static_cast<int>(cfg_.period.length() / util::kDay);
+  const double sampling = std::max<double>(cfg_.sampling_rate, 1.0);
+  std::vector<EmissionUnit> plan;
+
+  // --- legitimate daily traffic: one unit per active (host, day) ---
+  std::size_t active_hosts = 0;
+  for (const HostProfile& host : truth_.hosts) {
+    if (host.role != HostRole::kIdle) ++active_hosts;
+  }
+  plan.reserve(active_hosts * static_cast<std::size_t>(total_days) +
+               truth_.events.size() + static_cast<std::size_t>(total_days));
+  for (std::size_t hi = 0; hi < truth_.hosts.size(); ++hi) {
+    const HostProfile& host = truth_.hosts[hi];
+    if (host.role == HostRole::kIdle) continue;  // emit_day is a no-op
+    const auto cost = static_cast<std::uint64_t>(
+        20.0 + host.mean_daily_packets / sampling);
+    for (int day = 0; day < total_days; ++day) {
+      EmissionUnit u;
+      u.anchor = static_cast<util::TimeMs>(day) * util::kDay;
+      u.kind = EmissionUnit::Kind::kLegit;
+      u.index = static_cast<std::uint32_t>(hi);
+      u.day = static_cast<std::uint32_t>(day);
+      u.cost = cost;
+      plan.push_back(u);
+    }
+  }
+
+  // --- attacks: one unit per event carrying traffic ---
+  for (const EventTruth& ev : truth_.events) {
+    if (!ev.has_attack || ev.attack_packets <= 0) continue;
+    EmissionUnit u;
+    u.anchor = ev.attack_window.begin;
+    u.kind = EmissionUnit::Kind::kAttack;
+    u.index = static_cast<std::uint32_t>(ev.id);
+    u.cost = static_cast<std::uint64_t>(
+        2.0 * static_cast<double>(cfg_.amplifiers_per_attack) +
+        static_cast<double>(ev.attack_packets) / sampling);
+    plan.push_back(u);
+  }
+
+  // --- scans / background radiation: one unit per day ---
+  const auto scan_cost = static_cast<std::uint64_t>(std::max(
+      1.0, static_cast<double>(scan_targets_.size()) *
+               cfg_.scan.bursts_per_ip_day *
+               (1.0 + static_cast<double>(cfg_.scan.packets_per_burst) /
+                          sampling)));
+  for (int day = 0; day < total_days; ++day) {
+    EmissionUnit u;
+    u.anchor = cfg_.period.begin + static_cast<util::TimeMs>(day) * util::kDay;
+    u.kind = EmissionUnit::Kind::kScan;
+    u.day = static_cast<std::uint32_t>(day);
+    u.cost = scan_cost;
+    plan.push_back(u);
+  }
+
+  // Anchor-time order with a unique (kind, index, day) tie-break: shards cut
+  // this list into contiguous time slices, and the ordering — hence the
+  // merged corpus — is a pure function of the installed scenario.
+  std::sort(plan.begin(), plan.end(),
+            [](const EmissionUnit& a, const EmissionUnit& b) {
+              return std::tie(a.anchor, a.kind, a.index, a.day) <
+                     std::tie(b.anchor, b.kind, b.index, b.day);
+            });
+  return plan;
+}
+
+void Scenario::emit_unit(const EmissionUnit& unit, LegitGenerator& legit,
+                         ScanGenerator& scans,
+                         const ixp::Platform::BurstSink& sink) const {
+  // The unit's substream seed extends the named fork-tag discipline: legit
+  // forks (kTagLegit, host, day), attacks keep their per-event fork, scans
+  // fork (kTagScan, day). Position in the plan never enters the derivation.
+  std::uint64_t unit_seed = 0;
+  switch (unit.kind) {
+    case EmissionUnit::Kind::kLegit:
+      unit_seed = util::Rng::derive_seed(
+          util::Rng::derive_seed(util::Rng::derive_seed(cfg_.seed, kTagLegit),
+                                 unit.index),
+          unit.day);
+      break;
+    case EmissionUnit::Kind::kAttack:
+      unit_seed = util::Rng::derive_seed(cfg_.seed, kTagAttackBase + unit.index);
+      break;
+    case EmissionUnit::Kind::kScan:
+      unit_seed = util::Rng::derive_seed(
+          util::Rng::derive_seed(cfg_.seed, kTagScan), unit.day);
+      break;
+  }
+
+  // Key every burst leaving this unit by (unit seed, emission index): the
+  // fabric forks its sampling/jitter substreams per id, which is what makes
+  // the sampled corpus independent of the shard partition.
+  std::uint64_t emitted = 0;
+  const ixp::Platform::BurstSink keyed = [&](const flow::TrafficBurst& burst) {
+    flow::TrafficBurst b = burst;
+    const std::uint64_t id = util::Rng::derive_seed(unit_seed, ++emitted);
+    b.id = id != 0 ? id : 1;
+    sink(b);
+  };
+
+  switch (unit.kind) {
+    case EmissionUnit::Kind::kLegit:
+      legit.reseed(util::Rng(unit_seed));
+      legit.emit_day(truth_.hosts[unit.index], static_cast<int>(unit.day),
+                     keyed);
+      break;
+    case EmissionUnit::Kind::kAttack:
+      emit_attack(truth_.events[unit.index], keyed);
+      break;
+    case EmissionUnit::Kind::kScan:
+      scans.reseed(util::Rng(unit_seed));
+      scans.emit_day(scan_targets_, handover_members_, cfg_.period,
+                     static_cast<int>(unit.day), keyed);
+      break;
+  }
+}
+
+void Scenario::emit_attack(const EventTruth& ev,
+                           const ixp::Platform::BurstSink& sink) const {
+  if (!ev.has_attack || ev.attack_packets <= 0) return;
+  util::Rng ev_rng(util::Rng(cfg_.seed).fork(kTagAttackBase + ev.id));
+  DdosGenerator ddos(*pool_, ev_rng.fork(1));
+
+  AttackSpec spec;
+  spec.victim = ev.prefix.network();  // host events use the host address
+  spec.window = ev.attack_window;
+  spec.total_packets = ev.attack_packets;
+  spec.amplifier_count = static_cast<std::size_t>(std::max<std::int64_t>(
+      ev_rng.uniform_int(
+          static_cast<std::int64_t>(cfg_.amplifiers_per_attack / 2),
+          static_cast<std::int64_t>(cfg_.amplifiers_per_attack * 2)),
+      4));
+
+  if (ev.amp_ports.empty()) {
+    // Non-amplification attack: mostly UDP carpets, occasionally a SYN
+    // flood (TCP stays a sliver of attack traffic, as in Table 3).
+    AttackVector v;
+    v.kind = ev_rng.chance(0.25) ? VectorKind::kSynFlood
+             : ev_rng.chance(0.5) ? VectorKind::kUdpRandomPorts
+                                  : VectorKind::kUdpIncreasingPorts;
+    v.volume_share = 1.0;
+    spec.vectors.push_back(v);
+  } else {
+    double remaining = 1.0;
+    for (std::size_t i = 0; i < ev.amp_ports.size(); ++i) {
+      AttackVector v;
+      v.kind = VectorKind::kUdpAmplification;
+      v.amp_port = ev.amp_ports[i];
+      const bool last = i + 1 == ev.amp_ports.size();
+      v.volume_share =
+          last ? remaining : remaining * ev_rng.uniform(0.35, 0.75);
+      remaining -= last ? 0.0 : v.volume_share;
+      spec.vectors.push_back(v);
+    }
+    if (ev.has_carpet_vector) {
+      AttackVector v;
+      v.kind = ev_rng.chance(0.5) ? VectorKind::kUdpRandomPorts
+                                  : VectorKind::kUdpIncreasingPorts;
+      v.volume_share = ev_rng.uniform(0.15, 0.45);
+      spec.vectors.push_back(v);
+    }
+  }
+  ddos.emit(spec, handover_members_, sink);
+}
+
 ixp::Platform::TrafficSource Scenario::traffic_source() const {
+  return traffic_source(emission_plan());
+}
+
+ixp::Platform::TrafficSource Scenario::traffic_source(
+    std::vector<EmissionUnit> units) const {
   if (!installed_) {
     throw std::logic_error("Scenario: traffic_source() before install()");
   }
-  return [this](const ixp::Platform::BurstSink& sink) {
-    const int total_days =
-        static_cast<int>(cfg_.period.length() / util::kDay);
-
-    // --- legitimate daily traffic ---
-    LegitGenerator legit(remotes_, util::Rng(cfg_.seed).fork(kTagLegit));
-    for (const HostProfile& host : truth_.hosts) {
-      for (int day = 0; day < total_days; ++day) {
-        legit.emit_day(host, day, sink);
-      }
-    }
-
-    // --- attacks ---
-    for (const EventTruth& ev : truth_.events) {
-      if (!ev.has_attack || ev.attack_packets <= 0) continue;
-      util::Rng ev_rng(util::Rng(cfg_.seed).fork(kTagAttackBase + ev.id));
-      DdosGenerator ddos(*pool_, ev_rng.fork(1));
-
-      AttackSpec spec;
-      spec.victim = ev.prefix.network();  // host events use the host address
-      spec.window = ev.attack_window;
-      spec.total_packets = ev.attack_packets;
-      spec.amplifier_count = static_cast<std::size_t>(std::max<std::int64_t>(
-          ev_rng.uniform_int(
-              static_cast<std::int64_t>(cfg_.amplifiers_per_attack / 2),
-              static_cast<std::int64_t>(cfg_.amplifiers_per_attack * 2)),
-          4));
-
-      if (ev.amp_ports.empty()) {
-        // Non-amplification attack: mostly UDP carpets, occasionally a SYN
-        // flood (TCP stays a sliver of attack traffic, as in Table 3).
-        AttackVector v;
-        v.kind = ev_rng.chance(0.25) ? VectorKind::kSynFlood
-                 : ev_rng.chance(0.5) ? VectorKind::kUdpRandomPorts
-                                      : VectorKind::kUdpIncreasingPorts;
-        v.volume_share = 1.0;
-        spec.vectors.push_back(v);
-      } else {
-        double remaining = 1.0;
-        for (std::size_t i = 0; i < ev.amp_ports.size(); ++i) {
-          AttackVector v;
-          v.kind = VectorKind::kUdpAmplification;
-          v.amp_port = ev.amp_ports[i];
-          const bool last = i + 1 == ev.amp_ports.size();
-          v.volume_share =
-              last ? remaining : remaining * ev_rng.uniform(0.35, 0.75);
-          remaining -= last ? 0.0 : v.volume_share;
-          spec.vectors.push_back(v);
-        }
-        if (ev.has_carpet_vector) {
-          AttackVector v;
-          v.kind = ev_rng.chance(0.5) ? VectorKind::kUdpRandomPorts
-                                      : VectorKind::kUdpIncreasingPorts;
-          v.volume_share = ev_rng.uniform(0.15, 0.45);
-          spec.vectors.push_back(v);
-        }
-      }
-      ddos.emit(spec, handover_members_, sink);
-    }
-
-    // --- scans / background radiation ---
-    ScanGenerator scans(cfg_.scan, util::Rng(cfg_.seed).fork(kTagScan));
-    scans.emit(scan_targets_, handover_members_, cfg_.period, sink);
+  return [this, units = std::move(units)](const ixp::Platform::BurstSink& sink) {
+    // One generator pair per source invocation, reseeded per unit: avoids
+    // copying the remote-endpoint pool for every (host, day).
+    LegitGenerator legit(remotes_, util::Rng(cfg_.seed));
+    ScanGenerator scans(cfg_.scan, util::Rng(cfg_.seed));
+    for (const EmissionUnit& u : units) emit_unit(u, legit, scans, sink);
   };
 }
 

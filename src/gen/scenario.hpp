@@ -20,6 +20,7 @@
 #include "gen/legit.hpp"
 #include "gen/operator_model.hpp"
 #include "gen/scan.hpp"
+#include "gen/shard.hpp"
 #include "ixp/platform.hpp"
 #include "peeringdb/registry.hpp"
 
@@ -172,7 +173,19 @@ class Scenario {
 
   /// Streaming traffic source for Platform::run. Valid only after
   /// install(); regenerates the identical burst stream on every call.
+  /// Equivalent to traffic_source(emission_plan()).
   [[nodiscard]] ixp::Platform::TrafficSource traffic_source() const;
+
+  /// The full traffic schedule as anchor-time-ordered emission units (one
+  /// per active (host, day), per attack event, per scan day). Each unit's
+  /// draws — and the burst ids that key the fabric's sampling — depend only
+  /// on the scenario seed and the unit's identity, so any contiguous
+  /// partition (see gen::plan_shards) emits the identical burst stream.
+  [[nodiscard]] std::vector<EmissionUnit> emission_plan() const;
+
+  /// Traffic source emitting just `units` (a shard of the plan), in order.
+  [[nodiscard]] ixp::Platform::TrafficSource traffic_source(
+      std::vector<EmissionUnit> units) const;
 
   [[nodiscard]] const GroundTruth& truth() const noexcept { return truth_; }
   [[nodiscard]] const pdb::Registry& registry() const noexcept {
@@ -197,6 +210,11 @@ class Scenario {
   void build_events(ixp::Platform& platform);
 
   [[nodiscard]] net::Ipv4 next_host_ip(std::size_t origin_index);
+  void emit_unit(const EmissionUnit& unit, LegitGenerator& legit,
+                 ScanGenerator& scans,
+                 const ixp::Platform::BurstSink& sink) const;
+  void emit_attack(const EventTruth& ev,
+                   const ixp::Platform::BurstSink& sink) const;
   [[nodiscard]] std::uint8_t draw_event_prefix_len(util::Rng& rng) const;
   [[nodiscard]] std::vector<bgp::Community> draw_targeted_communities(
       util::TimeMs at, util::Rng& rng) const;

@@ -1,0 +1,39 @@
+#include "gen/shard.hpp"
+
+#include <algorithm>
+
+namespace bw::gen {
+
+std::vector<ShardRange> plan_shards(std::span<const EmissionUnit> plan,
+                                    std::size_t shard_count) {
+  std::vector<ShardRange> shards;
+  if (plan.empty()) return shards;
+  shard_count = std::clamp<std::size_t>(shard_count, 1, plan.size());
+  shards.reserve(shard_count);
+
+  std::uint64_t total = 0;
+  for (const EmissionUnit& u : plan) total += std::max<std::uint64_t>(u.cost, 1);
+
+  // Greedy sweep: close shard k once its cumulative cost reaches the k-th
+  // equal share of the total, keeping at least one unit per shard and
+  // enough units behind the cursor for the remaining shards.
+  std::uint64_t seen = 0;
+  std::size_t begin = 0;
+  for (std::size_t k = 0; k + 1 < shard_count; ++k) {
+    const std::uint64_t target = total / shard_count * (k + 1);
+    std::size_t end = begin;
+    const std::size_t last_start = plan.size() - (shard_count - 1 - k);
+    while (end < last_start &&
+           (end == begin ||
+            seen + std::max<std::uint64_t>(plan[end].cost, 1) <= target)) {
+      seen += std::max<std::uint64_t>(plan[end].cost, 1);
+      ++end;
+    }
+    shards.push_back({begin, end});
+    begin = end;
+  }
+  shards.push_back({begin, plan.size()});
+  return shards;
+}
+
+}  // namespace bw::gen

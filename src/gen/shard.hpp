@@ -1,0 +1,50 @@
+// Shard planning for parallel corpus generation.
+//
+// The scenario's traffic schedule decomposes into independently-seeded
+// emission units — one per (host, day), per attack event, per scan day —
+// ordered by anchor time. A shard is a contiguous range of that ordered
+// list, so carrying the shards concurrently and stitching their outputs in
+// shard order reproduces the serial burst stream exactly; the planner only
+// chooses where to cut, balancing the per-unit cost estimates so no worker
+// drags the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace bw::gen {
+
+/// One independently-seeded slice of the traffic schedule. Every unit's
+/// RNG substream is derived from scenario seed + (kind, index, day) alone,
+/// never from its position in the plan, so any contiguous partition of the
+/// plan emits the identical burst stream.
+struct EmissionUnit {
+  enum class Kind : std::uint8_t {
+    kLegit,   ///< one host's legitimate traffic for one day (index = host)
+    kAttack,  ///< one DDoS event, whole window (index = event id)
+    kScan,    ///< background radiation towards all targets for one day
+  };
+
+  util::TimeMs anchor{0};  ///< earliest time the unit can emit at
+  Kind kind{Kind::kLegit};
+  std::uint32_t index{0};
+  std::uint32_t day{0};
+  std::uint64_t cost{1};  ///< relative work estimate (for balancing only)
+};
+
+/// A shard: units [begin, end) of the anchor-ordered plan.
+struct ShardRange {
+  std::size_t begin{0};
+  std::size_t end{0};
+};
+
+/// Cut the anchor-ordered plan into at most `shard_count` contiguous,
+/// non-empty ranges of roughly equal total cost. The cuts affect wall-clock
+/// balance only — any partition yields the same merged corpus.
+[[nodiscard]] std::vector<ShardRange> plan_shards(
+    std::span<const EmissionUnit> plan, std::size_t shard_count);
+
+}  // namespace bw::gen

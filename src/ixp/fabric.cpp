@@ -13,7 +13,9 @@ void Fabric::carry(const flow::TrafficBurst& burst) {
   const flow::MemberId* victim = ownership_->match(burst.dst_ip);
   if (victim == nullptr) ++acct_.unroutable_bursts;
 
-  const auto times = sampler_.sample_times(burst);
+  const std::uint64_t key = burst.id != 0 ? burst.id : ++unkeyed_counter_;
+  util::Rng sample_rng = sampler_.stream(key);
+  const auto times = sampler_.sample_times(burst, sample_rng);
   if (times.empty()) return;
 
   const bgp::Asn handover_asn = member_asn_(burst.handover);
@@ -28,6 +30,7 @@ void Fabric::carry(const flow::TrafficBurst& burst) {
       rs_->policy_of(handover_asn)
           .accepts_blackhole(net::Prefix::host(burst.dst_ip));
 
+  util::Rng jitter_rng = collector_->jitter_stream(key);
   for (const util::TimeMs t : times) {
     const bool rs_dropped =
         rs_->blackholed_for_peer(handover_asn, burst.dst_ip, t);
@@ -53,7 +56,7 @@ void Fabric::carry(const flow::TrafficBurst& burst) {
     if (dropped) ++acct_.sampled_dropped;
     if (private_dropped) ++acct_.sampled_dropped_private;
 
-    collector_->ingest(rec);
+    collector_->ingest(rec, jitter_rng);
   }
 }
 

@@ -39,7 +39,10 @@ class Fabric {
         collector_(&collector) {}
 
   /// Carry one burst across the fabric: sample it, decide forwarding per
-  /// sampled packet, and hand records to the collector.
+  /// sampled packet, and hand records to the collector. Sampling and clock
+  /// jitter draw from substreams keyed by `burst.id`, so a keyed burst
+  /// yields the identical records no matter which generation shard carries
+  /// it (unkeyed bursts fall back to an arrival-order counter).
   void carry(const flow::TrafficBurst& burst);
 
   /// Ground-truth byte/packet accounting (for calibration and tests only;
@@ -63,6 +66,7 @@ class Fabric {
   flow::IpfixSampler sampler_;
   flow::Collector* collector_;
   Accounting acct_;
+  std::uint64_t unkeyed_counter_{0};  ///< fallback key for id == 0 bursts
 };
 
 }  // namespace bw::ixp

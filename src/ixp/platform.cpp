@@ -14,7 +14,9 @@ Platform::Platform(PlatformConfig cfg)
 
 flow::MemberId Platform::add_member(bgp::Asn asn, bgp::PeerPolicy policy,
                                     std::vector<net::Prefix> owned) {
-  if (ran_) throw std::logic_error("Platform: cannot add members after run()");
+  if (prepared_) {
+    throw std::logic_error("Platform: cannot add members after run()");
+  }
   if (asn_to_member_.contains(asn)) {
     throw std::invalid_argument("Platform: duplicate member ASN");
   }
@@ -85,16 +87,33 @@ std::optional<flow::MemberId> Platform::handover_of(bgp::Asn origin) const {
 }
 
 RunResult Platform::run(bgp::UpdateLog control, const TrafficSource& traffic) {
-  if (ran_) throw std::logic_error("Platform: run() already called");
-  ran_ = true;
+  prepare(std::move(control));
+  std::vector<SliceResult> slices;
+  slices.push_back(run_slice(traffic));
+  return finish(std::move(slices));
+}
 
-  util::Rng rng(cfg_.seed);
+void Platform::prepare(bgp::UpdateLog control) {
+  if (prepared_) throw std::logic_error("Platform: run() already called");
+  prepared_ = true;
 
-  // --- Control plane: replay every update through the route server. ---
+  // Control plane: replay every update through the route server. Once
+  // finalized, every query run_slice() issues (blackhole intervals, peer
+  // policies, ownership/origin tries, MAC table) is const and cache-free —
+  // the invariant that makes concurrent slices race-free.
   rs_.process_all(std::move(control));
   rs_.finalize(cfg_.period.end);
+}
 
-  // --- Data plane: carry traffic across the fabric into the collector. ---
+Platform::SliceResult Platform::run_slice(const TrafficSource& traffic) const {
+  if (!prepared_) {
+    throw std::logic_error("Platform: run_slice() before prepare()");
+  }
+
+  // Identical seeds for every slice: the per-burst substreams are keyed by
+  // burst id (see Fabric::carry), not by draw order, so slice membership
+  // cannot change what a burst samples.
+  util::Rng rng(cfg_.seed);
   flow::Collector collector(macs_, cfg_.clock, rng.fork(1));
   flow::IpfixSampler sampler(cfg_.sampling_rate, rng.fork(2));
   Fabric fabric(
@@ -104,34 +123,45 @@ RunResult Platform::run(bgp::UpdateLog control, const TrafficSource& traffic) {
 
   traffic([&fabric](const flow::TrafficBurst& b) { fabric.carry(b); });
 
-  // Inject IXP-internal monitoring flows that preprocessing must strip
-  // (Section 3.1 removes 0.01% internal records before analysis).
-  if (cfg_.internal_flow_fraction > 0.0 && !members_.empty()) {
-    const auto n = static_cast<std::uint64_t>(
-        static_cast<double>(collector.flows().size()) *
-        cfg_.internal_flow_fraction);
-    util::Rng irng = rng.fork(3);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      flow::FlowRecord rec;
-      rec.time = cfg_.period.begin +
-                 irng.uniform_int(0, cfg_.period.length() - 1);
-      rec.src_mac = internal_mac_;
-      rec.dst_mac = members_[irng.index(members_.size())].port_mac;
-      rec.src_ip = net::Ipv4(10, 0, 0, 1);
-      rec.dst_ip = net::Ipv4(10, 0, 0, 2);
-      rec.proto = net::Proto::kTcp;
-      rec.bytes = 64;
-      collector.ingest(rec);
-    }
-  }
-
   collector.finalize();
 
+  SliceResult slice;
+  slice.accounting = fabric.accounting();
+  slice.internal_flows_removed = collector.internal_flows_removed();
+  slice.flows = collector.take_flows();
+  return slice;
+}
+
+RunResult Platform::finish(std::vector<SliceResult> slices) {
+  if (!prepared_) throw std::logic_error("Platform: finish() before prepare()");
+  if (finished_) throw std::logic_error("Platform: finish() already called");
+  finished_ = true;
+
   RunResult result;
+  std::vector<flow::FlowLog> parts;
+  parts.reserve(slices.size());
+  for (SliceResult& s : slices) {
+    parts.push_back(std::move(s.flows));
+    result.internal_flows_removed += s.internal_flows_removed;
+    result.accounting.bursts += s.accounting.bursts;
+    result.accounting.true_packets += s.accounting.true_packets;
+    result.accounting.sampled_packets += s.accounting.sampled_packets;
+    result.accounting.sampled_dropped += s.accounting.sampled_dropped;
+    result.accounting.sampled_dropped_private +=
+        s.accounting.sampled_dropped_private;
+    result.accounting.unroutable_bursts += s.accounting.unroutable_bursts;
+  }
+  result.data = flow::merge_sorted_flows(std::move(parts));
+
+  // IXP-internal monitoring records (Section 3.1's 0.01%) never survive
+  // preprocessing — the collector filters and counts them — so the merged
+  // corpus only needs the bookkeeping, sized from the final record count.
+  if (cfg_.internal_flow_fraction > 0.0 && !members_.empty()) {
+    result.internal_flows_removed += static_cast<std::uint64_t>(
+        static_cast<double>(result.data.size()) * cfg_.internal_flow_fraction);
+  }
+
   result.control = rs_.log();
-  result.internal_flows_removed = collector.internal_flows_removed();
-  result.accounting = fabric.accounting();
-  result.data = collector.take_flows();
   return result;
 }
 

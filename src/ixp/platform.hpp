@@ -92,7 +92,34 @@ class Platform {
 
   /// Replay: process all control-plane updates, then carry the generated
   /// traffic across the fabric. Can be called once per Platform instance.
+  /// Equivalent to prepare() + one run_slice() + finish().
   RunResult run(bgp::UpdateLog control, const TrafficSource& traffic);
+
+  /// What one traffic slice produced: its time-sorted flow log plus the
+  /// slice's share of the ground-truth accounting.
+  struct SliceResult {
+    flow::FlowLog flows;
+    Fabric::Accounting accounting;
+    std::uint64_t internal_flows_removed{0};
+  };
+
+  /// Phase 1 of a (possibly sharded) replay: process the whole control
+  /// plane and freeze the platform. Afterwards every forwarding-relevant
+  /// query is immutable, so any number of run_slice() calls may execute
+  /// concurrently.
+  void prepare(bgp::UpdateLog control);
+
+  /// Phase 2: carry one slice of the traffic schedule across the fabric.
+  /// Uses slice-local sampler/collector/fabric state seeded identically for
+  /// every slice; per-burst draws are keyed by TrafficBurst::id, so the
+  /// records a burst produces do not depend on which slice carries it.
+  [[nodiscard]] SliceResult run_slice(const TrafficSource& traffic) const;
+
+  /// Phase 3: stitch slice outputs (in slice order) into the corpus with a
+  /// stable ordered merge, sum the accounting, and add the IXP-internal
+  /// flow bookkeeping. Byte-identical for any partition of the same burst
+  /// stream into slices.
+  [[nodiscard]] RunResult finish(std::vector<SliceResult> slices);
 
  private:
   PlatformConfig cfg_;
@@ -105,7 +132,8 @@ class Platform {
   net::PrefixTrie<bgp::Asn> origin_table_;
   std::unordered_map<bgp::Asn, flow::MemberId> origin_handover_;
   net::Mac internal_mac_;
-  bool ran_{false};
+  bool prepared_{false};
+  bool finished_{false};
 };
 
 }  // namespace bw::ixp

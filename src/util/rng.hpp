@@ -20,7 +20,20 @@ class Rng {
   /// Derive an independent child stream. Identical (seed, tag) pairs always
   /// yield the identical stream.
   [[nodiscard]] Rng fork(std::uint64_t tag) const {
-    return Rng(mix(seed_, tag));
+    return Rng(derive_seed(seed_, tag));
+  }
+
+  /// The seed a fork(tag) child would use. Exposed so content-keyed
+  /// substreams (e.g. per-burst sampling in sharded generation) can chain
+  /// derivations without constructing intermediate engines.
+  [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t seed,
+                                                 std::uint64_t tag) noexcept {
+    // splitmix64 finalizer over (seed ^ rotated tag)
+    std::uint64_t z =
+        seed ^ (tag + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
   }
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
@@ -89,14 +102,6 @@ class Rng {
   std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
-  static std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
-    // splitmix64 finalizer over (a ^ rotated b)
-    std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
-
   std::mt19937_64 engine_;
   std::uint64_t seed_;
 };

@@ -88,6 +88,9 @@ TEST(PrivateBlackholeTest, StockPeersNeverSeePrivateDrops) {
   cfg.private_only_fraction = 0.0;
   cfg.event_len32 = 1.0;  // only host routes, which nobody accepts
   cfg.event_len24 = cfg.event_len25_31 = cfg.event_len22_23 = 0.0;
+  // Squatting-protection RTBHs are <= /24 — stock classful-only peers
+  // accept those by design, so remove them from this no-drop world.
+  cfg.squatting_prefixes = 0;
   const core::ScenarioRun run = core::run_scenario(cfg, std::string{});
   const auto s = run.dataset.summary();
   EXPECT_EQ(s.dropped_packets, 0u)
