@@ -8,7 +8,8 @@ CollateralReport compute_collateral(const Dataset& dataset,
                                     const std::vector<RtbhEvent>& events,
                                     const PortStatsReport& stats,
                                     std::uint32_t sampling_rate,
-                                    util::ThreadPool* pool_opt) {
+                                    util::ThreadPool* pool_opt,
+                                    const util::Deadline* deadline) {
   util::ThreadPool& pool = util::pool_or_global(pool_opt);
   CollateralReport report;
 
@@ -51,7 +52,7 @@ CollateralReport compute_collateral(const Dataset& dataset,
       rows.push_back(ce);
     }
     return rows;
-  });
+  }, 0, deadline);
 
   for (const auto& rows : per_event) {
     for (const CollateralEvent& ce : rows) {

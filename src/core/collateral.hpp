@@ -32,9 +32,11 @@ struct CollateralReport {
 /// Events fan out over `pool` (null: the global pool); per-event results
 /// are concatenated in event order, so the report is identical at any
 /// thread count.
+/// A non-null `deadline` is polled per chunk (cooperative supervision).
 [[nodiscard]] CollateralReport compute_collateral(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
     const PortStatsReport& stats, std::uint32_t sampling_rate = 10000,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    const util::Deadline* deadline = nullptr);
 
 }  // namespace bw::core

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
+#include "util/container.hpp"
 #include "util/parallel.hpp"
 
 namespace bw::core {
@@ -256,17 +258,24 @@ Dataset::Summary Dataset::summary(util::ThreadPool* pool_opt) const {
 }
 
 // ---------------------------------------------------------------------------
-// Binary persistence
+// Binary persistence — checksummed sectioned container (see util/container)
 // ---------------------------------------------------------------------------
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x6277647330303031ULL;  // "bwds0001"
+// Section ids of the v2 .bwds container. Each section carries its own
+// length and CRC32C frame, so corruption is reported per section instead of
+// surfacing as a garbage decode somewhere downstream.
+constexpr std::uint32_t kSecPeriod = util::container::section_id('P', 'E', 'R', 'I');
+constexpr std::uint32_t kSecControl = util::container::section_id('C', 'T', 'R', 'L');
+constexpr std::uint32_t kSecFlows = util::container::section_id('F', 'L', 'O', 'W');
+constexpr std::uint32_t kSecMacs = util::container::section_id('M', 'A', 'C', 'S');
+constexpr std::uint32_t kSecOrigins = util::container::section_id('O', 'R', 'I', 'G');
 
 template <typename T>
-void put(std::ofstream& os, const T& v) {
+void put(util::container::Writer& w, const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  w.write(&v, sizeof(v));
 }
 
 template <typename T>
@@ -277,7 +286,7 @@ T get(std::ifstream& is) {
   return v;
 }
 
-void put_u64(std::ofstream& os, std::uint64_t v) { put(os, v); }
+void put_u64(util::container::Writer& w, std::uint64_t v) { put(w, v); }
 std::uint64_t get_u64(std::ifstream& is) { return get<std::uint64_t>(is); }
 
 // On-disk mirrors of the fixed-size table entries, packed to the exact byte
@@ -314,7 +323,7 @@ static_assert(sizeof(DiskOriginEntry) == 5 + sizeof(bgp::Asn));
 /// Convert-and-write in bounded chunks: bulk IO without doubling the
 /// resident corpus.
 template <typename T, typename It, typename Fn>
-void put_span(std::ofstream& os, It first, It last, Fn to_disk) {
+void put_span(util::container::Writer& w, It first, It last, Fn to_disk) {
   constexpr std::size_t kChunk = 1 << 16;
   std::vector<T> buffer;
   buffer.reserve(std::min<std::size_t>(
@@ -324,8 +333,7 @@ void put_span(std::ofstream& os, It first, It last, Fn to_disk) {
     for (; first != last && buffer.size() < kChunk; ++first) {
       buffer.push_back(to_disk(*first));
     }
-    os.write(reinterpret_cast<const char*>(buffer.data()),
-             static_cast<std::streamsize>(buffer.size() * sizeof(T)));
+    w.write(buffer.data(), buffer.size() * sizeof(T));
   }
 }
 
@@ -346,63 +354,75 @@ void get_span(std::ifstream& is, std::uint64_t count, Fn from_disk) {
 }  // namespace
 
 util::Status Dataset::try_save(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return util::not_found("Dataset::try_save: cannot open " + path);
-  put_u64(os, kMagic);
-  put(os, period_.begin);
-  put(os, period_.end);
+  // Atomic commit: the container streams into `<path>.tmp`, which is
+  // fsync'd and renamed over `path` only once complete — a crash mid-save
+  // leaves the previous file (or nothing), never a torn one.
+  return util::atomic_write_file(path, [&](std::ostream& os) -> util::Status {
+    util::container::Writer w(os);
 
-  put_u64(os, control_.size());
-  for (const auto& u : control_) {
-    put(os, u.time);
-    put(os, static_cast<std::uint8_t>(u.type));
-    put(os, u.sender_asn);
-    put(os, u.origin_asn);
-    put(os, u.prefix.network().value());
-    put(os, u.prefix.length());
-    put(os, u.next_hop.value());
-    put_u64(os, u.communities.size());
-    for (const auto& c : u.communities) {
-      put(os, c.global);
-      put(os, c.local);
+    w.begin_section(kSecPeriod);
+    put(w, period_.begin);
+    put(w, period_.end);
+    w.end_section();
+
+    w.begin_section(kSecControl);
+    put_u64(w, control_.size());
+    for (const auto& u : control_) {
+      put(w, u.time);
+      put(w, static_cast<std::uint8_t>(u.type));
+      put(w, u.sender_asn);
+      put(w, u.origin_asn);
+      put(w, u.prefix.network().value());
+      put(w, u.prefix.length());
+      put(w, u.next_hop.value());
+      put_u64(w, u.communities.size());
+      for (const auto& c : u.communities) {
+        put(w, c.global);
+        put(w, c.local);
+      }
     }
-  }
+    w.end_section();
 
-  put_u64(os, data_.size());
-  put_span<DiskFlowRecord>(os, data_.begin(), data_.end(),
-                           [](const flow::FlowRecord& r) {
-                             return DiskFlowRecord{
-                                 r.time,
-                                 r.src_ip.value(),
-                                 r.dst_ip.value(),
-                                 static_cast<std::uint8_t>(r.proto),
-                                 r.src_port,
-                                 r.dst_port,
-                                 r.src_mac.value(),
-                                 r.dst_mac.value(),
-                                 r.packets,
-                                 r.bytes,
-                             };
+    w.begin_section(kSecFlows);
+    put_u64(w, data_.size());
+    put_span<DiskFlowRecord>(w, data_.begin(), data_.end(),
+                             [](const flow::FlowRecord& r) {
+                               return DiskFlowRecord{
+                                   r.time,
+                                   r.src_ip.value(),
+                                   r.dst_ip.value(),
+                                   static_cast<std::uint8_t>(r.proto),
+                                   r.src_port,
+                                   r.dst_port,
+                                   r.src_mac.value(),
+                                   r.dst_mac.value(),
+                                   r.packets,
+                                   r.bytes,
+                               };
+                             });
+    w.end_section();
+
+    w.begin_section(kSecMacs);
+    put_u64(w, mac_to_asn_.size());
+    put_span<DiskMacEntry>(w, mac_to_asn_.begin(), mac_to_asn_.end(),
+                           [](const auto& entry) {
+                             return DiskMacEntry{entry.first.value(),
+                                                 entry.second};
                            });
+    w.end_section();
 
-  put_u64(os, mac_to_asn_.size());
-  put_span<DiskMacEntry>(os, mac_to_asn_.begin(), mac_to_asn_.end(),
-                         [](const auto& entry) {
-                           return DiskMacEntry{entry.first.value(),
-                                               entry.second};
-                         });
+    w.begin_section(kSecOrigins);
+    put_u64(w, origin_prefixes_.size());
+    put_span<DiskOriginEntry>(w, origin_prefixes_.begin(),
+                              origin_prefixes_.end(), [](const auto& entry) {
+                                return DiskOriginEntry{
+                                    entry.first.network().value(),
+                                    entry.first.length(), entry.second};
+                              });
+    w.end_section();
 
-  put_u64(os, origin_prefixes_.size());
-  put_span<DiskOriginEntry>(os, origin_prefixes_.begin(),
-                            origin_prefixes_.end(), [](const auto& entry) {
-                              return DiskOriginEntry{
-                                  entry.first.network().value(),
-                                  entry.first.length(), entry.second};
-                            });
-  if (!os) {
-    return util::data_loss("Dataset::try_save: write failed: " + path);
-  }
-  return util::ok_status();
+    return w.finish().with_context("Dataset::try_save: " + path);
+  });
 }
 
 void Dataset::save(const std::string& path) const {
@@ -410,31 +430,72 @@ void Dataset::save(const std::string& path) const {
   if (!st.ok()) throw std::runtime_error(st.to_string());
 }
 
+namespace {
+
+/// Locate `id` in the TOC, verify its payload CRC, and leave `is` at the
+/// payload start. Returns the section (for exact-length validation).
+util::Result<util::container::Section> open_section(
+    std::ifstream& is, const util::container::Toc& toc, std::uint32_t id) {
+  const util::container::Section* sec = toc.find(id);
+  if (sec == nullptr) {
+    return util::data_loss("missing section " +
+                           util::container::section_name(id));
+  }
+  util::Status st = util::container::verify_section(is, *sec);
+  if (!st.ok()) return st;
+  return *sec;
+}
+
+/// A section holding a u64 element count followed by `count * elem_size`
+/// fixed-width records must have exactly that many bytes.
+util::Status check_exact_length(const util::container::Section& sec,
+                                std::uint64_t count, std::size_t elem_size) {
+  if (sec.length != 8 + count * elem_size) {
+    return util::data_loss("section " + util::container::section_name(sec.id) +
+                           ": length does not match element count");
+  }
+  return util::ok_status();
+}
+
+}  // namespace
+
 util::Result<Dataset> Dataset::try_load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return util::not_found("Dataset::try_load: cannot open " + path);
-  // Bound every element count by the file size: a corrupt header must not
-  // translate into a multi-terabyte allocation.
   is.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(is.tellg());
-  is.seekg(0, std::ios::beg);
-  auto checked_count = [&](const char* what) -> util::Result<std::uint64_t> {
-    const std::uint64_t n = get_u64(is);
-    if (!is || n > file_size) {
-      return util::data_loss(std::string("Dataset::try_load: implausible ") +
-                             what + " count in " + path);
-    }
-    return n;
+
+  auto ctx = [&](util::Status st) {
+    return std::move(st).with_context("Dataset::try_load: " + path);
   };
-  if (get_u64(is) != kMagic) {
-    return util::data_loss("Dataset::try_load: bad magic in " + path);
+
+  auto toc_result = util::container::read_toc(is, file_size);
+  if (!toc_result.ok()) return ctx(toc_result.status());
+  const util::container::Toc& toc = *toc_result;
+
+  // --- PERI: the analysis period, two TimeMs -------------------------------
+  auto peri = open_section(is, toc, kSecPeriod);
+  if (!peri.ok()) return ctx(peri.status());
+  if (peri->length != 2 * sizeof(util::TimeMs)) {
+    return ctx(util::data_loss("section PERI: unexpected length"));
   }
   util::TimeRange period;
   period.begin = get<util::TimeMs>(is);
   period.end = get<util::TimeMs>(is);
 
+  // --- CTRL: variable-width updates; counts bounded by section length -----
+  auto ctrl = open_section(is, toc, kSecControl);
+  if (!ctrl.ok()) return ctx(ctrl.status());
+  auto checked_count = [&](const char* what) -> util::Result<std::uint64_t> {
+    const std::uint64_t n = get_u64(is);
+    if (!is || n > ctrl->length) {
+      return util::data_loss(std::string("section CTRL: implausible ") + what +
+                             " count");
+    }
+    return n;
+  };
   const auto n_control = checked_count("control update");
-  if (!n_control.ok()) return n_control.status();
+  if (!n_control.ok()) return ctx(n_control.status());
   bgp::UpdateLog control(*n_control);
   for (auto& u : control) {
     u.time = get<util::TimeMs>(is);
@@ -446,19 +507,27 @@ util::Result<Dataset> Dataset::try_load(const std::string& path) {
     u.prefix = net::Prefix(net::Ipv4(net_v), len);
     u.next_hop = net::Ipv4(get<std::uint32_t>(is));
     const auto n_comms = checked_count("community");
-    if (!n_comms.ok()) return n_comms.status();
+    if (!n_comms.ok()) return ctx(n_comms.status());
     u.communities.resize(*n_comms);
     for (auto& c : u.communities) {
       c.global = get<std::uint16_t>(is);
       c.local = get<std::uint16_t>(is);
     }
   }
+  if (!is) return ctx(util::data_loss("section CTRL: truncated decode"));
 
-  const auto n_flows = checked_count("flow record");
-  if (!n_flows.ok()) return n_flows.status();
+  // --- FLOW / MACS / ORIG: fixed-width tables with exact-length checks ----
+  auto flow_sec = open_section(is, toc, kSecFlows);
+  if (!flow_sec.ok()) return ctx(flow_sec.status());
+  const std::uint64_t n_flows = get_u64(is);
+  if (util::Status st = check_exact_length(*flow_sec, n_flows,
+                                           sizeof(DiskFlowRecord));
+      !st.ok()) {
+    return ctx(std::move(st));
+  }
   flow::FlowLog data;
-  data.reserve(*n_flows);
-  get_span<DiskFlowRecord>(is, *n_flows, [&](const DiskFlowRecord& d) {
+  data.reserve(n_flows);
+  get_span<DiskFlowRecord>(is, n_flows, [&](const DiskFlowRecord& d) {
     flow::FlowRecord r;
     r.time = d.time;
     r.src_ip = net::Ipv4(d.src_ip);
@@ -473,24 +542,34 @@ util::Result<Dataset> Dataset::try_load(const std::string& path) {
     data.push_back(r);
   });
 
+  auto mac_sec = open_section(is, toc, kSecMacs);
+  if (!mac_sec.ok()) return ctx(mac_sec.status());
+  const std::uint64_t n_macs = get_u64(is);
+  if (util::Status st = check_exact_length(*mac_sec, n_macs,
+                                           sizeof(DiskMacEntry));
+      !st.ok()) {
+    return ctx(std::move(st));
+  }
   std::unordered_map<net::Mac, bgp::Asn> macs;
-  const auto n_macs = checked_count("mac table");
-  if (!n_macs.ok()) return n_macs.status();
-  macs.reserve(*n_macs);
-  get_span<DiskMacEntry>(is, *n_macs, [&](const DiskMacEntry& d) {
+  macs.reserve(n_macs);
+  get_span<DiskMacEntry>(is, n_macs, [&](const DiskMacEntry& d) {
     macs[net::Mac(d.mac)] = d.asn;
   });
 
-  const auto n_origins = checked_count("origin prefix");
-  if (!n_origins.ok()) return n_origins.status();
+  auto orig_sec = open_section(is, toc, kSecOrigins);
+  if (!orig_sec.ok()) return ctx(orig_sec.status());
+  const std::uint64_t n_origins = get_u64(is);
+  if (util::Status st = check_exact_length(*orig_sec, n_origins,
+                                           sizeof(DiskOriginEntry));
+      !st.ok()) {
+    return ctx(std::move(st));
+  }
   std::vector<std::pair<net::Prefix, bgp::Asn>> origins;
-  origins.reserve(*n_origins);
-  get_span<DiskOriginEntry>(is, *n_origins, [&](const DiskOriginEntry& d) {
+  origins.reserve(n_origins);
+  get_span<DiskOriginEntry>(is, n_origins, [&](const DiskOriginEntry& d) {
     origins.emplace_back(net::Prefix(net::Ipv4(d.network), d.length), d.asn);
   });
-  if (!is) {
-    return util::data_loss("Dataset::try_load: truncated file " + path);
-  }
+  if (!is) return ctx(util::data_loss("truncated file"));
 
   return Dataset(std::move(control), std::move(data), std::move(macs),
                  std::move(origins), period);

@@ -33,7 +33,8 @@ struct EventDelta {
 DropRateReport compute_drop_rates(const Dataset& dataset,
                                   const std::vector<RtbhEvent>& events,
                                   const DropRateConfig& config,
-                                  util::ThreadPool* pool_opt) {
+                                  util::ThreadPool* pool_opt,
+                                  const util::Deadline* deadline) {
   util::ThreadPool& pool = util::pool_or_global(pool_opt);
   DropRateReport report;
 
@@ -70,7 +71,7 @@ DropRateReport compute_drop_rates(const Dataset& dataset,
     d.sources.reserve(sources.size());
     for (const auto& [asn, src] : sources) d.sources.push_back(src);
     return d;
-  });
+  }, 0, deadline);
 
   // Merge in event order; integer sums make the totals exact and the
   // ordering rules below make the whole report thread-count independent.

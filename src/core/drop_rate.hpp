@@ -78,9 +78,11 @@ struct DropRateConfig {
 /// Events fan out over `pool` (null: the global pool); per-event deltas
 /// are merged in event order and the source list is sorted with a full
 /// tie-break, so the report is identical at any thread count.
+/// A non-null `deadline` is polled per chunk (cooperative supervision).
 [[nodiscard]] DropRateReport compute_drop_rates(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const DropRateConfig& config = {}, util::ThreadPool* pool = nullptr);
+    const DropRateConfig& config = {}, util::ThreadPool* pool = nullptr,
+    const util::Deadline* deadline = nullptr);
 
 /// Fig. 7 summary: of the top `top_n` sources, how many drop > 99%, how
 /// many forward > 99%, and how many do both (inconsistent).

@@ -27,8 +27,46 @@ RtbhMonitor::PrefixState& RtbhMonitor::state_for(const net::Prefix& prefix) {
     it->second.detectors.assign(kFeatureCount,
                                 util::EwmaDetector(cfg_.ewma));
     if (prefix.length() < 32) wide_prefixes_.push_back(prefix);
+    lru_.push_front(prefix);
+    it->second.lru_it = lru_.begin();
+    evict_over_cap();
+  } else {
+    touch(it->second);
   }
   return it->second;
+}
+
+void RtbhMonitor::touch(PrefixState& st) {
+  lru_.splice(lru_.begin(), lru_, st.lru_it);
+}
+
+void RtbhMonitor::evict_over_cap() {
+  if (cfg_.max_destinations == 0) return;
+  // Keep at least the entry just touched (the LRU front) alive, so the
+  // caller's reference stays valid even with a cap of 1.
+  while (prefixes_.size() > cfg_.max_destinations && lru_.size() > 1) {
+    const net::Prefix victim = lru_.back();
+    auto it = prefixes_.find(victim);
+    PrefixState& st = it->second;
+    if (st.in_event) {
+      // State is shed loudly: the evicted event gets its final alert so
+      // downstream consumers never see an event silently vanish.
+      st.in_event = false;
+      std::ostringstream os;
+      os << victim.to_string() << " evicted with its event still open (LRU"
+         << " cap " << cfg_.max_destinations << " destinations)";
+      emit(AlertKind::kEventEnded, std::max(now_, st.event_start), victim, st,
+           0.0, os.str());
+      active_.erase(victim);
+    }
+    if (victim.length() < 32) {
+      wide_prefixes_.erase(
+          std::remove(wide_prefixes_.begin(), wide_prefixes_.end(), victim),
+          wide_prefixes_.end());
+    }
+    lru_.pop_back();
+    prefixes_.erase(it);
+  }
 }
 
 void RtbhMonitor::emit(AlertKind kind, util::TimeMs t,
@@ -167,10 +205,12 @@ void RtbhMonitor::on_flow(const flow::FlowRecord& record) {
   const net::Prefix host = net::Prefix::host(record.dst_ip);
   if (auto it = prefixes_.find(host); it != prefixes_.end()) {
     st = &it->second;
+    touch(*st);
   } else {
     for (const auto& prefix : wide_prefixes_) {
       if (prefix.contains(record.dst_ip)) {
         st = &prefixes_.at(prefix);
+        touch(*st);
         break;
       }
     }

@@ -16,13 +16,16 @@
 //                       probably forgotten (Section 7.3)
 //
 // Per-destination history lives in fixed-size detector windows; the state
-// map grows with the number of *observed destinations* — long-running
-// deployments should bound it with an LRU, which is orthogonal to the
-// logic here.
+// map grows with the number of *observed destinations*, so long-running
+// deployments bound it with MonitorConfig::max_destinations: least-recently
+// touched destinations are evicted first, and an eviction that drops an
+// open event emits a final kEventEnded alert — state is shed loudly, never
+// silently.
 #pragma once
 
 #include <limits>
 #include <functional>
+#include <list>
 #include <unordered_set>
 #include <optional>
 #include <string>
@@ -68,6 +71,10 @@ struct MonitorConfig {
   /// `zombie_max_packets` sampled packets.
   util::DurationMs zombie_after{2 * util::kDay};
   std::uint64_t zombie_max_packets{10};
+  /// Bound on tracked destinations; 0 means unbounded. Past the cap the
+  /// least-recently-touched destination is evicted; if its event is still
+  /// open a final kEventEnded alert is emitted first.
+  std::size_t max_destinations{0};
 };
 
 class RtbhMonitor {
@@ -123,6 +130,8 @@ class RtbhMonitor {
     double slot_non_tcp{0};
     int last_anomaly_level{0};
     util::TimeMs last_anomaly_at{std::numeric_limits<util::TimeMs>::min()};
+    /// Position in lru_ (most-recently-touched first).
+    std::list<net::Prefix>::iterator lru_it;
   };
 
   void emit(AlertKind kind, util::TimeMs t, const net::Prefix& prefix,
@@ -131,10 +140,14 @@ class RtbhMonitor {
   void maybe_close_event(const net::Prefix& prefix, PrefixState& st,
                          util::TimeMs now);
   PrefixState& state_for(const net::Prefix& prefix);
+  void touch(PrefixState& st);
+  void evict_over_cap();
 
   MonitorConfig cfg_;
   AlertSink sink_;
   std::unordered_map<net::Prefix, PrefixState> prefixes_;
+  /// Recency order over prefixes_ keys; front = most recently touched.
+  std::list<net::Prefix> lru_;
   /// Tracked non-/32 prefixes (rare), so flow attribution stays O(1)+small.
   std::vector<net::Prefix> wide_prefixes_;
   /// Prefixes with an open event — the only ones advance() must sweep.

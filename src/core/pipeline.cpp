@@ -1,14 +1,18 @@
 #include "core/pipeline.hpp"
 
 #include <array>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
 #include <iterator>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
+#include <thread>
 
 #include "gen/shard.hpp"
+#include "util/atomic_file.hpp"
 #include "util/parallel.hpp"
 
 namespace bw::core {
@@ -36,17 +40,41 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   // section stays default-constructed; every other stage still runs. Each
   // guard writes only its own pre-allocated slot, so the guards are safe to
   // run from concurrent stage-graph tasks.
+  // Supervision: each stage gets a fresh deadline at entry (stages run
+  // concurrently, so a shared deadline would charge one stage for another's
+  // runtime). The heavy kernels poll it per parallel_for chunk; expiry
+  // surfaces as DeadlineExceeded and lands in the timed_out branch below.
   std::array<StageStatus, kStageCount> stages;
   for (std::size_t i = 0; i < kStageCount; ++i) stages[i].name = kStageNames[i];
   auto guarded = [&](std::size_t slot, auto&& body) {
     StageStatus& status = stages[slot];
+    const util::Deadline deadline = config.stage_timeout > 0
+                                        ? util::Deadline::after(config.stage_timeout)
+                                        : util::Deadline::never();
     try {
       for (const auto& fault : config.inject_stage_faults) {
         if (fault == status.name) {
           throw std::runtime_error("injected stage fault");
         }
       }
-      body();
+      for (const auto& hang : config.inject_stage_hangs) {
+        if (hang != status.name) continue;
+        if (deadline.never_expires()) {
+          throw std::runtime_error("injected hang without a stage timeout");
+        }
+        // A wedged stage: burn wall-clock until the watchdog fires. The
+        // poll-sleep loop models any stage whose checkpoints keep firing
+        // but whose work never finishes.
+        while (true) {
+          deadline.check(status.name);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+      body(deadline);
+    } catch (const util::DeadlineExceeded& e) {
+      status.degraded = true;
+      status.timed_out = true;
+      status.error = e.what();
     } catch (const std::exception& e) {
       status.degraded = true;
       status.error = e.what();
@@ -58,15 +86,18 @@ AnalysisReport run_pipeline(const Dataset& dataset,
 
   // Serial prologue: event merging is cheap and everything depends on it;
   // the pre-RTBH scan (the heaviest kernel) fans events out internally.
-  auto summary_done = pool.submit(
-      [&] { guarded(0, [&] { report.summary = dataset.summary(&pool); }); });
-  guarded(1, [&] {
+  auto summary_done = pool.submit([&] {
+    guarded(0, [&](const util::Deadline&) {
+      report.summary = dataset.summary(&pool);
+    });
+  });
+  guarded(1, [&](const util::Deadline&) {
     report.events = merge_events(dataset.blackhole_updates(),
                                  dataset.period().end, config.merge_delta);
   });
   const std::vector<RtbhEvent>& events = report.events;
-  guarded(2, [&] {
-    report.pre = compute_pre_rtbh(dataset, events, config.pre, &pool);
+  guarded(2, [&](const util::Deadline& dl) {
+    report.pre = compute_pre_rtbh(dataset, events, config.pre, &pool, &dl);
   });
 
   // Stage graph: with events and the pre-RTBH report fixed, the remaining
@@ -77,35 +108,37 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   // wall-clock time only, never bytes. In serial mode (BW_THREADS=1)
   // submit() runs inline, reproducing the sequential stage order exactly.
   auto drop_done = pool.submit([&] {
-    guarded(3, [&] {
-      report.drop = compute_drop_rates(dataset, events, config.drop, &pool);
+    guarded(3, [&](const util::Deadline& dl) {
+      report.drop =
+          compute_drop_rates(dataset, events, config.drop, &pool, &dl);
     });
   });
   auto protocols_done = pool.submit([&] {
-    guarded(4, [&] {
+    guarded(4, [&](const util::Deadline&) {
       report.protocols =
           compute_protocol_mix(dataset, events, report.pre, config.protocols);
     });
   });
   auto filtering_done = pool.submit([&] {
-    guarded(5, [&] {
+    guarded(5, [&](const util::Deadline&) {
       report.filtering = compute_filtering(dataset, events, report.pre);
     });
   });
   auto participation_done = pool.submit([&] {
-    guarded(6, [&] {
+    guarded(6, [&](const util::Deadline&) {
       report.participation = compute_participation(dataset, events, report.pre);
     });
   });
   auto victims_done = pool.submit([&] {
-    guarded(7, [&] {
-      report.ports = compute_port_stats(dataset, events, config.ports, &pool);
+    guarded(7, [&](const util::Deadline& dl) {
+      report.ports =
+          compute_port_stats(dataset, events, config.ports, &pool, &dl);
       report.radviz = radviz_projection(report.ports, config.ports.min_days);
       report.collateral = compute_collateral(dataset, events, report.ports,
-                                             config.sampling_rate, &pool);
+                                             config.sampling_rate, &pool, &dl);
     });
   });
-  guarded(8, [&] {
+  guarded(8, [&](const util::Deadline&) {
     report.classes =
         classify_events(dataset, events, report.pre, config.classify);
   });
@@ -125,7 +158,8 @@ namespace {
 
 std::string config_fingerprint(const gen::ScenarioConfig& cfg) {
   std::ostringstream os;
-  os << "v6|" << cfg.sampling_rate << '|' << cfg.scale << '|' << cfg.seed
+  // v7: the cache file moved to the checksummed v2 container framing.
+  os << "v7|" << cfg.sampling_rate << '|' << cfg.scale << '|' << cfg.seed
      << '|' << cfg.period.begin << '|'
      << cfg.period.end << '|' << cfg.members << '|' << cfg.blackholer_members
      << '|' << cfg.victim_origin_as << '|' << cfg.amplifier_origins << '|'
@@ -149,7 +183,8 @@ std::size_t generation_shards(std::size_t concurrency) {
 
 ScenarioRun run_scenario(const gen::ScenarioConfig& config,
                          std::optional<std::string> cache_dir,
-                         util::ThreadPool* pool) {
+                         util::ThreadPool* pool,
+                         const util::Deadline* deadline) {
   gen::Scenario scenario(config);
   ixp::Platform platform(gen::Scenario::platform_config(config));
   scenario.install(platform);
@@ -164,14 +199,33 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
     cache_path = *cache_dir + "/" + config_fingerprint(config);
   }
 
+  std::vector<CacheIncident> incidents;
   auto finish = [&](Dataset dataset) {
     ScenarioRun run{std::move(dataset), scenario.registry(),
-                    platform.route_server().peer_asns(), scenario.truth()};
+                    platform.route_server().peer_asns(), scenario.truth(),
+                    std::move(incidents)};
     return run;
   };
 
   if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
-    return finish(Dataset::load(cache_path));
+    auto loaded = Dataset::try_load(cache_path);
+    if (loaded.ok()) return finish(std::move(loaded).value());
+    // Self-healing: a cache file that fails validation is a cache miss,
+    // never a crash. Quarantine the bytes for post-mortem (best effort; a
+    // failed rename falls back to removal so the bad file cannot be loaded
+    // again), record the incident, and regenerate below.
+    CacheIncident incident;
+    incident.path = cache_path;
+    incident.error = loaded.status().to_string();
+    const std::string quarantine = cache_path + ".corrupt";
+    std::error_code ec;
+    std::filesystem::rename(cache_path, quarantine, ec);
+    if (!ec) {
+      incident.quarantined_to = quarantine;
+    } else {
+      std::filesystem::remove(cache_path, ec);
+    }
+    incidents.push_back(std::move(incident));
   }
 
   // Sharded generation: cut the anchor-ordered emission plan into
@@ -186,15 +240,30 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
 
   platform.prepare(scenario.control());
   std::vector<ixp::Platform::SliceResult> slices = util::parallel_map(
-      workers, shards.size(), [&](std::size_t i) {
+      workers, shards.size(),
+      [&](std::size_t i) {
         std::vector<gen::EmissionUnit> units(
             plan.begin() + static_cast<std::ptrdiff_t>(shards[i].begin),
             plan.begin() + static_cast<std::ptrdiff_t>(shards[i].end));
-        return platform.run_slice(scenario.traffic_source(std::move(units)));
-      });
+        return platform.run_slice(
+            scenario.traffic_source(std::move(units), deadline));
+      },
+      0, deadline);
   ixp::RunResult result = platform.finish(std::move(slices));
   Dataset dataset = Dataset::from_run(std::move(result), platform);
-  if (!cache_path.empty()) dataset.save(cache_path);
+  if (!cache_path.empty()) {
+    // Cache writes are an optimisation: a save that still fails after the
+    // bounded retry is recorded as an incident, never fatal. Only transient
+    // (kUnavailable) errors are retried; a permanent error aborts at once.
+    const util::Status saved = util::retry_with_backoff(
+        3, 10, [&] { return dataset.try_save(cache_path); });
+    if (!saved.ok()) {
+      CacheIncident incident;
+      incident.path = cache_path;
+      incident.error = saved.to_string();
+      incidents.push_back(std::move(incident));
+    }
+  }
   return finish(std::move(dataset));
 }
 

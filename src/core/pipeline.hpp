@@ -26,6 +26,7 @@
 #include "core/time_offset.hpp"
 #include "core/visibility.hpp"
 #include "gen/scenario.hpp"
+#include "util/deadline.hpp"
 
 namespace bw::core {
 
@@ -41,9 +42,18 @@ struct AnalysisConfig {
   /// the process-wide pool (sized by $BW_THREADS). The report is identical
   /// for every pool size.
   util::ThreadPool* pool{nullptr};
+  /// Per-stage wall-clock budget; 0 = unsupervised. Each stage gets its own
+  /// deadline at entry; an over-budget stage is cancelled at its next
+  /// cooperative checkpoint and recorded as a timed-out degraded stage —
+  /// the rest of the run completes normally.
+  util::DurationMs stage_timeout{0};
   /// Fault injection: stages named here throw at entry, exercising the
   /// degraded-mode path (names as in DataQuality::stages). Testing only.
   std::vector<std::string> inject_stage_faults{};
+  /// Fault injection: stages named here wedge (poll-sleep loop) until their
+  /// deadline expires, exercising the watchdog path deterministically.
+  /// Requires stage_timeout > 0. Testing only.
+  std::vector<std::string> inject_stage_hangs{};
 };
 
 /// Outcome of one pipeline stage. A stage that throws (or reports a Status
@@ -52,9 +62,22 @@ struct AnalysisConfig {
 struct StageStatus {
   std::string name;
   bool degraded{false};
-  std::string error;  ///< failure description when degraded
+  bool timed_out{false};  ///< degraded specifically by the stage watchdog
+  std::string error;      ///< failure description when degraded
 
   friend bool operator==(const StageStatus&, const StageStatus&) = default;
+};
+
+/// One self-healing event on the scenario cache: a cache file that failed
+/// validation (or could not be written) and what was done about it. A run
+/// with incidents is complete — the corpus was regenerated — but the report
+/// must say the cache misbehaved.
+struct CacheIncident {
+  std::string path;            ///< cache file involved
+  std::string quarantined_to;  ///< where the bad bytes went; "" if removed
+  std::string error;           ///< the Status that triggered the incident
+
+  friend bool operator==(const CacheIncident&, const CacheIncident&) = default;
 };
 
 /// The report's account of how trustworthy this run is: what ingest and
@@ -63,6 +86,7 @@ struct DataQuality {
   Dataset::Quality dataset;       ///< quarantine/dedupe accounting
   std::vector<LoadReport> files;  ///< per-file ingest reports (CSV loads)
   std::vector<StageStatus> stages;  ///< every stage, in fixed order
+  std::vector<CacheIncident> cache_incidents;  ///< self-healed cache faults
 
   [[nodiscard]] bool degraded() const {
     for (const auto& s : stages) {
@@ -70,8 +94,16 @@ struct DataQuality {
     }
     return false;
   }
+  [[nodiscard]] bool timed_out() const {
+    for (const auto& s : stages) {
+      if (s.timed_out) return true;
+    }
+    return false;
+  }
   [[nodiscard]] bool clean() const {
-    if (degraded() || !dataset.clean()) return false;
+    if (degraded() || !dataset.clean() || !cache_incidents.empty()) {
+      return false;
+    }
     for (const auto& f : files) {
       if (!f.clean()) return false;
     }
@@ -108,6 +140,10 @@ struct ScenarioRun {
   pdb::Registry registry;
   std::vector<bgp::Asn> peer_asns;
   gen::GroundTruth truth;  ///< generator ground truth (validation only)
+  /// Cache files this run healed around (load failures quarantined and
+  /// regenerated, save failures tolerated). Copy into the analysis report's
+  /// DataQuality so the incidents are visible in the rendered document.
+  std::vector<CacheIncident> cache_incidents;
 };
 
 /// Generate the corpus for `config`, reusing an on-disk cache of the
@@ -120,10 +156,20 @@ struct ScenarioRun {
 /// slices, each replayed concurrently against the prepared platform, and
 /// the slice outputs are stitched with a deterministic ordered merge. The
 /// corpus is byte-identical at every pool size.
+///
+/// Robustness: a cache file that fails validation is treated as a cache
+/// *miss* — the bad bytes are quarantined to `<name>.corrupt`, the corpus
+/// is regenerated, and the incident is recorded in the returned
+/// ScenarioRun. Cache writes go through an atomic temp-then-rename commit
+/// with a bounded retry on transient filesystem errors; a write that still
+/// fails is recorded, never fatal. A non-null `deadline` bounds generation
+/// cooperatively (checked per shard chunk and per emission unit); expiry
+/// raises util::DeadlineExceeded.
 [[nodiscard]] ScenarioRun run_scenario(
     const gen::ScenarioConfig& config,
     std::optional<std::string> cache_dir = std::nullopt,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    const util::Deadline* deadline = nullptr);
 
 /// Shard count used when generating with `concurrency`-way parallelism: a
 /// few shards per worker so the cost-balanced planner can even out slices.

@@ -46,7 +46,8 @@ struct Accumulator {
 PortStatsReport compute_port_stats(const Dataset& dataset,
                                    const std::vector<RtbhEvent>& events,
                                    const PortStatsConfig& config,
-                                   util::ThreadPool* pool_opt) {
+                                   util::ThreadPool* pool_opt,
+                                   const util::Deadline* deadline) {
   util::ThreadPool& pool = util::pool_or_global(pool_opt);
   PortStatsReport report;
 
@@ -114,7 +115,7 @@ PortStatsReport compute_port_stats(const Dataset& dataset,
       }
     }
     return acc;
-  });
+  }, 0, deadline);
 
   std::unordered_map<net::Ipv4, Accumulator> acc;
   acc.reserve(exclusions.size());
@@ -181,7 +182,7 @@ PortStatsReport compute_port_stats(const Dataset& dataset,
       }
     }
     return h;
-  });
+  }, 0, deadline);
   for (const HostPortStats& h : report.hosts) {
     if (h.classification == HostClass::kUnclassified) continue;
     ++report.eligible_hosts;

@@ -7,7 +7,8 @@ namespace bw::core {
 PreRtbhReport compute_pre_rtbh(const Dataset& dataset,
                                const std::vector<RtbhEvent>& events,
                                const PreRtbhConfig& config,
-                               util::ThreadPool* pool_opt) {
+                               util::ThreadPool* pool_opt,
+                               const util::Deadline* deadline) {
   util::ThreadPool& pool = util::pool_or_global(pool_opt);
   PreRtbhReport report;
 
@@ -69,7 +70,7 @@ PreRtbhReport compute_pre_rtbh(const Dataset& dataset,
       }
     }
     return res;
-  });
+  }, 0, deadline);
 
   // Tally the Table 2 classes serially, in event order.
   for (const PreRtbhResult& res : report.per_event) {

@@ -57,8 +57,10 @@ struct PreRtbhConfig {
 
 /// Events fan out over `pool` (null: the global pool); per-event results
 /// land in index order, so the report is identical at any thread count.
+/// A non-null `deadline` is polled per chunk (cooperative supervision).
 [[nodiscard]] PreRtbhReport compute_pre_rtbh(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const PreRtbhConfig& config = {}, util::ThreadPool* pool = nullptr);
+    const PreRtbhConfig& config = {}, util::ThreadPool* pool = nullptr,
+    const util::Deadline* deadline = nullptr);
 
 }  // namespace bw::core

@@ -43,8 +43,22 @@ std::string render_markdown(const Dataset& dataset,
             "sections are empty:\n\n";
       for (const auto& stage : dq.stages) {
         if (stage.degraded) {
-          md << "- `" << stage.name << "`: " << stage.error << "\n";
+          md << "- `" << stage.name << "`"
+             << (stage.timed_out ? " (timed out): " : ": ") << stage.error
+             << "\n";
         }
+      }
+      md << "\n";
+    }
+    if (!dq.cache_incidents.empty()) {
+      md << "**Cache incidents** — corrupt or unwritable cache files; "
+            "corrupt caches were quarantined and the data regenerated:\n\n";
+      for (const auto& incident : dq.cache_incidents) {
+        md << "- `" << incident.path << "`";
+        if (!incident.quarantined_to.empty()) {
+          md << " (quarantined to `" << incident.quarantined_to << "`)";
+        }
+        md << ": " << incident.error << "\n";
       }
       md << "\n";
     }

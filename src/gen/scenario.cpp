@@ -875,16 +875,22 @@ ixp::Platform::TrafficSource Scenario::traffic_source() const {
 }
 
 ixp::Platform::TrafficSource Scenario::traffic_source(
-    std::vector<EmissionUnit> units) const {
+    std::vector<EmissionUnit> units, const util::Deadline* deadline) const {
   if (!installed_) {
     throw std::logic_error("Scenario: traffic_source() before install()");
   }
-  return [this, units = std::move(units)](const ixp::Platform::BurstSink& sink) {
+  return [this, units = std::move(units),
+          deadline](const ixp::Platform::BurstSink& sink) {
     // One generator pair per source invocation, reseeded per unit: avoids
     // copying the remote-endpoint pool for every (host, day).
     LegitGenerator legit(remotes_, util::Rng(cfg_.seed));
     ScanGenerator scans(cfg_.scan, util::Rng(cfg_.seed));
-    for (const EmissionUnit& u : units) emit_unit(u, legit, scans, sink);
+    for (const EmissionUnit& u : units) {
+      // Per-unit watchdog checkpoint: a supervised generation run can be
+      // cancelled between units, never mid-burst.
+      if (deadline != nullptr) deadline->check("traffic_source");
+      emit_unit(u, legit, scans, sink);
+    }
   };
 }
 

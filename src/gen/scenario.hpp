@@ -23,6 +23,7 @@
 #include "gen/shard.hpp"
 #include "ixp/platform.hpp"
 #include "peeringdb/registry.hpp"
+#include "util/deadline.hpp"
 
 namespace bw::gen {
 
@@ -184,8 +185,12 @@ class Scenario {
   [[nodiscard]] std::vector<EmissionUnit> emission_plan() const;
 
   /// Traffic source emitting just `units` (a shard of the plan), in order.
+  /// A non-null `deadline` is polled before each unit; expiry raises
+  /// util::DeadlineExceeded out of the emitting thread — cooperative
+  /// supervision of the generator (`deadline` must outlive the source).
   [[nodiscard]] ixp::Platform::TrafficSource traffic_source(
-      std::vector<EmissionUnit> units) const;
+      std::vector<EmissionUnit> units,
+      const util::Deadline* deadline = nullptr) const;
 
   [[nodiscard]] const GroundTruth& truth() const noexcept { return truth_; }
   [[nodiscard]] const pdb::Registry& registry() const noexcept {

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/container.hpp"
+
 namespace bw::testing {
 
 namespace {
@@ -359,6 +361,161 @@ util::Result<FaultPlan> parse_fault_spec(std::string_view spec,
     return util::invalid_argument("empty fault spec");
   }
   return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Binary container faults
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(BinaryFaultKind kind) {
+  switch (kind) {
+    case BinaryFaultKind::kTruncate: return "truncate";
+    case BinaryFaultKind::kBitFlip: return "bitflip";
+    case BinaryFaultKind::kTornRename: return "torn";
+    case BinaryFaultKind::kSectionSwap: return "swap";
+  }
+  return "unknown";
+}
+
+util::Result<BinaryFaultKind> parse_binary_fault_kind(std::string_view name) {
+  if (name == "truncate") return BinaryFaultKind::kTruncate;
+  if (name == "bitflip") return BinaryFaultKind::kBitFlip;
+  if (name == "torn") return BinaryFaultKind::kTornRename;
+  if (name == "swap") return BinaryFaultKind::kSectionSwap;
+  return util::invalid_argument("unknown binary fault kind '" +
+                                std::string(name) + "'");
+}
+
+namespace {
+
+util::Result<std::string> read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return util::not_found("apply_binary_fault: cannot open " + path);
+  }
+  std::ostringstream os;
+  os << is.rdbuf();
+  return std::move(os).str();
+}
+
+util::Status write_file_bytes(const std::string& path,
+                              const std::string& bytes) {
+  // Plain truncating overwrite on purpose: torn/partial states are the
+  // product, not a hazard.
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return util::not_found("apply_binary_fault: cannot open " + path +
+                           " for writing");
+  }
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) {
+    return util::data_loss("apply_binary_fault: write failed: " + path);
+  }
+  return util::ok_status();
+}
+
+}  // namespace
+
+util::Result<BinaryFaultReport> apply_binary_fault(const std::string& path,
+                                                   BinaryFaultKind kind,
+                                                   std::uint64_t seed) {
+  auto bytes_result = read_file_bytes(path);
+  if (!bytes_result.ok()) return bytes_result.status();
+  std::string bytes = std::move(bytes_result).value();
+  if (bytes.size() < 2) {
+    return util::failed_precondition(
+        "apply_binary_fault: file too small to corrupt: " + path);
+  }
+  const std::string original = bytes;
+  util::Rng rng(
+      util::Rng::derive_seed(seed, static_cast<std::uint64_t>(kind)));
+
+  BinaryFaultReport report;
+  report.kind = kind;
+  report.file = path;
+
+  switch (kind) {
+    case BinaryFaultKind::kTruncate: {
+      // Keep anywhere from 0 bytes to all-but-one: exercises header-only,
+      // mid-payload, and missing-footer cuts.
+      const std::size_t keep = rng.index(bytes.size());
+      report.detail = "cut " + std::to_string(bytes.size() - keep) + " of " +
+                      std::to_string(bytes.size()) + " bytes";
+      bytes.resize(keep);
+      break;
+    }
+    case BinaryFaultKind::kBitFlip: {
+      const std::size_t at = rng.index(bytes.size());
+      const int bit = static_cast<int>(rng.index(8));
+      bytes[at] = static_cast<char>(static_cast<unsigned char>(bytes[at]) ^
+                                    (1u << bit));
+      report.detail = "flipped bit " + std::to_string(bit) + " of byte " +
+                      std::to_string(at);
+      break;
+    }
+    case BinaryFaultKind::kTornRename: {
+      // A crash during a non-atomic in-place overwrite: the head of the new
+      // bytes made it to disk, the tail is whatever was there before —
+      // modelled as random garbage of an independent length.
+      const std::size_t head = rng.index(bytes.size());
+      const std::size_t tail = 1 + rng.index(bytes.size());
+      bytes.resize(head);
+      for (std::size_t i = 0; i < tail; ++i) {
+        bytes.push_back(static_cast<char>(rng.index(256)));
+      }
+      report.detail = "kept " + std::to_string(head) +
+                      " head bytes, appended " + std::to_string(tail) +
+                      " stale bytes";
+      break;
+    }
+    case BinaryFaultKind::kSectionSwap: {
+      // Parse the intact TOC to find payload ranges, then swap two payloads
+      // without touching the TOC: offsets and CRCs go stale exactly the way
+      // a block-level misplacement leaves them.
+      std::istringstream is(bytes);
+      auto toc = util::container::read_toc(is, bytes.size());
+      if (!toc.ok()) {
+        return toc.status().with_context(
+            "apply_binary_fault: swap needs a valid container");
+      }
+      std::vector<const util::container::Section*> nonempty;
+      for (const auto& s : toc->sections) {
+        if (s.length > 0) nonempty.push_back(&s);
+      }
+      if (nonempty.size() < 2) {
+        return util::failed_precondition(
+            "apply_binary_fault: fewer than two non-empty sections in " +
+            path);
+      }
+      const auto picked = rng.sample_indices(nonempty.size(), 2);
+      const auto* a = nonempty[std::min(picked[0], picked[1])];
+      const auto* b = nonempty[std::max(picked[0], picked[1])];
+      const std::string pa = bytes.substr(a->offset, a->length);
+      const std::string pb = bytes.substr(b->offset, b->length);
+      // Rebuild with the payloads exchanged; unequal lengths shift every
+      // byte in between, which the stale TOC also fails to describe.
+      std::string out;
+      out.reserve(bytes.size());
+      out.append(bytes, 0, a->offset);
+      out.append(pb);
+      out.append(bytes, a->offset + a->length,
+                 b->offset - (a->offset + a->length));
+      out.append(pa);
+      out.append(bytes, b->offset + b->length,
+                 bytes.size() - (b->offset + b->length));
+      bytes = std::move(out);
+      report.detail = "swapped payloads of " +
+                      util::container::section_name(a->id) + " and " +
+                      util::container::section_name(b->id);
+      break;
+    }
+  }
+
+  report.bytes_changed = bytes != original;
+  if (util::Status st = write_file_bytes(path, bytes); !st.ok()) {
+    return st;
+  }
+  return report;
 }
 
 }  // namespace bw::testing

@@ -104,4 +104,45 @@ FaultLog apply_faults(CsvCorpus& corpus, const FaultPlan& plan);
 [[nodiscard]] util::Result<FaultPlan> parse_fault_spec(std::string_view spec,
                                                        std::uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Binary container faults
+//
+// Byte-level corruptions of the checksummed .bwds container (the scenario
+// cache and any Dataset save). These model what storage actually does to a
+// binary file: a transfer cut short, a flipped bit, a crashed non-atomic
+// overwrite, and block-level misplacement. The container's framing must
+// turn every one of them into a section-precise load error — the
+// persistence fault suite asserts exactly that.
+// ---------------------------------------------------------------------------
+
+enum class BinaryFaultKind : std::uint8_t {
+  kTruncate,     ///< cut the file's tail (footer lost or payload short)
+  kBitFlip,      ///< flip one bit anywhere in the file
+  kTornRename,   ///< crashed in-place overwrite: new head + stale garbage tail
+  kSectionSwap,  ///< swap two section payloads, leaving the TOC stale
+};
+
+[[nodiscard]] std::string_view to_string(BinaryFaultKind kind);
+
+/// Parse a CLI binary fault kind: truncate | bitflip | torn | swap.
+[[nodiscard]] util::Result<BinaryFaultKind> parse_binary_fault_kind(
+    std::string_view name);
+
+/// Ground truth of one applied binary fault.
+struct BinaryFaultReport {
+  BinaryFaultKind kind{BinaryFaultKind::kTruncate};
+  std::string file;
+  std::string detail;        ///< human summary of what was done
+  bool bytes_changed{false}; ///< false only when the draw was a no-op swap
+};
+
+/// Apply `kind` to the container file at `path`, in place, with every draw
+/// taken from `seed` (same seed, same corruption). kSectionSwap parses the
+/// intact TOC to locate payload ranges, swaps two of them, and leaves the
+/// TOC stale; it fails on files with fewer than two non-empty sections.
+/// The write-back is deliberately non-atomic — the faults being modelled
+/// are precisely what atomic commits prevent.
+[[nodiscard]] util::Result<BinaryFaultReport> apply_binary_fault(
+    const std::string& path, BinaryFaultKind kind, std::uint64_t seed);
+
 }  // namespace bw::testing

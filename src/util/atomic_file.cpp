@@ -1,0 +1,118 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace bw::util {
+
+namespace {
+
+/// Flush `path`'s bytes to stable storage. Best-effort on platforms
+/// without fsync; failure is reported so callers can retry.
+Status sync_file(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::error(StatusCode::kUnavailable,
+                         "atomic_write_file: cannot reopen for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::error(StatusCode::kUnavailable,
+                         "atomic_write_file: fsync failed: " + path);
+  }
+#else
+  (void)path;
+#endif
+  return ok_status();
+}
+
+void remove_quietly(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace
+
+std::string atomic_temp_path(const std::string& path) { return path + ".tmp"; }
+
+Status atomic_write_file(const std::string& path,
+                         const std::function<Status(std::ostream&)>& writer,
+                         const AtomicWriteHooks* hooks) {
+  const std::string tmp = atomic_temp_path(path);
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      return Status::error(StatusCode::kUnavailable,
+                           "atomic_write_file: cannot open temp file " + tmp);
+    }
+    Status st = writer(os);
+    if (st.ok()) {
+      os.flush();
+      if (!os) st = data_loss("atomic_write_file: flush failed: " + tmp);
+    }
+    if (!st.ok()) {
+      os.close();
+      remove_quietly(tmp);
+      return st;
+    }
+  }
+  if (Status st = sync_file(tmp); !st.ok()) {
+    remove_quietly(tmp);
+    return st;
+  }
+  if (hooks != nullptr && hooks->after_temp_write) hooks->after_temp_write();
+  if (hooks != nullptr && hooks->before_rename) hooks->before_rename();
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    remove_quietly(tmp);
+    return Status::error(StatusCode::kUnavailable,
+                         "atomic_write_file: rename to " + path +
+                             " failed: " + ec.message());
+  }
+  // Make the rename itself durable (directory entry). Best-effort: the
+  // data is already safe under the final name on any POSIX filesystem.
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dfd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
+  return ok_status();
+}
+
+Status atomic_write_file(const std::string& path, std::string_view content) {
+  return atomic_write_file(path, [&](std::ostream& os) {
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    return ok_status();
+  });
+}
+
+Status retry_with_backoff(std::size_t attempts, DurationMs backoff,
+                          const std::function<Status()>& op) {
+  Status st = internal_error("retry_with_backoff: zero attempts");
+  for (std::size_t i = 0; i < attempts; ++i) {
+    st = op();
+    if (st.ok() || st.code() != StatusCode::kUnavailable) return st;
+    if (i + 1 < attempts && backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff *= 2;
+    }
+  }
+  return st;
+}
+
+}  // namespace bw::util

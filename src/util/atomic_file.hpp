@@ -1,0 +1,56 @@
+// Crash-safe file replacement: write temp → flush → fsync → rename.
+//
+// A dataset save or report emission interrupted half-way must never leave a
+// half-written file under the final name — a later run would ingest it.
+// atomic_write_file stages everything in `<path>.tmp` in the same
+// directory, fsyncs, and renames over the target, so at every instant the
+// target is either the complete old file or the complete new file. A stale
+// `.tmp` from a crashed run is simply overwritten by the next attempt.
+//
+// Test hooks expose the two interesting kill points (temp written but not
+// renamed; about to rename) so crash-point tests can assert the invariant
+// without actually killing the process.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace bw::util {
+
+/// Kill-point hooks for crash simulation (tests only). A hook that throws
+/// models the process dying at that instant: the temp file is left behind
+/// exactly as a real crash would leave it.
+struct AtomicWriteHooks {
+  std::function<void()> after_temp_write;  ///< temp complete, fsync'd
+  std::function<void()> before_rename;     ///< last instant before commit
+};
+
+/// The temp path atomic_write_file stages under (target + ".tmp").
+[[nodiscard]] std::string atomic_temp_path(const std::string& path);
+
+/// Write `path` atomically: `writer` streams the content into a temp file,
+/// which is fsync'd and renamed over `path` only if `writer` returns OK and
+/// every write stuck. On any failure the temp file is removed and `path`
+/// is untouched. Open/rename failures are reported as kUnavailable
+/// (transient — safe to retry); writer failures pass through.
+[[nodiscard]] Status atomic_write_file(
+    const std::string& path,
+    const std::function<Status(std::ostream&)>& writer,
+    const AtomicWriteHooks* hooks = nullptr);
+
+/// Convenience: atomically replace `path` with `content`.
+[[nodiscard]] Status atomic_write_file(const std::string& path,
+                                       std::string_view content);
+
+/// Run `op` up to `attempts` times, sleeping `backoff` (doubling each try)
+/// between attempts. Retries only transient failures (kUnavailable);
+/// anything else — including corruption — returns immediately.
+[[nodiscard]] Status retry_with_backoff(std::size_t attempts,
+                                        DurationMs backoff,
+                                        const std::function<Status()>& op);
+
+}  // namespace bw::util

@@ -1,0 +1,44 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace bw::util {
+
+namespace {
+
+/// Reflected CRC32C table (polynomial 0x1EDC6F41, reflected 0x82F63B78),
+/// generated at static-init time — no magic blob to rot in the source.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32c::update(const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = state_;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xFFu];
+  }
+  state_ = crc;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t n) noexcept {
+  Crc32c c;
+  c.update(data, n);
+  return c.value();
+}
+
+}  // namespace bw::util

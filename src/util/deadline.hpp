@@ -1,0 +1,67 @@
+// Cooperative deadlines for supervised pipeline stages.
+//
+// Threads cannot be killed safely, so a wedged or over-budget stage is
+// bounded cooperatively: the supervisor hands the stage a Deadline, and the
+// stage's inner loops (parallel_for chunks, per-event kernels, emission
+// units) poll it at natural checkpoints. An expired deadline raises
+// DeadlineExceeded, which the stage guard converts into the existing
+// degraded-mode StageStatus — the process never hangs, and the rest of the
+// run completes. A default-constructed Deadline never expires, so passing
+// one through unconditionally costs a branch, not a syscall.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace bw::util {
+
+/// Raised at a cooperative checkpoint once the deadline has passed. Derives
+/// from std::runtime_error so existing stage guards degrade on it.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  [[nodiscard]] static Deadline never() { return Deadline(); }
+
+  /// Expires `budget` from now. A non-positive budget is already expired —
+  /// useful for tests that must hit the timeout path deterministically.
+  [[nodiscard]] static Deadline after(DurationMs budget) {
+    Deadline d;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(budget);
+    return d;
+  }
+
+  [[nodiscard]] bool never_expires() const noexcept {
+    return !at_.has_value();
+  }
+
+  [[nodiscard]] bool expired() const {
+    return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+  }
+
+  /// Throw DeadlineExceeded when expired; `what` names the supervised work.
+  void check(std::string_view what) const {
+    if (expired()) {
+      throw DeadlineExceeded(std::string(what) + ": deadline exceeded");
+    }
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+}  // namespace bw::util

@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/deadline.hpp"
+
 namespace bw::util {
 
 class ThreadPool {
@@ -112,6 +114,7 @@ struct ForLoopState {
   std::size_t n{0};
   std::size_t grain{1};
   std::size_t chunks{0};
+  const Deadline* deadline{nullptr};  ///< polled between chunks when set
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<std::size_t> done_chunks{0};
   std::mutex mutex;
@@ -135,6 +138,7 @@ struct ForLoopState {
       const std::size_t begin = c * grain;
       const std::size_t end = std::min(n, begin + grain);
       try {
+        if (deadline != nullptr) deadline->check("parallel_for");
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
         {
@@ -158,13 +162,25 @@ struct ForLoopState {
 /// workers plus the calling thread. Blocks until every index has run.
 /// `grain` indices are executed per claimed chunk (0 = pick automatically).
 /// The first exception thrown by any body is rethrown on the caller.
+/// A non-null `deadline` is polled between chunks; expiry raises
+/// DeadlineExceeded on the caller after remaining chunks are skipped —
+/// cooperative supervision with no effect on results while time remains.
 template <typename F>
 void parallel_for(ThreadPool& pool, std::size_t n, F&& body,
-                  std::size_t grain = 0) {
+                  std::size_t grain = 0,
+                  const Deadline* deadline = nullptr) {
   if (n == 0) return;
   auto& fn = body;
   if (pool.worker_count() == 0 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Serial fallback: poll at the same per-chunk granularity so a
+      // supervised loop cannot wedge in BW_THREADS=1 mode either.
+      if (deadline != nullptr && (grain == 0 ? i % 1024 == 0
+                                             : i % grain == 0)) {
+        deadline->check("parallel_for");
+      }
+      fn(i);
+    }
     return;
   }
   if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * pool.concurrency()));
@@ -172,6 +188,7 @@ void parallel_for(ThreadPool& pool, std::size_t n, F&& body,
   state->n = n;
   state->grain = grain;
   state->chunks = (n + grain - 1) / grain;
+  state->deadline = deadline;
 
   const std::size_t helpers =
       std::min(pool.worker_count(), state->chunks - 1);
@@ -193,11 +210,12 @@ void parallel_for(ThreadPool& pool, std::size_t n, F&& body,
 template <typename F,
           typename R = std::decay_t<std::invoke_result_t<F&, std::size_t>>>
 std::vector<R> parallel_map(ThreadPool& pool, std::size_t n, F&& fn,
-                            std::size_t grain = 0) {
+                            std::size_t grain = 0,
+                            const Deadline* deadline = nullptr) {
   std::vector<R> results(n);
   auto& f = fn;
   parallel_for(
-      pool, n, [&](std::size_t i) { results[i] = f(i); }, grain);
+      pool, n, [&](std::size_t i) { results[i] = f(i); }, grain, deadline);
   return results;
 }
 

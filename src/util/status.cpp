@@ -10,6 +10,7 @@ std::string_view to_string(StatusCode code) {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -31,6 +31,7 @@ enum class StatusCode : std::uint8_t {
   kDataLoss,             ///< corrupt or truncated data
   kFailedPrecondition,   ///< operation not valid in this state
   kInternal,             ///< bug or unexpected failure
+  kUnavailable,          ///< transient environment failure; safe to retry
 };
 
 [[nodiscard]] std::string_view to_string(StatusCode code);
@@ -93,6 +94,9 @@ class Status {
 }
 [[nodiscard]] inline Status internal_error(std::string message) {
   return Status::error(StatusCode::kInternal, std::move(message));
+}
+[[nodiscard]] inline Status unavailable(std::string message) {
+  return Status::error(StatusCode::kUnavailable, std::move(message));
 }
 
 /// A value of type T, or the Status explaining why there is none.

@@ -172,6 +172,75 @@ TEST_F(MonitorTest, FinishClosesOpenEvents) {
   EXPECT_EQ(monitor.active_events(), 0u);
 }
 
+TEST_F(MonitorTest, LruCapBoundsTrackedDestinations) {
+  auto cfg = default_config();
+  cfg.max_destinations = 16;
+  auto monitor = make_monitor(cfg);
+  // Idle traffic towards many distinct destinations: state must not grow
+  // past the cap, and shedding idle (no-event) destinations is silent.
+  for (int i = 0; i < 500; ++i) {
+    monitor.on_flow(sample(util::kHour + i * 1000,
+                           net::Ipv4(24, 0, static_cast<std::uint8_t>(i / 250),
+                                     static_cast<std::uint8_t>(i % 250)),
+                           false));
+  }
+  EXPECT_EQ(count(AlertKind::kEventEnded), 0u);
+  EXPECT_EQ(monitor.active_events(), 0u);
+
+  // Recency, not insertion order, decides the victim: keep touching one
+  // early destination and it must survive (its detector history intact).
+  const net::Ipv4 keeper(24, 0, 0, 0);
+  auto cfg2 = default_config();
+  cfg2.max_destinations = 4;
+  alerts_.clear();
+  auto monitor2 = make_monitor(cfg2);
+  util::TimeMs t = util::kHour;
+  monitor2.on_flow(sample(t, keeper, false));
+  for (int i = 1; i < 100; ++i) {
+    t += 1000;
+    monitor2.on_flow(sample(t, net::Ipv4(24, 1, 0,
+                                         static_cast<std::uint8_t>(i)),
+                            false));
+    t += 1000;
+    monitor2.on_flow(sample(t, keeper, false));
+  }
+  // The keeper still has accumulated slot state: a burst plus announcement
+  // can only correlate if its history survived every eviction round.
+  monitor2.on_update(announce(t + 1000, keeper));
+  EXPECT_EQ(count(AlertKind::kEventStarted), 1u);
+  EXPECT_EQ(monitor2.active_events(), 1u);
+}
+
+TEST_F(MonitorTest, LruEvictionOfActiveEventEmitsFinalAlert) {
+  auto cfg = default_config();
+  cfg.max_destinations = 2;
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 9);
+  monitor.on_update(announce(util::kHour, victim));
+  EXPECT_EQ(monitor.active_events(), 1u);
+
+  // Two fresh destinations push the still-open event out of the cap.
+  monitor.on_flow(sample(util::kHour + 1000, net::Ipv4(24, 2, 0, 1), false));
+  monitor.on_flow(sample(util::kHour + 2000, net::Ipv4(24, 2, 0, 2), false));
+
+  // The open event must not vanish silently: exactly one final
+  // event-ended alert, and the active set is consistent afterwards.
+  EXPECT_EQ(count(AlertKind::kEventEnded), 1u);
+  EXPECT_EQ(monitor.active_events(), 0u);
+  bool saw_eviction_alert = false;
+  for (const auto& a : alerts_) {
+    if (a.kind == AlertKind::kEventEnded) {
+      saw_eviction_alert = true;
+      EXPECT_EQ(a.prefix, net::Prefix::host(victim));
+      EXPECT_NE(a.message.find("evicted"), std::string::npos) << a.message;
+    }
+  }
+  EXPECT_TRUE(saw_eviction_alert);
+  // finish() must not double-close the evicted event.
+  monitor.finish(2 * util::kHour);
+  EXPECT_EQ(count(AlertKind::kEventEnded), 1u);
+}
+
 TEST_F(MonitorTest, AgreesWithOfflinePipelineOnScenario) {
   // Replay a small scenario chronologically through the monitor and check
   // that its event count matches the offline merge.

@@ -1,0 +1,120 @@
+// Supervision tests: the stage watchdog must never change the bytes of a
+// healthy run, must bound a wedged stage's wall-clock, and must surface a
+// timeout as the same deterministic degraded report at every thread count.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "util/parallel.hpp"
+
+namespace bw::core {
+namespace {
+
+class SupervisedPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::ScenarioConfig cfg;
+    cfg.scale = 0.04;
+    cfg.seed = 20191021;
+    dataset_ = new Dataset(run_scenario(cfg, std::string{}).dataset);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static AnalysisReport run(std::size_t workers, util::DurationMs timeout,
+                            std::vector<std::string> hangs = {}) {
+    util::ThreadPool pool(workers);
+    AnalysisConfig cfg;
+    cfg.pool = &pool;
+    cfg.stage_timeout = timeout;
+    cfg.inject_stage_hangs = std::move(hangs);
+    return run_pipeline(*dataset_, cfg);
+  }
+
+  static Dataset* dataset_;
+};
+
+Dataset* SupervisedPipelineTest::dataset_ = nullptr;
+
+TEST_F(SupervisedPipelineTest, SupervisionDoesNotChangeHealthyReportBytes) {
+  // Acceptance: serial and parallel runs with supervision enabled produce
+  // byte-identical reports, identical to the unsupervised baseline.
+  const util::DurationMs generous = 10 * util::kMinute;
+  const AnalysisReport baseline = run(3, 0);
+  const AnalysisReport serial = run(0, generous);
+  const AnalysisReport wide = run(7, generous);
+
+  EXPECT_FALSE(serial.data_quality.degraded());
+  EXPECT_FALSE(serial.data_quality.timed_out());
+  const std::string baseline_md = render_markdown(*dataset_, baseline, nullptr);
+  const std::string serial_md = render_markdown(*dataset_, serial, nullptr);
+  const std::string wide_md = render_markdown(*dataset_, wide, nullptr);
+  EXPECT_EQ(serial_md, baseline_md);
+  EXPECT_EQ(wide_md, baseline_md);
+}
+
+TEST_F(SupervisedPipelineTest, HungStageTimesOutAndRunCompletes) {
+  // A planted wedge in one stage: the watchdog must fire, the stage must
+  // degrade with timed_out set, and every other stage must still produce
+  // its section — the process is never allowed to hang.
+  const auto t0 = std::chrono::steady_clock::now();
+  const AnalysisReport report = run(3, 200, {"filtering"});
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(secs, 60.0) << "watchdog failed to bound the wedged stage";
+
+  EXPECT_TRUE(report.data_quality.degraded());
+  EXPECT_TRUE(report.data_quality.timed_out());
+  bool found = false;
+  for (const auto& stage : report.data_quality.stages) {
+    if (stage.name == "filtering") {
+      found = true;
+      EXPECT_TRUE(stage.degraded);
+      EXPECT_TRUE(stage.timed_out);
+      EXPECT_NE(stage.error.find("deadline exceeded"), std::string::npos)
+          << stage.error;
+    } else {
+      EXPECT_FALSE(stage.timed_out) << stage.name;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Unaffected sections are intact.
+  EXPECT_GT(report.events.size(), 0u);
+  EXPECT_GT(report.summary.flow_records, 0u);
+  EXPECT_EQ(report.filtering.events_considered, 0u);
+  // The rendered document says which stage timed out.
+  const std::string md = render_markdown(*dataset_, report, nullptr);
+  EXPECT_NE(md.find("`filtering` (timed out)"), std::string::npos) << md;
+}
+
+TEST_F(SupervisedPipelineTest, TimedOutReportIsThreadCountIndependent) {
+  // DeadlineExceeded carries a deterministic message, so even the degraded
+  // document is byte-identical at every thread count.
+  const AnalysisReport serial = run(0, 200, {"pre_rtbh"});
+  const AnalysisReport wide = run(7, 200, {"pre_rtbh"});
+  EXPECT_EQ(render_markdown(*dataset_, serial, nullptr),
+            render_markdown(*dataset_, wide, nullptr));
+}
+
+TEST_F(SupervisedPipelineTest, HangInjectionWithoutTimeoutDegrades) {
+  // A hang with no watchdog configured would spin forever; the guard must
+  // reject the injection instead of wedging the test suite.
+  const AnalysisReport report = run(3, 0, {"classify"});
+  EXPECT_TRUE(report.data_quality.degraded());
+  EXPECT_FALSE(report.data_quality.timed_out());
+  for (const auto& stage : report.data_quality.stages) {
+    if (stage.name == "classify") {
+      EXPECT_TRUE(stage.degraded);
+      EXPECT_NE(stage.error.find("without a stage timeout"),
+                std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bw::core

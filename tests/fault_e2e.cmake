@@ -3,6 +3,10 @@
 #   2. bw-faultgen applies the default fault mix
 #   3. bw-analyze --strict must reject the corrupted corpus (exit 3)
 #   4. bw-analyze --skip-bad-rows must survive it (exit 0)
+#   5. every byte-level container fault (truncate/bitflip/torn/swap) must be
+#      rejected with a data error, never ingested
+#   6. the stage watchdog: a planted hang times out into a degraded-but-
+#      complete analysis (exit 0); an over-budget generation exits 3
 #
 # Expects -DBW_GENERATE, -DBW_FAULTGEN, -DBW_ANALYZE (tool paths) and
 # -DWORK_DIR (scratch directory, wiped on entry).
@@ -39,3 +43,23 @@ run_step(0 "${BW_ANALYZE}" faulty_csv --skip-bad-rows --markdown faulty.md)
 
 # The clean CSV corpus round-trips strictly.
 run_step(0 "${BW_ANALYZE}" clean_csv --strict)
+
+# --- Byte-level container faults -------------------------------------------
+# The checksummed container must turn each corruption into a load error
+# (exit 3). The clean container itself must still analyze.
+run_step(0 "${BW_ANALYZE}" corpus.bwds)
+foreach(kind truncate bitflip torn swap)
+  run_step(0 "${BW_FAULTGEN}" --in corpus.bwds --out "bad_${kind}.bwds"
+             --binary ${kind} --seed 7)
+  run_step(3 "${BW_ANALYZE}" "bad_${kind}.bwds")
+endforeach()
+
+# --- Stage watchdog --------------------------------------------------------
+# A wedged analysis stage times out and degrades; the run still completes
+# with a report (exit 0).
+run_step(0 "${BW_ANALYZE}" corpus.bwds --stage-timeout-s 1
+           --inject-hang filtering --markdown hung.md)
+# A generation run that exceeds its budget is cancelled with a data error:
+# 1 ms of budget cannot cover a 21-day corpus.
+run_step(3 "${BW_GENERATE}" --out never.bwds --scale 0.05 --seed 7
+           --days 21 --stage-timeout-s 0.001)

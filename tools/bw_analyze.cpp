@@ -5,8 +5,12 @@
 //
 //   bw-analyze CORPUS [--delta MINUTES] [--markdown OUT.md]
 //              [--strict | --skip-bad-rows | --repair]
+//              [--stage-timeout-s S] [--inject-hang STAGE]
 //
 // Exit codes: 0 ok, 2 usage, 3 data error, 4 internal (see tools/cli.hpp).
+// A stage cancelled by --stage-timeout-s degrades that stage and the run
+// still exits 0: degraded-but-complete is the success path, and the report
+// (and stderr) say exactly which stages timed out.
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -19,6 +23,7 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/whatif.hpp"
+#include "util/atomic_file.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -27,11 +32,17 @@ namespace {
 void usage() {
   std::cerr << "usage: bw-analyze CORPUS [--delta MINUTES] [--markdown OUT.md]\n"
                "                  [--strict | --skip-bad-rows | --repair]\n"
+               "                  [--stage-timeout-s S] [--inject-hang STAGE]\n"
                "  CORPUS is a .bwds file or a CSV corpus directory.\n"
                "  --strict        fail on the first malformed CSV row (default)\n"
                "  --skip-bad-rows drop malformed rows; account in data quality\n"
                "  --repair        like --skip-bad-rows, salvaging rows whose\n"
-               "                  damage is confined to recoverable fields\n";
+               "                  damage is confined to recoverable fields\n"
+               "  --stage-timeout-s S  cancel any stage running past S seconds\n"
+               "                  (cooperative watchdog; the stage degrades,\n"
+               "                  the run completes)\n"
+               "  --inject-hang STAGE  wedge STAGE until its timeout fires\n"
+               "                  (testing only; requires --stage-timeout-s)\n";
 }
 
 std::string pct(double f, int p = 1) { return bw::util::fmt_percent(f, p); }
@@ -51,6 +62,16 @@ int main(int argc, char** argv) {
       acfg.merge_delta = util::minutes(std::atof(argv[++i]));
     } else if (arg == "--markdown" && i + 1 < argc) {
       markdown_out = argv[++i];
+    } else if (arg == "--stage-timeout-s" && i + 1 < argc) {
+      const double s = std::atof(argv[++i]);
+      if (s <= 0.0) {
+        std::cerr << "bw-analyze: --stage-timeout-s must be > 0\n";
+        usage();
+        return tools::kExitUsage;
+      }
+      acfg.stage_timeout = static_cast<util::DurationMs>(s * 1000.0);
+    } else if (arg == "--inject-hang" && i + 1 < argc) {
+      acfg.inject_stage_hangs.emplace_back(argv[++i]);
     } else if (arg == "--strict") {
       load_options.strictness = core::Strictness::kStrict;
     } else if (arg == "--skip-bad-rows") {
@@ -68,6 +89,11 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
+    usage();
+    return tools::kExitUsage;
+  }
+  if (!acfg.inject_stage_hangs.empty() && acfg.stage_timeout <= 0) {
+    std::cerr << "bw-analyze: --inject-hang requires --stage-timeout-s\n";
     usage();
     return tools::kExitUsage;
   }
@@ -108,7 +134,8 @@ int main(int argc, char** argv) {
     for (const auto& stage : r.data_quality.stages) {
       if (stage.degraded) {
         std::cerr << "bw-analyze: stage '" << stage.name
-                  << "' degraded: " << stage.error << "\n";
+                  << (stage.timed_out ? "' timed out: " : "' degraded: ")
+                  << stage.error << "\n";
       }
     }
     const double total_events =
@@ -225,8 +252,14 @@ int main(int argc, char** argv) {
     }
 
     if (!markdown_out.empty()) {
-      std::ofstream md(markdown_out, std::ios::trunc);
-      md << core::render_markdown(*dataset, r, &whatif);
+      // Atomic emission: a crash mid-write must never leave a torn report
+      // under the final name for a consumer to pick up.
+      const util::Status st = util::atomic_write_file(
+          markdown_out, core::render_markdown(*dataset, r, &whatif));
+      if (!st.ok()) {
+        std::cerr << "bw-analyze: " << st.to_string() << "\n";
+        return tools::kExitData;
+      }
       std::cout << "\nWrote markdown report to " << markdown_out << "\n";
     }
     return tools::kExitOk;

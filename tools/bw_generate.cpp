@@ -4,10 +4,14 @@
 //
 //   bw-generate --out corpus.bwds [--scale 0.25] [--seed 20191021]
 //               [--days 104] [--sampling 10000] [--threads N] [--csv DIR]
+//               [--stage-timeout-s S]
 //   bw-generate --out corpus.bwds --from-csv DIR
 //               [--strict | --skip-bad-rows | --repair]
 //
 // Exit codes: 0 ok, 2 usage, 3 data error, 4 internal (see tools/cli.hpp).
+// A generation run cancelled by --stage-timeout-s exits 3: unlike a
+// degraded analysis stage there is no partial corpus worth keeping, so the
+// timeout is a data error, not a success.
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -40,7 +44,9 @@ void usage() {
                "  --scale S    population/event scale, 0 < S <= 4\n"
                "  --threads N  generation worker threads (default:\n"
                "               $BW_THREADS or hardware concurrency); the\n"
-               "               corpus is byte-identical at any N\n";
+               "               corpus is byte-identical at any N\n"
+               "  --stage-timeout-s S  cancel generation past S seconds\n"
+               "               (cooperative watchdog; exits 3, no corpus)\n";
 }
 
 }  // namespace
@@ -51,6 +57,7 @@ int main(int argc, char** argv) {
   std::string csv_dir;
   std::string from_csv;
   std::optional<std::size_t> threads;
+  util::DurationMs stage_timeout = 0;
   core::LoadOptions load_options;  // default: Strictness::kStrict
   gen::ScenarioConfig cfg;
   cfg.scale = 0.25;
@@ -80,6 +87,14 @@ int main(int argc, char** argv) {
         return tools::kExitUsage;
       }
       threads = static_cast<std::size_t>(n);
+    } else if (arg == "--stage-timeout-s") {
+      const double s = std::atof(value());
+      if (s <= 0.0) {
+        std::cerr << "bw-generate: --stage-timeout-s must be > 0\n";
+        usage();
+        return tools::kExitUsage;
+      }
+      stage_timeout = static_cast<util::DurationMs>(s * 1000.0);
     } else if (arg == "--days") {
       cfg.period = {0, util::days(std::atof(value()))};
     } else if (arg == "--sampling") {
@@ -133,8 +148,12 @@ int main(int argc, char** argv) {
               << cfg.sampling_rate << " sampling, " << n_threads
               << " thread(s)...\n";
     util::ThreadPool pool(n_threads - 1);
+    const util::Deadline deadline = stage_timeout > 0
+                                        ? util::Deadline::after(stage_timeout)
+                                        : util::Deadline::never();
     const auto t0 = std::chrono::steady_clock::now();
-    const core::ScenarioRun run = core::run_scenario(cfg, std::string{}, &pool);
+    const core::ScenarioRun run =
+        core::run_scenario(cfg, std::string{}, &pool, &deadline);
     const double secs = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
@@ -166,6 +185,10 @@ int main(int argc, char** argv) {
       std::cout << "Exported CSV corpus to " << csv_dir << "/\n";
     }
     return tools::kExitOk;
+  } catch (const util::DeadlineExceeded& e) {
+    std::cerr << "bw-generate: run exceeded --stage-timeout-s: " << e.what()
+              << "\n";
+    return tools::kExitData;
   } catch (const std::exception& e) {
     std::cerr << "bw-generate: internal error: " << e.what() << "\n";
     return tools::kExitInternal;

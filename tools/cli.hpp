@@ -3,8 +3,15 @@
 // Exit codes are part of the tool contract (scripts and CI branch on them):
 //   0  success
 //   2  usage error (bad flags/arguments; nothing was attempted)
-//   3  data error (input missing, malformed, or rejected by --strict)
+//   3  data error (input missing, malformed, or rejected by --strict;
+//      also a generation run cancelled by --stage-timeout-s, which leaves
+//      no usable corpus)
 //   4  internal error (unexpected exception; a bug, not an input problem)
+//
+// Watchdog note: an *analysis* stage cancelled by --stage-timeout-s is the
+// degraded-but-complete success path — bw-analyze still exits 0 and the
+// timeout is reported in the data-quality section, mirroring how injected
+// stage faults behave.
 #pragma once
 
 namespace bw::tools {
