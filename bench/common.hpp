@@ -14,10 +14,26 @@
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace bw::bench {
+
+/// Best-of-N wall-clock timing on the obs::StopWatch clock — the single
+/// steady_clock source shared with --metrics-out stage timings, so the
+/// BENCH_*.json records and run manifests are directly comparable.
+template <typename Fn>
+double time_best_ms(int repetitions, Fn&& body) {
+  double best = 0.0;
+  for (int r = 0; r < repetitions; ++r) {
+    const obs::StopWatch watch;
+    body();
+    const double ms = static_cast<double>(watch.elapsed_us()) / 1000.0;
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
 
 inline const char* csv_dir() {
   const char* dir = std::getenv("BW_CSV_DIR");

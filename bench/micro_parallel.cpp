@@ -13,7 +13,6 @@
 // (default bench_out/) so the perf trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "core/pipeline.hpp"
 #include "util/parallel.hpp"
 
@@ -110,17 +110,10 @@ double time_pipeline_ms(const core::Dataset& dataset, std::size_t threads,
   util::ThreadPool pool(threads - 1);
   core::AnalysisConfig config;
   config.pool = &pool;
-  double best = 0.0;
-  for (int r = 0; r < repetitions; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
+  return bench::time_best_ms(repetitions, [&] {
     core::AnalysisReport report = core::run_pipeline(dataset, config);
     benchmark::DoNotOptimize(report);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    if (r == 0 || ms < best) best = ms;
-  }
-  return best;
+  });
 }
 
 /// bench_out/BENCH_pipeline.json: the cross-PR perf-tracking record.

@@ -8,7 +8,6 @@
 // perf trajectory is tracked across PRs alongside BENCH_pipeline.json.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +17,7 @@
 #include <thread>
 
 #include "bgp/route_server.hpp"
+#include "common.hpp"
 #include "core/pipeline.hpp"
 #include "flow/sampler.hpp"
 #include "ixp/blackhole_service.hpp"
@@ -128,12 +128,12 @@ BENCHMARK(BM_RouteServerProcess)->Unit(benchmark::kMillisecond);
 double time_generate_s(const gen::ScenarioConfig& cfg, std::size_t threads,
                        std::size_t* flows_out) {
   util::ThreadPool pool(threads - 1);
-  const auto t0 = std::chrono::steady_clock::now();
-  const core::ScenarioRun run =
-      core::run_scenario(cfg, std::string{}, &pool);  // cache disabled
-  const auto t1 = std::chrono::steady_clock::now();
-  if (flows_out != nullptr) *flows_out = run.dataset.flows().size();
-  return std::chrono::duration<double>(t1 - t0).count();
+  const double ms = bench::time_best_ms(1, [&] {
+    const core::ScenarioRun run =
+        core::run_scenario(cfg, std::string{}, &pool);  // cache disabled
+    if (flows_out != nullptr) *flows_out = run.dataset.flows().size();
+  });
+  return ms / 1e3;
 }
 
 /// bench_out/BENCH_generate.json: the cross-PR generation-perf record.

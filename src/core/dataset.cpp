@@ -5,11 +5,46 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/atomic_file.hpp"
 #include "util/container.hpp"
 #include "util/parallel.hpp"
 
 namespace bw::core {
+
+namespace {
+
+/// dataset.{save,load}.{ok,fail,wall_us} plus a latency histogram — the
+/// numbers that separate "cache hit" from "regenerate + save" in a run
+/// manifest at a glance.
+struct IoMetrics {
+  obs::Counter* ok;
+  obs::Counter* fail;
+  obs::Counter* wall_us;
+  obs::Histogram* latency;
+};
+
+const IoMetrics& io_metrics(const char* op) {
+  auto make = [](const std::string& base) {
+    auto& reg = obs::Registry::global();
+    return IoMetrics{&reg.counter(base + ".ok"), &reg.counter(base + ".fail"),
+                     &reg.counter(base + ".wall_us"),
+                     &reg.histogram(base + ".latency_us")};
+  };
+  static const IoMetrics save = make("dataset.save");
+  static const IoMetrics load = make("dataset.load");
+  return op[0] == 's' ? save : load;
+}
+
+void record_io(const IoMetrics& m, bool succeeded, const obs::StopWatch& wall) {
+  const std::uint64_t us = wall.elapsed_us();
+  (succeeded ? m.ok : m.fail)->add();
+  m.wall_us->add(us);
+  m.latency->record(us);
+}
+
+}  // namespace
 
 Dataset Dataset::from_run(ixp::RunResult run, const ixp::Platform& platform) {
   std::unordered_map<net::Mac, bgp::Asn> macs;
@@ -354,10 +389,12 @@ void get_span(std::ifstream& is, std::uint64_t count, Fn from_disk) {
 }  // namespace
 
 util::Status Dataset::try_save(const std::string& path) const {
+  const obs::TraceSpan span("dataset.try_save", "io");
+  const obs::StopWatch wall;
   // Atomic commit: the container streams into `<path>.tmp`, which is
   // fsync'd and renamed over `path` only once complete — a crash mid-save
   // leaves the previous file (or nothing), never a torn one.
-  return util::atomic_write_file(path, [&](std::ostream& os) -> util::Status {
+  util::Status st = util::atomic_write_file(path, [&](std::ostream& os) -> util::Status {
     util::container::Writer w(os);
 
     w.begin_section(kSecPeriod);
@@ -423,6 +460,8 @@ util::Status Dataset::try_save(const std::string& path) const {
 
     return w.finish().with_context("Dataset::try_save: " + path);
   });
+  record_io(io_metrics("save"), st.ok(), wall);
+  return st;
 }
 
 void Dataset::save(const std::string& path) const {
@@ -460,6 +499,9 @@ util::Status check_exact_length(const util::container::Section& sec,
 }  // namespace
 
 util::Result<Dataset> Dataset::try_load(const std::string& path) {
+  const obs::TraceSpan span("dataset.try_load", "io");
+  const obs::StopWatch wall;
+  util::Result<Dataset> result = [&]() -> util::Result<Dataset> {
   std::ifstream is(path, std::ios::binary);
   if (!is) return util::not_found("Dataset::try_load: cannot open " + path);
   is.seekg(0, std::ios::end);
@@ -573,6 +615,9 @@ util::Result<Dataset> Dataset::try_load(const std::string& path) {
 
   return Dataset(std::move(control), std::move(data), std::move(macs),
                  std::move(origins), period);
+  }();
+  record_io(io_metrics("load"), result.ok(), wall);
+  return result;
 }
 
 Dataset Dataset::load(const std::string& path) {

@@ -6,9 +6,32 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bw::core {
 
 namespace {
+
+/// ingest.* counters mirror LoadReport accounting process-wide so a run
+/// manifest can state row totals without re-walking per-file reports.
+struct IngestMetrics {
+  obs::Counter* files;
+  obs::Counter* rows_read;
+  obs::Counter* rows_skipped;
+  obs::Counter* rows_repaired;
+};
+
+const IngestMetrics& ingest_metrics() {
+  static const IngestMetrics m = [] {
+    auto& reg = obs::Registry::global();
+    return IngestMetrics{&reg.counter("ingest.files"),
+                         &reg.counter("ingest.rows_read"),
+                         &reg.counter("ingest.rows_skipped"),
+                         &reg.counter("ingest.rows_repaired")};
+  }();
+  return m;
+}
 
 /// Read one line, stripping the trailing '\r' a CRLF (Windows-edited) file
 /// leaves on every field-terminating getline.
@@ -64,6 +87,19 @@ std::string field_error(const char* what, std::string_view value) {
 template <typename ParseRow>
 util::Status stream_rows(std::istream& is, const LoadOptions& options,
                          LoadReport& report, ParseRow&& parse) {
+  const obs::TraceSpan span("ingest." + report.file, "io");
+  const IngestMetrics& metrics = ingest_metrics();
+  metrics.files->add();
+  // Deltas against entry values so a pre-populated report is not
+  // double-counted into the process-wide totals.
+  const std::size_t read0 = report.rows_read;
+  const std::size_t skipped0 = report.rows_skipped;
+  const std::size_t repaired0 = report.rows_repaired;
+  auto settle = [&] {
+    metrics.rows_read->add(report.rows_read - read0);
+    metrics.rows_skipped->add(report.rows_skipped - skipped0);
+    metrics.rows_repaired->add(report.rows_repaired - repaired0);
+  };
   std::string line;
   std::vector<std::string_view> fields;
   std::size_t line_no = 1;
@@ -85,11 +121,13 @@ util::Status stream_rows(std::istream& is, const LoadOptions& options,
       continue;
     }
     if (options.strictness == Strictness::kStrict) {
+      settle();
       return std::move(row).with_context("line " + std::to_string(line_no));
     }
     ++report.rows_skipped;
     report.note(line_no, row.message(), options.max_diagnostics);
   }
+  settle();
   return util::ok_status();
 }
 

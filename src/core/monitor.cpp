@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace bw::core {
+
+namespace {
+
+obs::Counter& monitor_counter(const char* what) {
+  return obs::Registry::global().counter(std::string("monitor.") + what);
+}
+
+}  // namespace
 
 std::string_view to_string(AlertKind k) {
   switch (k) {
@@ -66,6 +75,8 @@ void RtbhMonitor::evict_over_cap() {
     }
     lru_.pop_back();
     prefixes_.erase(it);
+    static obs::Counter& evictions = monitor_counter("evictions");
+    evictions.add();
   }
 }
 
@@ -80,6 +91,8 @@ void RtbhMonitor::emit(AlertKind kind, util::TimeMs t,
   alert.value = value;
   alert.message = std::move(message);
   ++alerts_emitted_;
+  static obs::Counter& alerts = monitor_counter("alerts");
+  alerts.add();
   if (sink_) sink_(alert);
 }
 
@@ -170,6 +183,8 @@ void RtbhMonitor::on_update(const bgp::Update& update) {
       st.zombie_alerted = false;
       active_.insert(update.prefix);
       ++total_events_;
+      static obs::Counter& events = monitor_counter("events_total");
+      events.add();
       std::ostringstream os;
       os << update.prefix.to_string() << " blackholed by AS"
          << update.sender_asn;

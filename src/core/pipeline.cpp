@@ -12,6 +12,8 @@
 #include <thread>
 
 #include "gen/shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/atomic_file.hpp"
 #include "util/parallel.hpp"
 
@@ -27,10 +29,48 @@ constexpr const char* kStageNames[] = {
 };
 constexpr std::size_t kStageCount = std::size(kStageNames);
 
+/// Per-stage metric handles, registered once under the documented names
+/// (pipeline.stage.<name>.{runs,wall_us,cpu_us,degraded,timed_out}) and
+/// cached so stage guards never take the registry mutex.
+struct StageMetrics {
+  obs::Counter* runs;
+  obs::Counter* wall_us;
+  obs::Counter* cpu_us;
+  obs::Counter* degraded;
+  obs::Counter* timed_out;
+};
+
+const std::array<StageMetrics, kStageCount>& stage_metrics() {
+  static const auto* metrics = [] {
+    auto* arr = new std::array<StageMetrics, kStageCount>();
+    auto& reg = obs::Registry::global();
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const std::string base = std::string("pipeline.stage.") + kStageNames[i];
+      (*arr)[i] = {&reg.counter(base + ".runs"),
+                   &reg.counter(base + ".wall_us"),
+                   &reg.counter(base + ".cpu_us"),
+                   &reg.counter(base + ".degraded"),
+                   &reg.counter(base + ".timed_out")};
+    }
+    return arr;
+  }();
+  return *metrics;
+}
+
+obs::Counter& cache_counter(const char* what) {
+  auto& reg = obs::Registry::global();
+  return reg.counter(std::string("scenario.cache.") + what);
+}
+
 }  // namespace
 
 AnalysisReport run_pipeline(const Dataset& dataset,
                             const AnalysisConfig& config) {
+  static obs::Counter& pipeline_runs =
+      obs::Registry::global().counter("pipeline.runs");
+  pipeline_runs.add();
+  const obs::TraceSpan pipeline_span("run_pipeline", "pipeline");
+
   util::ThreadPool& pool = util::pool_or_global(config.pool);
   AnalysisReport report;
   report.data_quality.dataset = dataset.quality();
@@ -48,6 +88,11 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   for (std::size_t i = 0; i < kStageCount; ++i) stages[i].name = kStageNames[i];
   auto guarded = [&](std::size_t slot, auto&& body) {
     StageStatus& status = stages[slot];
+    const StageMetrics& metrics = stage_metrics()[slot];
+    const obs::TraceSpan span(std::string("stage.") + status.name, "pipeline");
+    const obs::StopWatch wall;
+    const obs::ThreadCpuTimer cpu;
+    metrics.runs->add();
     const util::Deadline deadline = config.stage_timeout > 0
                                         ? util::Deadline::after(config.stage_timeout)
                                         : util::Deadline::never();
@@ -82,6 +127,10 @@ AnalysisReport run_pipeline(const Dataset& dataset,
       status.degraded = true;
       status.error = "unknown failure";
     }
+    metrics.wall_us->add(wall.elapsed_us());
+    metrics.cpu_us->add(cpu.elapsed_us());
+    if (status.degraded) metrics.degraded->add();
+    if (status.timed_out) metrics.timed_out->add();
   };
 
   // Serial prologue: event merging is cheap and everything depends on it;
@@ -154,9 +203,7 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   return report;
 }
 
-namespace {
-
-std::string config_fingerprint(const gen::ScenarioConfig& cfg) {
+std::string scenario_cache_name(const gen::ScenarioConfig& cfg) {
   std::ostringstream os;
   // v7: the cache file moved to the checksummed v2 container framing.
   os << "v7|" << cfg.sampling_rate << '|' << cfg.scale << '|' << cfg.seed
@@ -175,8 +222,6 @@ std::string config_fingerprint(const gen::ScenarioConfig& cfg) {
   return name.str();
 }
 
-}  // namespace
-
 std::size_t generation_shards(std::size_t concurrency) {
   return concurrency <= 1 ? 1 : concurrency * 4;
 }
@@ -185,6 +230,7 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
                          std::optional<std::string> cache_dir,
                          util::ThreadPool* pool,
                          const util::Deadline* deadline) {
+  const obs::TraceSpan run_span("run_scenario", "generate");
   gen::Scenario scenario(config);
   ixp::Platform platform(gen::Scenario::platform_config(config));
   scenario.install(platform);
@@ -196,7 +242,7 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
   }
   if (!cache_dir->empty()) {
     std::filesystem::create_directories(*cache_dir);
-    cache_path = *cache_dir + "/" + config_fingerprint(config);
+    cache_path = *cache_dir + "/" + scenario_cache_name(config);
   }
 
   std::vector<CacheIncident> incidents;
@@ -208,12 +254,17 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
   };
 
   if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
+    const obs::TraceSpan load_span("scenario.cache.load", "generate");
     auto loaded = Dataset::try_load(cache_path);
-    if (loaded.ok()) return finish(std::move(loaded).value());
+    if (loaded.ok()) {
+      cache_counter("hit").add();
+      return finish(std::move(loaded).value());
+    }
     // Self-healing: a cache file that fails validation is a cache miss,
     // never a crash. Quarantine the bytes for post-mortem (best effort; a
     // failed rename falls back to removal so the bad file cannot be loaded
     // again), record the incident, and regenerate below.
+    cache_counter("quarantined").add();
     CacheIncident incident;
     incident.path = cache_path;
     incident.error = loaded.status().to_string();
@@ -227,6 +278,9 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
     }
     incidents.push_back(std::move(incident));
   }
+  // Reaching this point with caching enabled means the cache did not
+  // deliver (absent or quarantined) and the corpus is regenerated.
+  if (!cache_path.empty()) cache_counter("miss").add();
 
   // Sharded generation: cut the anchor-ordered emission plan into
   // contiguous, cost-balanced time slices and replay them concurrently
@@ -242,6 +296,7 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
   std::vector<ixp::Platform::SliceResult> slices = util::parallel_map(
       workers, shards.size(),
       [&](std::size_t i) {
+        const obs::TraceSpan slice_span("generate.run_slice", "generate");
         std::vector<gen::EmissionUnit> units(
             plan.begin() + static_cast<std::ptrdiff_t>(shards[i].begin),
             plan.begin() + static_cast<std::ptrdiff_t>(shards[i].end));
@@ -255,9 +310,11 @@ ScenarioRun run_scenario(const gen::ScenarioConfig& config,
     // Cache writes are an optimisation: a save that still fails after the
     // bounded retry is recorded as an incident, never fatal. Only transient
     // (kUnavailable) errors are retried; a permanent error aborts at once.
+    const obs::TraceSpan save_span("scenario.cache.save", "generate");
     const util::Status saved = util::retry_with_backoff(
         3, 10, [&] { return dataset.try_save(cache_path); });
     if (!saved.ok()) {
+      cache_counter("save_failure").add();
       CacheIncident incident;
       incident.path = cache_path;
       incident.error = saved.to_string();

@@ -175,6 +175,11 @@ struct ScenarioRun {
 /// few shards per worker so the cost-balanced planner can even out slices.
 [[nodiscard]] std::size_t generation_shards(std::size_t concurrency);
 
+/// The cache file name (and de-facto scenario fingerprint) run_scenario
+/// derives from `config` — e.g. "scenario_3fa9c1d2e47b8a05.bwds". Exposed so
+/// tools can record the fingerprint in their run manifests.
+[[nodiscard]] std::string scenario_cache_name(const gen::ScenarioConfig& config);
+
 /// The scenario configuration used by all exp_* harnesses: paper-shaped
 /// counts at the scale given by $BW_SCALE (default 0.25).
 [[nodiscard]] gen::ScenarioConfig default_benchmark_scenario();

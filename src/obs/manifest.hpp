@@ -1,0 +1,72 @@
+// Auditable run manifests.
+//
+// Reproduction work in this space (Eumann et al.'s reproducibility study of
+// inter-domain spoofing detection) shows that a measurement pipeline's
+// numbers are only trustworthy when each run records what ran, on what
+// corpus, with what parameters, and what the intermediate counts were. A
+// Manifest is that record: one stable-key-ordered JSON document per run,
+// combining run identity (tool, corpus, scenario fingerprint, seed, thread
+// count), per-stage wall/CPU time, the self-healing counters (cache
+// hit/miss/quarantine, fault retries), ingest row totals, monitor
+// alert/eviction counts, and the full metrics snapshot.
+//
+// Two manifests from runs over the same corpus must agree on every
+// deterministic field (see obs::is_deterministic_metric); only the timing
+// entries may differ. That is what makes manifests comparable across runs,
+// machines, and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace bw::obs {
+
+struct Manifest {
+  // --- run identity ---
+  std::string tool;    ///< e.g. "bw-analyze"
+  std::string corpus;  ///< input path (or cache file name for generation)
+  std::string scenario_fingerprint;  ///< cache key; "" when not a scenario
+  bool has_seed{false};
+  std::uint64_t seed{0};
+  std::size_t threads{0};  ///< configured pool concurrency
+
+  // --- per-stage accounting (pipeline runs only, fixed stage order) ---
+  struct StageTime {
+    std::string name;
+    std::uint64_t wall_us{0};
+    std::uint64_t cpu_us{0};  ///< stage-guard thread CPU (see ThreadCpuTimer)
+    bool degraded{false};
+    bool timed_out{false};
+  };
+  std::vector<StageTime> stages;
+
+  // --- headline counters, duplicated out of `metrics` for easy diffing ---
+  std::uint64_t cache_hits{0};
+  std::uint64_t cache_misses{0};
+  std::uint64_t cache_quarantined{0};
+  std::uint64_t cache_save_failures{0};
+  std::uint64_t fault_retries{0};  ///< retry_with_backoff sleeps taken
+  std::uint64_t rows_loaded{0};    ///< CSV rows accepted across all files
+  std::uint64_t rows_skipped{0};
+  std::uint64_t rows_repaired{0};
+  std::uint64_t monitor_alerts{0};
+  std::uint64_t monitor_evictions{0};
+
+  /// Full registry snapshot embedded under "metrics".
+  MetricsSnapshot metrics;
+
+  /// Fill the headline counters and per-stage wall/cpu times from a
+  /// snapshot (by the documented metric names). Stage entries must already
+  /// be present (pushed in pipeline order by the caller); only their
+  /// timings are filled in.
+  void populate_from_metrics(const MetricsSnapshot& snapshot);
+
+  /// Stable-key-ordered JSON document (fixed field order; maps inside the
+  /// embedded snapshot are name-sorted).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace bw::obs

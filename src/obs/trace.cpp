@@ -1,0 +1,181 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace bw::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  const char* category;
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;
+  std::uint32_t tid;
+};
+
+/// One buffer per thread, owned by the collector so events survive thread
+/// exit (pool teardown happens before a tool renders the trace). Only the
+/// owning thread appends; the mutex makes the render-while-idle-threads-
+/// still-exist case safe rather than fast.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::size_t dropped{0};
+  std::uint32_t tid{0};
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid{1};
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // intentionally leaked: spans may
+  return *c;                              // fire during static destruction
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    Collector& c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    raw->tid = c.next_tid++;
+    c.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+std::uint64_t process_pid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 1;
+#endif
+}
+
+/// All spans share one epoch so cross-thread timelines line up.
+std::uint64_t trace_epoch_us() {
+  static const std::uint64_t epoch = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return epoch;
+}
+
+}  // namespace
+
+std::uint64_t trace_now_us() noexcept {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - trace_epoch_us();
+}
+
+void record_span(std::string name, const char* category, std::uint64_t ts_us,
+                 std::uint64_t dur_us) noexcept {
+  ThreadBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(
+      {std::move(name), category, ts_us, dur_us, buffer.tid});
+}
+
+}  // namespace detail
+
+void trace_enable(bool on) noexcept {
+  (void)detail::trace_epoch_us();  // pin the epoch before the first span
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void trace_reset() {
+  auto& c = detail::collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  for (auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::size_t trace_event_count() {
+  auto& c = detail::collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  std::size_t n = 0;
+  for (auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::size_t trace_dropped_count() {
+  auto& c = detail::collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  std::size_t n = 0;
+  for (auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    n += buffer->dropped;
+  }
+  return n;
+}
+
+std::string render_chrome_trace() {
+  std::vector<detail::TraceEvent> events;
+  {
+    auto& c = detail::collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    for (auto& buffer : c.buffers) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  // Deterministic order regardless of which buffer drained first.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const detail::TraceEvent& a, const detail::TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.name < b.name;
+                   });
+
+  const std::uint64_t pid = detail::process_pid();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"";
+    for (const char ch : e.name) {
+      if (ch == '"' || ch == '\\') os << '\\';
+      os << ch;
+    }
+    os << "\", \"cat\": \"" << e.category << "\", \"ph\": \"X\", \"pid\": "
+       << pid << ", \"tid\": " << e.tid << ", \"ts\": " << e.ts_us
+       << ", \"dur\": " << e.dur_us << "}";
+  }
+  os << (events.empty() ? "]}" : "\n]}");
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace bw::obs

@@ -1,0 +1,86 @@
+// Trace spans: RAII scopes collected into Chrome-trace-format JSON.
+//
+// Tracing is off by default and costs exactly one relaxed atomic load per
+// span construction while off — cheap enough to leave TraceSpan in every
+// pipeline stage guard, every parallel_for chunk, the sharded generator's
+// run_slice, and dataset save/load. When a tool enables it (--trace-out),
+// each thread appends complete spans to its own mutex-guarded buffer
+// (uncontended: only the owning thread appends) and render_chrome_trace()
+// merges the buffers into one deterministic-ordered JSON document that
+// chrome://tracing and Perfetto open directly.
+//
+// Buffers are bounded (kMaxEventsPerThread); past the cap events are
+// counted as dropped, never reallocated without bound — a 104-day corpus
+// replay cannot OOM the tracer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bw::obs {
+
+/// Per-thread span cap; overflow increments the dropped count.
+inline constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+void record_span(std::string name, const char* category,
+                 std::uint64_t ts_us, std::uint64_t dur_us) noexcept;
+[[nodiscard]] std::uint64_t trace_now_us() noexcept;
+}  // namespace detail
+
+/// One relaxed load; the cost of an inactive TraceSpan.
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn collection on/off. Spans constructed while off record nothing.
+void trace_enable(bool on) noexcept;
+
+/// Drop every collected event and reset the dropped count (tests/tools).
+void trace_reset();
+
+/// Collected (and dropped) event counts across all threads.
+[[nodiscard]] std::size_t trace_event_count();
+[[nodiscard]] std::size_t trace_dropped_count();
+
+/// The full Chrome trace JSON document:
+///   {"displayTimeUnit":"ms","traceEvents":[{"name":...,"cat":...,
+///    "ph":"X","pid":...,"tid":...,"ts":...,"dur":...}, ...]}
+/// Events are sorted by (ts, tid, name) so the document is independent of
+/// buffer drain order.
+[[nodiscard]] std::string render_chrome_trace();
+
+/// RAII complete-event ("ph":"X") span. The name is only materialised when
+/// tracing is on; an inactive span does no allocation.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name,
+                     const char* category = "bw") noexcept
+      : active_(trace_enabled()) {
+    if (active_) {
+      name_.assign(name);
+      category_ = category;
+      start_us_ = detail::trace_now_us();
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      detail::record_span(std::move(name_), category_, start_us_,
+                          detail::trace_now_us() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  std::string name_;
+  const char* category_{""};
+  std::uint64_t start_us_{0};
+};
+
+}  // namespace bw::obs

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <unistd.h>
@@ -103,11 +105,17 @@ Status atomic_write_file(const std::string& path, std::string_view content) {
 
 Status retry_with_backoff(std::size_t attempts, DurationMs backoff,
                           const std::function<Status()>& op) {
+  static obs::Counter& attempt_count =
+      obs::Registry::global().counter("retry.attempts");
+  static obs::Counter& backoff_count =
+      obs::Registry::global().counter("retry.backoffs");
   Status st = internal_error("retry_with_backoff: zero attempts");
   for (std::size_t i = 0; i < attempts; ++i) {
+    attempt_count.add();
     st = op();
     if (st.ok() || st.code() != StatusCode::kUnavailable) return st;
     if (i + 1 < attempts && backoff > 0) {
+      backoff_count.add();
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
       backoff *= 2;
     }

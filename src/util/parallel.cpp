@@ -5,6 +5,24 @@
 
 namespace bw::util {
 
+namespace detail {
+
+obs::Counter& parallel_for_calls() {
+  // "sched.": parallel_sort only reaches parallel_for on its threaded
+  // path, so the call count legitimately varies with BW_THREADS.
+  static obs::Counter& c =
+      obs::Registry::global().counter("sched.parallel.for_calls");
+  return c;
+}
+
+obs::Counter& parallel_chunk_count() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("sched.parallel.chunks");
+  return c;
+}
+
+}  // namespace detail
+
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {

@@ -38,9 +38,18 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/deadline.hpp"
 
 namespace bw::util {
+
+namespace detail {
+/// Cached registry handles (definition in parallel.cpp) so the hot loop
+/// pays one relaxed fetch_add, never a map lookup.
+[[nodiscard]] obs::Counter& parallel_for_calls();   ///< sched.parallel.for_calls
+[[nodiscard]] obs::Counter& parallel_chunk_count(); ///< sched.parallel.chunks
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -138,6 +147,8 @@ struct ForLoopState {
       const std::size_t begin = c * grain;
       const std::size_t end = std::min(n, begin + grain);
       try {
+        const obs::TraceSpan span("parallel_for.chunk", "parallel");
+        parallel_chunk_count().add();
         if (deadline != nullptr) deadline->check("parallel_for");
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
@@ -170,8 +181,10 @@ void parallel_for(ThreadPool& pool, std::size_t n, F&& body,
                   std::size_t grain = 0,
                   const Deadline* deadline = nullptr) {
   if (n == 0) return;
+  detail::parallel_for_calls().add();
   auto& fn = body;
   if (pool.worker_count() == 0 || n == 1) {
+    const obs::TraceSpan span("parallel_for.serial", "parallel");
     for (std::size_t i = 0; i < n; ++i) {
       // Serial fallback: poll at the same per-chunk granularity so a
       // supervised loop cannot wedge in BW_THREADS=1 mode either.

@@ -3,6 +3,7 @@
 // accounting (LoadReport + Dataset::Quality) is checked against the
 // injector's ground-truth FaultLog.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -45,7 +46,11 @@ Dataset fault_world_dataset() {
 class FaultInjectionTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    clean_dir_ = new std::string(::testing::TempDir() + "/bw_fault_clean");
+    // Per-process path: concurrent test processes of this suite must not
+    // share the directory (remove_all below would race another process's
+    // export/load).
+    clean_dir_ = new std::string(::testing::TempDir() + "/bw_fault_clean_" +
+                                 std::to_string(::getpid()));
     std::filesystem::remove_all(*clean_dir_);
     const Dataset ds = fault_world_dataset();
     export_dataset_csv(ds, *clean_dir_);

@@ -4,6 +4,7 @@
 // stage — and the sections unaffected by a failing stage must match the
 // healthy run exactly.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -26,7 +27,12 @@ class DegradedDeterminismTest : public ::testing::Test {
     cfg.seed = 20191021;
     const ScenarioRun run = run_scenario(cfg, std::string{});
 
-    const std::string dir = ::testing::TempDir() + "/bw_degraded_corpus";
+    // Per-process path: ctest runs each TEST of this suite as its own
+    // process, so concurrent SetUpTestSuite calls must not share a
+    // directory (one process's remove_all races another's load, the ASSERT
+    // fires, dataset_ stays null, and the test body segfaults).
+    const std::string dir = ::testing::TempDir() + "/bw_degraded_corpus_" +
+                            std::to_string(::getpid());
     std::filesystem::remove_all(dir);
     export_dataset_csv(run.dataset, dir);
     auto corpus = bt::CsvCorpus::load(dir);

@@ -61,8 +61,11 @@ TEST_F(SupervisedPipelineTest, HungStageTimesOutAndRunCompletes) {
   // A planted wedge in one stage: the watchdog must fire, the stage must
   // degrade with timed_out set, and every other stage must still produce
   // its section — the process is never allowed to hang.
+  // 2 s budget: long enough that healthy stages never trip it even on a
+  // loaded single-core CI box running the suite at -j, short enough that
+  // the wedged stage is bounded well under the 60 s ceiling below.
   const auto t0 = std::chrono::steady_clock::now();
-  const AnalysisReport report = run(3, 200, {"filtering"});
+  const AnalysisReport report = run(3, 2000, {"filtering"});
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -95,8 +98,8 @@ TEST_F(SupervisedPipelineTest, HungStageTimesOutAndRunCompletes) {
 TEST_F(SupervisedPipelineTest, TimedOutReportIsThreadCountIndependent) {
   // DeadlineExceeded carries a deterministic message, so even the degraded
   // document is byte-identical at every thread count.
-  const AnalysisReport serial = run(0, 200, {"pre_rtbh"});
-  const AnalysisReport wide = run(7, 200, {"pre_rtbh"});
+  const AnalysisReport serial = run(0, 2000, {"pre_rtbh"});
+  const AnalysisReport wide = run(7, 2000, {"pre_rtbh"});
   EXPECT_EQ(render_markdown(*dataset_, serial, nullptr),
             render_markdown(*dataset_, wide, nullptr));
 }

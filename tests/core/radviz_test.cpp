@@ -1,0 +1,122 @@
+// Unit tests for the RadViz projection (Section 6.1, Fig. 16) on synthetic
+// PortStatsReport inputs with hand-computable geometry: single-feature
+// hosts land exactly on their anchor, the min-days filter and the
+// zero-feature skip drop the right hosts, and the client/server half-plane
+// split matches the anchor semantics.
+#include <gtest/gtest.h>
+
+#include "core/radviz.hpp"
+
+namespace bw::core {
+namespace {
+
+HostPortStats host(std::uint32_t ip, std::size_t src_in, std::size_t dst_in,
+                   std::size_t src_out, std::size_t dst_out,
+                   std::size_t days) {
+  HostPortStats h;
+  h.ip = net::Ipv4(ip);
+  h.unique_src_ports_in = src_in;
+  h.unique_dst_ports_in = dst_in;
+  h.unique_src_ports_out = src_out;
+  h.unique_dst_ports_out = dst_out;
+  h.days_bidirectional = days;
+  return h;
+}
+
+TEST(RadvizTest, AnchorsOnUnitCircle) {
+  const RadvizReport r = radviz_projection(PortStatsReport{});
+  ASSERT_EQ(r.anchors.size(), 4u);
+  EXPECT_EQ(r.anchors[0], (std::pair<double, double>{1.0, 0.0}));
+  EXPECT_EQ(r.anchors[1], (std::pair<double, double>{0.0, 1.0}));
+  EXPECT_EQ(r.anchors[2], (std::pair<double, double>{-1.0, 0.0}));
+  EXPECT_EQ(r.anchors[3], (std::pair<double, double>{0.0, -1.0}));
+  EXPECT_TRUE(r.points.empty());
+  EXPECT_EQ(r.client_side_count, 0u);
+  EXPECT_EQ(r.server_side_count, 0u);
+}
+
+TEST(RadvizTest, SingleFeatureHostsLandOnTheirAnchor) {
+  PortStatsReport stats;
+  // One dominant feature each: the point settles exactly on that anchor.
+  stats.hosts.push_back(host(0x0A000001, 500, 0, 0, 0, 25));  // src-in
+  stats.hosts.push_back(host(0x0A000002, 0, 500, 0, 0, 25));  // dst-in
+  stats.hosts.push_back(host(0x0A000003, 0, 0, 500, 0, 25));  // src-out
+  stats.hosts.push_back(host(0x0A000004, 0, 0, 0, 500, 25));  // dst-out
+
+  const RadvizReport r = radviz_projection(stats, 20);
+  ASSERT_EQ(r.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.points[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(r.points[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(r.points[1].x, 0.0);
+  EXPECT_DOUBLE_EQ(r.points[1].y, 1.0);
+  EXPECT_DOUBLE_EQ(r.points[2].x, -1.0);
+  EXPECT_DOUBLE_EQ(r.points[2].y, 0.0);
+  EXPECT_DOUBLE_EQ(r.points[3].x, 0.0);
+  EXPECT_DOUBLE_EQ(r.points[3].y, -1.0);
+
+  // Client pull is the dst-in (0,1) / src-out (-1,0) pair; server pull the
+  // other two. The split is the (-x + y) > 0 half-plane.
+  EXPECT_FALSE(r.points[0].client_side);
+  EXPECT_TRUE(r.points[1].client_side);
+  EXPECT_TRUE(r.points[2].client_side);
+  EXPECT_FALSE(r.points[3].client_side);
+  EXPECT_EQ(r.client_side_count, 2u);
+  EXPECT_EQ(r.server_side_count, 2u);
+}
+
+TEST(RadvizTest, BalancedHostSettlesAtOriginOnServerSide) {
+  PortStatsReport stats;
+  stats.hosts.push_back(host(0x0A000001, 100, 100, 100, 100, 25));
+  const RadvizReport r = radviz_projection(stats, 20);
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.points[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(r.points[0].y, 0.0);
+  // Exactly on the boundary: (-x + y) > 0 is false, so server side.
+  EXPECT_FALSE(r.points[0].client_side);
+  EXPECT_EQ(r.server_side_count, 1u);
+}
+
+TEST(RadvizTest, ProjectionIsStiffnessWeightedMean) {
+  PortStatsReport stats;
+  // 300 towards (1,0) and 100 towards (0,1): x = 300/400, y = 100/400.
+  stats.hosts.push_back(host(0x0A000001, 300, 100, 0, 0, 25));
+  const RadvizReport r = radviz_projection(stats, 20);
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.points[0].x, 0.75);
+  EXPECT_DOUBLE_EQ(r.points[0].y, 0.25);
+  EXPECT_FALSE(r.points[0].client_side);  // -0.75 + 0.25 < 0
+}
+
+TEST(RadvizTest, MinDaysFilterDropsShortLivedHosts) {
+  PortStatsReport stats;
+  stats.hosts.push_back(host(0x0A000001, 100, 0, 0, 0, 19));
+  stats.hosts.push_back(host(0x0A000002, 100, 0, 0, 0, 20));
+  const RadvizReport strict = radviz_projection(stats, 20);
+  ASSERT_EQ(strict.points.size(), 1u);
+  EXPECT_EQ(strict.points[0].ip, net::Ipv4(0x0A000002));
+
+  // Lowering the criterion admits the short-lived host too.
+  const RadvizReport lax = radviz_projection(stats, 10);
+  EXPECT_EQ(lax.points.size(), 2u);
+}
+
+TEST(RadvizTest, ZeroFeatureHostsAreSkipped) {
+  PortStatsReport stats;
+  stats.hosts.push_back(host(0x0A000001, 0, 0, 0, 0, 25));
+  const RadvizReport r = radviz_projection(stats, 20);
+  EXPECT_TRUE(r.points.empty());
+  EXPECT_EQ(r.client_side_count + r.server_side_count, 0u);
+}
+
+TEST(RadvizTest, ClassificationIsCarriedThrough) {
+  PortStatsReport stats;
+  auto h = host(0x0A000001, 0, 200, 0, 0, 25);
+  h.classification = HostClass::kClient;
+  stats.hosts.push_back(h);
+  const RadvizReport r = radviz_projection(stats, 20);
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_EQ(r.points[0].classification, HostClass::kClient);
+}
+
+}  // namespace
+}  // namespace bw::core

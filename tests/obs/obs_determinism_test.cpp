@@ -1,0 +1,106 @@
+// Thread-count independence of the deterministic metric class: every
+// counter that is_deterministic_metric() admits (i.e. not timing, not
+// scheduling shape) must read the same value after a serial run_pipeline
+// as after an 8-way run over the same corpus. This is the metrics
+// counterpart of pipeline_determinism_test — reports are byte-identical,
+// and so is the observable work accounting.
+//
+// This file is part of bw_parallel_test, so the 8-way run is also executed
+// under the tsan CTest label.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace bw::core {
+namespace {
+
+/// Deterministic counters only, as name -> value. Names registered in one
+/// run but not the other compare as 0 (registration is process-cumulative,
+/// values are what must match).
+std::map<std::string, std::uint64_t> deterministic_counters(
+    const obs::MetricsSnapshot& snapshot) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (obs::is_deterministic_metric(name)) out[name] = value;
+  }
+  return out;
+}
+
+TEST(ObsDeterminismTest, CounterSnapshotsIdenticalAcrossThreadCounts) {
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.04;
+  cfg.seed = 20191021;
+  const ScenarioRun run = run_scenario(cfg, std::string{});  // cache disabled
+  obs::Registry& registry = obs::Registry::global();
+
+  registry.reset_values();
+  util::ThreadPool serial(0);
+  AnalysisConfig serial_cfg;
+  serial_cfg.pool = &serial;
+  const AnalysisReport serial_report = run_pipeline(run.dataset, serial_cfg);
+  const obs::MetricsSnapshot serial_snap = registry.snapshot();
+  const auto serial_counters = deterministic_counters(serial_snap);
+
+  registry.reset_values();
+  util::ThreadPool wide(7);  // 8-way: 7 workers + the calling thread
+  AnalysisConfig wide_cfg;
+  wide_cfg.pool = &wide;
+  const AnalysisReport wide_report = run_pipeline(run.dataset, wide_cfg);
+  const obs::MetricsSnapshot wide_snap = registry.snapshot();
+  const auto wide_counters = deterministic_counters(wide_snap);
+
+  // Sanity: both runs actually recorded pipeline work.
+  EXPECT_EQ(serial_snap.counter("pipeline.runs"), 1u);
+  EXPECT_EQ(wide_snap.counter("pipeline.runs"), 1u);
+  ASSERT_GT(serial_counters.size(), 5u);
+
+  // Union of names, absent treated as 0: every deterministic counter must
+  // agree between the serial and the 8-way run.
+  std::map<std::string, std::uint64_t> all;
+  for (const auto& [name, value] : serial_counters) all.emplace(name, 0);
+  for (const auto& [name, value] : wide_counters) all.emplace(name, 0);
+  for (const auto& [name, unused] : all) {
+    const auto lookup = [&](const auto& m) {
+      const auto it = m.find(name);
+      return it == m.end() ? std::uint64_t{0} : it->second;
+    };
+    EXPECT_EQ(lookup(serial_counters), lookup(wide_counters))
+        << "deterministic counter '" << name
+        << "' differs between 1-thread and 8-thread runs";
+  }
+
+  // The reports these runs produced are the same ones
+  // pipeline_determinism_test pins byte-identical; spot-check alignment so
+  // a metrics regression cannot hide behind a report regression.
+  EXPECT_EQ(serial_report.summary.flow_records,
+            wide_report.summary.flow_records);
+  EXPECT_EQ(serial_report.events.size(), wide_report.events.size());
+}
+
+TEST(ObsDeterminismTest, StageRunCountersMatchDataQualityStages) {
+  gen::ScenarioConfig cfg;
+  cfg.scale = 0.04;
+  cfg.seed = 20191021;
+  const ScenarioRun run = run_scenario(cfg, std::string{});
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.reset_values();
+  const AnalysisReport report = run_pipeline(run.dataset);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+
+  ASSERT_FALSE(report.data_quality.stages.empty());
+  for (const auto& stage : report.data_quality.stages) {
+    EXPECT_EQ(snap.counter("pipeline.stage." + std::string(stage.name) +
+                           ".runs"),
+              1u)
+        << "stage '" << stage.name << "' run counter";
+  }
+}
+
+}  // namespace
+}  // namespace bw::core

@@ -6,6 +6,7 @@
 //   bw-analyze CORPUS [--delta MINUTES] [--markdown OUT.md]
 //              [--strict | --skip-bad-rows | --repair]
 //              [--stage-timeout-s S] [--inject-hang STAGE]
+//              [--metrics-out FILE] [--trace-out FILE]
 //
 // Exit codes: 0 ok, 2 usage, 3 data error, 4 internal (see tools/cli.hpp).
 // A stage cancelled by --stage-timeout-s degrades that stage and the run
@@ -23,7 +24,9 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/whatif.hpp"
+#include "obs/metrics.hpp"
 #include "util/atomic_file.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +36,7 @@ void usage() {
   std::cerr << "usage: bw-analyze CORPUS [--delta MINUTES] [--markdown OUT.md]\n"
                "                  [--strict | --skip-bad-rows | --repair]\n"
                "                  [--stage-timeout-s S] [--inject-hang STAGE]\n"
+               "                  [--metrics-out FILE] [--trace-out FILE]\n"
                "  CORPUS is a .bwds file or a CSV corpus directory.\n"
                "  --strict        fail on the first malformed CSV row (default)\n"
                "  --skip-bad-rows drop malformed rows; account in data quality\n"
@@ -42,7 +46,8 @@ void usage() {
                "                  (cooperative watchdog; the stage degrades,\n"
                "                  the run completes)\n"
                "  --inject-hang STAGE  wedge STAGE until its timeout fires\n"
-               "                  (testing only; requires --stage-timeout-s)\n";
+               "                  (testing only; requires --stage-timeout-s)\n"
+            << bw::tools::kObsUsage;
 }
 
 std::string pct(double f, int p = 1) { return bw::util::fmt_percent(f, p); }
@@ -55,10 +60,13 @@ int main(int argc, char** argv) {
   std::string markdown_out;
   core::AnalysisConfig acfg;
   core::LoadOptions load_options;  // default: Strictness::kStrict
+  tools::ObsOptions obs_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--delta" && i + 1 < argc) {
+    if (obs_options.parse(argc, argv, i)) {
+      continue;
+    } else if (arg == "--delta" && i + 1 < argc) {
       acfg.merge_delta = util::minutes(std::atof(argv[++i]));
     } else if (arg == "--markdown" && i + 1 < argc) {
       markdown_out = argv[++i];
@@ -97,6 +105,7 @@ int main(int argc, char** argv) {
     usage();
     return tools::kExitUsage;
   }
+  obs_options.arm();
 
   try {
     std::cout << "Loading " << path << "...\n";
@@ -262,6 +271,18 @@ int main(int argc, char** argv) {
       }
       std::cout << "\nWrote markdown report to " << markdown_out << "\n";
     }
+
+    obs::Manifest manifest;
+    manifest.tool = "bw-analyze";
+    manifest.corpus = path;
+    manifest.threads = util::ThreadPool::configured_concurrency();
+    for (const auto& stage : r.data_quality.stages) {
+      manifest.stages.push_back(
+          {stage.name, 0, 0, stage.degraded, stage.timed_out});
+    }
+    manifest.populate_from_metrics(obs::Registry::global().snapshot());
+    if (!obs_options.emit("bw-analyze", manifest)) return tools::kExitData;
+
     return tools::kExitOk;
   } catch (const std::exception& e) {
     std::cerr << "bw-analyze: internal error: " << e.what() << "\n";

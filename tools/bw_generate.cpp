@@ -4,7 +4,7 @@
 //
 //   bw-generate --out corpus.bwds [--scale 0.25] [--seed 20191021]
 //               [--days 104] [--sampling 10000] [--threads N] [--csv DIR]
-//               [--stage-timeout-s S]
+//               [--stage-timeout-s S] [--metrics-out FILE] [--trace-out FILE]
 //   bw-generate --out corpus.bwds --from-csv DIR
 //               [--strict | --skip-bad-rows | --repair]
 //
@@ -12,7 +12,6 @@
 // A generation run cancelled by --stage-timeout-s exits 3: unlike a
 // degraded analysis stage there is no partial corpus worth keeping, so the
 // timeout is a data error, not a success.
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -24,6 +23,7 @@
 #include "cli.hpp"
 #include "core/io_text.hpp"
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -46,7 +46,8 @@ void usage() {
                "               $BW_THREADS or hardware concurrency); the\n"
                "               corpus is byte-identical at any N\n"
                "  --stage-timeout-s S  cancel generation past S seconds\n"
-               "               (cooperative watchdog; exits 3, no corpus)\n";
+               "               (cooperative watchdog; exits 3, no corpus)\n"
+            << bw::tools::kObsUsage;
 }
 
 }  // namespace
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   std::optional<std::size_t> threads;
   util::DurationMs stage_timeout = 0;
   core::LoadOptions load_options;  // default: Strictness::kStrict
+  tools::ObsOptions obs_options;
   gen::ScenarioConfig cfg;
   cfg.scale = 0.25;
 
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    if (obs_options.parse(argc, argv, i)) continue;
     if (arg == "--out") out = value();
     else if (arg == "--csv") csv_dir = value();
     else if (arg == "--from-csv") from_csv = value();
@@ -120,6 +123,22 @@ int main(int argc, char** argv) {
     usage();
     return tools::kExitUsage;
   }
+  obs_options.arm();
+
+  auto emit_observability = [&](const std::string& corpus, bool generated) {
+    obs::Manifest manifest;
+    manifest.tool = "bw-generate";
+    manifest.corpus = corpus;
+    if (generated) {
+      manifest.scenario_fingerprint = core::scenario_cache_name(cfg);
+      manifest.has_seed = true;
+      manifest.seed = cfg.seed;
+    }
+    manifest.threads =
+        threads.value_or(util::ThreadPool::configured_concurrency());
+    manifest.populate_from_metrics(obs::Registry::global().snapshot());
+    return obs_options.emit("bw-generate", manifest);
+  };
 
   try {
     if (!from_csv.empty()) {
@@ -137,6 +156,7 @@ int main(int argc, char** argv) {
         return tools::kExitData;
       }
       std::cout << "Converted " << from_csv << " -> " << out << "\n";
+      if (!emit_observability(from_csv, false)) return tools::kExitData;
       return tools::kExitOk;
     }
 
@@ -151,12 +171,12 @@ int main(int argc, char** argv) {
     const util::Deadline deadline = stage_timeout > 0
                                         ? util::Deadline::after(stage_timeout)
                                         : util::Deadline::never();
-    const auto t0 = std::chrono::steady_clock::now();
+    // One clock source for all tool timing: the obs StopWatch (the same
+    // steady_clock the metrics and bench harnesses report from).
+    const obs::StopWatch watch;
     const core::ScenarioRun run =
         core::run_scenario(cfg, std::string{}, &pool, &deadline);
-    const double secs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
+    const double secs = watch.elapsed_seconds();
     if (const auto st = run.dataset.try_save(out); !st.ok()) {
       std::cerr << "bw-generate: " << st.to_string() << "\n";
       return tools::kExitData;
@@ -184,6 +204,7 @@ int main(int argc, char** argv) {
       core::export_dataset_csv(run.dataset, csv_dir);
       std::cout << "Exported CSV corpus to " << csv_dir << "/\n";
     }
+    if (!emit_observability(out, true)) return tools::kExitData;
     return tools::kExitOk;
   } catch (const util::DeadlineExceeded& e) {
     std::cerr << "bw-generate: run exceeded --stage-timeout-s: " << e.what()

@@ -3,6 +3,9 @@
 // server + IPFIX feed would produce in real time.
 //
 //   bw-monitor corpus.bwds [--kinds attack,zombie,lowdrop] [--quiet]
+//              [--metrics-out FILE] [--trace-out FILE]
+//
+// Exit codes: 0 ok, 2 usage, 3 data error, 4 internal (see tools/cli.hpp).
 #include <iostream>
 #include <sstream>
 #include <map>
@@ -12,14 +15,19 @@
 #include "cli.hpp"
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 void usage() {
   std::cerr << "usage: bw-monitor FILE.bwds [--kinds LIST] [--quiet]\n"
+               "                 [--metrics-out FILE] [--trace-out FILE]\n"
                "  LIST: comma-separated of start,end,attack,lowdrop,zombie\n"
-               "  --quiet: summary only\n";
+               "  --quiet: summary only\n"
+            << bw::tools::kObsUsage;
 }
 
 std::optional<bw::core::AlertKind> kind_from(const std::string& name) {
@@ -38,13 +46,16 @@ int main(int argc, char** argv) {
   using namespace bw;
   std::string path;
   bool quiet = false;
+  tools::ObsOptions obs_options;
   std::unordered_set<core::AlertKind> kinds{core::AlertKind::kAttackCorrelated,
                                             core::AlertKind::kLowDropRate,
                                             core::AlertKind::kZombieSuspect};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--quiet") {
+    if (obs_options.parse(argc, argv, i)) {
+      continue;
+    } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--kinds" && i + 1 < argc) {
       kinds.clear();
@@ -53,17 +64,19 @@ int main(int argc, char** argv) {
       while (std::getline(list, name, ',')) {
         const auto kind = kind_from(name);
         if (!kind) {
+          std::cerr << "bw-monitor: unknown alert kind: " << name << "\n";
           usage();
-          return bw::tools::kExitUsage;
+          return tools::kExitUsage;
         }
         kinds.insert(*kind);
       }
     } else if (arg == "--help" || arg == "-h") {
       usage();
-      return bw::tools::kExitOk;
+      return tools::kExitOk;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
+      std::cerr << "bw-monitor: unknown argument: " << arg << "\n";
       usage();
       return tools::kExitUsage;
     }
@@ -72,44 +85,61 @@ int main(int argc, char** argv) {
     usage();
     return tools::kExitUsage;
   }
+  obs_options.arm();
 
-  std::cout << "Loading " << path << "...\n";
-  auto loaded = core::Dataset::try_load(path);
-  if (!loaded.ok()) {
-    std::cerr << "bw-monitor: " << loaded.status().to_string() << "\n";
-    return tools::kExitData;
-  }
-  const core::Dataset& dataset = loaded.value();
-
-  std::map<core::AlertKind, std::size_t> counts;
-  core::RtbhMonitor monitor({}, [&](const core::Alert& alert) {
-    ++counts[alert.kind];
-    if (!quiet && kinds.contains(alert.kind)) {
-      std::cout << "[" << util::format_time(alert.time) << "] "
-                << core::to_string(alert.kind) << ": " << alert.message
-                << "\n";
+  try {
+    std::cout << "Loading " << path << "...\n";
+    auto loaded = core::Dataset::try_load(path);
+    if (!loaded.ok()) {
+      std::cerr << "bw-monitor: " << loaded.status().to_string() << "\n";
+      return tools::kExitData;
     }
-  });
+    const core::Dataset& dataset = loaded.value();
 
-  const auto& updates = dataset.blackhole_updates();
-  const auto& flows = dataset.flows();
-  std::size_t ui = 0;
-  std::size_t fi = 0;
-  while (ui < updates.size() || fi < flows.size()) {
-    const bool take_update =
-        fi >= flows.size() ||
-        (ui < updates.size() && updates[ui].time <= flows[fi].time);
-    if (take_update) monitor.on_update(updates[ui++]);
-    else monitor.on_flow(flows[fi++]);
-  }
-  monitor.finish(dataset.period().end);
+    std::map<core::AlertKind, std::size_t> counts;
+    core::RtbhMonitor monitor({}, [&](const core::Alert& alert) {
+      ++counts[alert.kind];
+      if (!quiet && kinds.contains(alert.kind)) {
+        std::cout << "[" << util::format_time(alert.time) << "] "
+                  << core::to_string(alert.kind) << ": " << alert.message
+                  << "\n";
+      }
+    });
 
-  util::TextTable table({"signal", "count"});
-  for (const auto& [kind, n] : counts) {
-    table.add_row({std::string(core::to_string(kind)),
-                   util::fmt_count(static_cast<std::int64_t>(n))});
+    {
+      const obs::TraceSpan replay_span("monitor.replay", "monitor");
+      const auto& updates = dataset.blackhole_updates();
+      const auto& flows = dataset.flows();
+      std::size_t ui = 0;
+      std::size_t fi = 0;
+      while (ui < updates.size() || fi < flows.size()) {
+        const bool take_update =
+            fi >= flows.size() ||
+            (ui < updates.size() && updates[ui].time <= flows[fi].time);
+        if (take_update) monitor.on_update(updates[ui++]);
+        else monitor.on_flow(flows[fi++]);
+      }
+      monitor.finish(dataset.period().end);
+    }
+
+    util::TextTable table({"signal", "count"});
+    for (const auto& [kind, n] : counts) {
+      table.add_row({std::string(core::to_string(kind)),
+                     util::fmt_count(static_cast<std::int64_t>(n))});
+    }
+    std::cout << "\n" << table << "Events observed: " << monitor.total_events()
+              << "\n";
+
+    obs::Manifest manifest;
+    manifest.tool = "bw-monitor";
+    manifest.corpus = path;
+    manifest.threads = util::ThreadPool::configured_concurrency();
+    manifest.populate_from_metrics(obs::Registry::global().snapshot());
+    if (!obs_options.emit("bw-monitor", manifest)) return tools::kExitData;
+
+    return tools::kExitOk;
+  } catch (const std::exception& e) {
+    std::cerr << "bw-monitor: internal error: " << e.what() << "\n";
+    return tools::kExitInternal;
   }
-  std::cout << "\n" << table << "Events observed: " << monitor.total_events()
-            << "\n";
-  return tools::kExitOk;
 }

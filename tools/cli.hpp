@@ -14,11 +14,75 @@
 // stage faults behave.
 #pragma once
 
+#include <iostream>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
+#include "util/atomic_file.hpp"
+
 namespace bw::tools {
 
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitData = 3;
 inline constexpr int kExitInternal = 4;
+
+/// Observability outputs every bw-* tool offers:
+///   --metrics-out FILE  run manifest + full metrics snapshot (JSON)
+///   --trace-out FILE    Chrome trace (chrome://tracing, Perfetto)
+/// Collection itself never alters results; the reports stay byte-identical
+/// with these on or off.
+struct ObsOptions {
+  std::string metrics_out;
+  std::string trace_out;
+
+  /// Handle one argv slot. Returns true when consumed (possibly advancing
+  /// `i` past the flag's value).
+  bool parse(int argc, char** argv, int& i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+      return true;
+    }
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      return true;
+    }
+    return false;
+  }
+
+  /// Call after argument parsing: turns span collection on when a trace
+  /// file was requested (spans are free while off).
+  void arm() const {
+    if (!trace_out.empty()) obs::trace_enable(true);
+  }
+
+  /// Write the requested outputs (atomic commit, like every other tool
+  /// artifact). Returns false after printing to stderr if a write failed.
+  bool emit(const char* tool, const obs::Manifest& manifest) const {
+    if (!metrics_out.empty()) {
+      const util::Status st =
+          util::atomic_write_file(metrics_out, manifest.to_json());
+      if (!st.ok()) {
+        std::cerr << tool << ": " << st.to_string() << "\n";
+        return false;
+      }
+    }
+    if (!trace_out.empty()) {
+      const util::Status st =
+          util::atomic_write_file(trace_out, obs::render_chrome_trace());
+      if (!st.ok()) {
+        std::cerr << tool << ": " << st.to_string() << "\n";
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+inline constexpr const char* kObsUsage =
+    "  --metrics-out FILE   write a run manifest + metrics snapshot (JSON)\n"
+    "  --trace-out FILE     write a Chrome-trace JSON timeline\n";
 
 }  // namespace bw::tools
