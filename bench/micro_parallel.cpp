@@ -23,6 +23,7 @@
 
 #include "common.hpp"
 #include "core/pipeline.hpp"
+#include "testing/bench_gate.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -116,7 +117,8 @@ double time_pipeline_ms(const core::Dataset& dataset, std::size_t threads,
   });
 }
 
-/// bench_out/BENCH_pipeline.json: the cross-PR perf-tracking record.
+/// bench_out/BENCH_pipeline.json: the cross-PR perf-tracking record, in the
+/// unified bench schema (v2) consumed by tools/bench-gate.
 void write_pipeline_json() {
   const char* dir_env = std::getenv("BW_CSV_DIR");
   const std::string dir = dir_env != nullptr ? dir_env : "bench_out";
@@ -124,24 +126,38 @@ void write_pipeline_json() {
 
   const core::Dataset& dataset = corpus().dataset;
   const auto summary = dataset.summary();
+  const double flow_records = static_cast<double>(summary.flow_records);
 
   std::ofstream os(dir + "/BENCH_pipeline.json", std::ios::trunc);
   os << "{\n";
+  os << "  \"bench_schema_version\": " << testing::kBenchSchemaVersion
+     << ",\n";
   os << "  \"benchmark\": \"run_pipeline\",\n";
   os << "  \"scale\": " << core::default_benchmark_scenario().scale << ",\n";
   os << "  \"flow_records\": " << summary.flow_records << ",\n";
   os << "  \"blackhole_updates\": " << summary.blackhole_updates << ",\n";
   os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
      << ",\n";
-  os << "  \"wall_ms_by_threads\": {\n";
   double serial_ms = 0.0;
   const std::size_t counts[] = {1, 2, 4, 8};
+  double wall_ms[4] = {0.0, 0.0, 0.0, 0.0};
   for (std::size_t i = 0; i < 4; ++i) {
-    const double ms = time_pipeline_ms(dataset, counts[i], 3);
-    if (counts[i] == 1) serial_ms = ms;
-    os << "    \"" << counts[i] << "\": " << ms << (i + 1 < 4 ? ",\n" : "\n");
-    std::cerr << "pipeline threads=" << counts[i] << " wall_ms=" << ms
+    wall_ms[i] = time_pipeline_ms(dataset, counts[i], 3);
+    if (counts[i] == 1) serial_ms = wall_ms[i];
+    std::cerr << "pipeline threads=" << counts[i] << " wall_ms=" << wall_ms[i]
               << "\n";
+  }
+  os << "  \"wall_ms_by_threads\": {\n";
+  for (std::size_t i = 0; i < 4; ++i) {
+    os << "    \"" << counts[i] << "\": " << wall_ms[i]
+       << (i + 1 < 4 ? ",\n" : "\n");
+  }
+  os << "  },\n";
+  os << "  \"flows_per_s_by_threads\": {\n";
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double fps =
+        wall_ms[i] > 0.0 ? flow_records / (wall_ms[i] / 1000.0) : 0.0;
+    os << "    \"" << counts[i] << "\": " << fps << (i + 1 < 4 ? ",\n" : "\n");
   }
   os << "  },\n";
   const double t8 = time_pipeline_ms(dataset, 8, 1);

@@ -21,6 +21,7 @@
 #include "core/pipeline.hpp"
 #include "flow/sampler.hpp"
 #include "ixp/blackhole_service.hpp"
+#include "testing/bench_gate.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -145,6 +146,8 @@ void write_generate_json() {
   const gen::ScenarioConfig cfg = core::default_benchmark_scenario();
   std::ofstream os(dir + "/BENCH_generate.json", std::ios::trunc);
   os << "{\n";
+  os << "  \"bench_schema_version\": " << testing::kBenchSchemaVersion
+     << ",\n";
   os << "  \"benchmark\": \"run_scenario\",\n";
   os << "  \"scale\": " << cfg.scale << ",\n";
   os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()

@@ -43,7 +43,8 @@ struct FeatureMatrix {
 /// Build the feature matrix for traffic addressed to `prefix` in `range`.
 [[nodiscard]] FeatureMatrix compute_features(
     const Dataset& dataset, const net::Prefix& prefix, util::TimeRange range,
-    util::DurationMs slot = kFeatureSlot);
+    util::DurationMs slot = kFeatureSlot,
+    KernelEngine engine = KernelEngine::kColumnar);
 
 /// Build the matrix from pre-fetched record indices (avoids re-querying).
 [[nodiscard]] FeatureMatrix compute_features(

@@ -17,20 +17,32 @@ std::string_view to_string(EventClass c) {
 ClassificationReport classify_events(const Dataset& dataset,
                                      const std::vector<RtbhEvent>& events,
                                      const PreRtbhReport& pre,
-                                     const ClassifyConfig& config) {
+                                     const ClassifyConfig& config,
+                                     KernelEngine engine) {
   ClassificationReport report;
   report.events.reserve(events.size());
   std::set<net::Prefix> squat_prefixes;
   std::set<bgp::Asn> squat_origins;
+
+  const flow::FlowColumns& cols = dataset.columns();
+  static const KernelScanMetrics metrics = make_kernel_scan_metrics("classify");
+  const obs::StopWatch watch;
+  std::uint64_t rows = 0;
 
   for (std::size_t e = 0; e < events.size(); ++e) {
     const auto& ev = events[e];
     ClassifiedEvent ce;
     ce.event_index = e;
     ce.duration = ev.span.length();
-    dataset.for_each_flow_to(
-        ev.prefix, ev.span,
-        [&](const flow::FlowRecord& rec) { ce.sampled_packets += rec.packets; });
+    if (engine == KernelEngine::kColumnar) {
+      rows += cols.for_each_dst_row(ev.prefix, ev.span, [&](std::size_t i) {
+        ce.sampled_packets += cols.packets[i];
+      });
+    } else {
+      dataset.for_each_flow_to(
+          ev.prefix, ev.span,
+          [&](const flow::FlowRecord& rec) { ce.sampled_packets += rec.packets; });
+    }
     const bool anomaly = e < pre.per_event.size()
                              ? pre.per_event[e].anomaly_within_10min
                              : false;
@@ -61,6 +73,10 @@ ClassificationReport classify_events(const Dataset& dataset,
       }
     }
     report.events.push_back(ce);
+  }
+  if (engine == KernelEngine::kColumnar) {
+    metrics.rows->add(rows);
+    metrics.ns->add(watch.elapsed_ns());
   }
   report.squatting_prefixes = squat_prefixes.size();
   report.squatting_origin_as = squat_origins.size();

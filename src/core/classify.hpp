@@ -62,6 +62,7 @@ struct ClassifyConfig {
 
 [[nodiscard]] ClassificationReport classify_events(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const PreRtbhReport& pre, const ClassifyConfig& config = {});
+    const PreRtbhReport& pre, const ClassifyConfig& config = {},
+    KernelEngine engine = KernelEngine::kColumnar);
 
 }  // namespace bw::core

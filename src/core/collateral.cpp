@@ -9,7 +9,8 @@ CollateralReport compute_collateral(const Dataset& dataset,
                                     const PortStatsReport& stats,
                                     std::uint32_t sampling_rate,
                                     util::ThreadPool* pool_opt,
-                                    const util::Deadline* deadline) {
+                                    const util::Deadline* deadline,
+                                    KernelEngine engine) {
   util::ThreadPool& pool = util::pool_or_global(pool_opt);
   CollateralReport report;
 
@@ -24,6 +25,9 @@ CollateralReport compute_collateral(const Dataset& dataset,
   if (servers.empty()) return report;
 
   // Per event, independently: the collateral rows of every covered server.
+  const flow::FlowColumns& cols = dataset.columns();
+  static const KernelScanMetrics metrics = make_kernel_scan_metrics("collateral");
+  const obs::StopWatch watch;
   auto per_event = util::parallel_map(pool, events.size(), [&](std::size_t e) {
     const auto& ev = events[e];
     std::vector<CollateralEvent> rows;
@@ -32,27 +36,44 @@ CollateralReport compute_collateral(const Dataset& dataset,
     auto begin = std::lower_bound(
         servers.begin(), servers.end(), lo,
         [](const HostPortStats* h, net::Ipv4 v) { return h->ip < v; });
+    std::uint64_t scanned = 0;
     for (auto it = begin; it != servers.end() && (*it)->ip <= hi; ++it) {
       const HostPortStats* server = *it;
       CollateralEvent ce;
       ce.server = server->ip;
       ce.event_index = e;
-      dataset.for_each_flow_to(net::Prefix::host(server->ip), ev.span,
-                               [&](const flow::FlowRecord& rec) {
-        const net::ProtoPort pp{rec.proto, rec.dst_port};
-        const bool to_top_port =
-            std::find(server->top_ports.begin(), server->top_ports.end(),
-                      pp) != server->top_ports.end();
-        if (!to_top_port) return;
-        ce.packets_to_top_ports += rec.packets;
-        if (rec.dropped()) ce.packets_actually_dropped += rec.packets;
-      });
+      if (engine == KernelEngine::kColumnar) {
+        scanned += cols.for_each_dst_row(
+            net::Prefix::host(server->ip), ev.span, [&](std::size_t i) {
+          const net::ProtoPort pp{static_cast<net::Proto>(cols.proto[i]),
+                                  cols.dst_port[i]};
+          const bool to_top_port =
+              std::find(server->top_ports.begin(), server->top_ports.end(),
+                        pp) != server->top_ports.end();
+          if (!to_top_port) return;
+          ce.packets_to_top_ports += cols.packets[i];
+          if (cols.dropped(i)) ce.packets_actually_dropped += cols.packets[i];
+        });
+      } else {
+        dataset.for_each_flow_to(net::Prefix::host(server->ip), ev.span,
+                                 [&](const flow::FlowRecord& rec) {
+          const net::ProtoPort pp{rec.proto, rec.dst_port};
+          const bool to_top_port =
+              std::find(server->top_ports.begin(), server->top_ports.end(),
+                        pp) != server->top_ports.end();
+          if (!to_top_port) return;
+          ce.packets_to_top_ports += rec.packets;
+          if (rec.dropped()) ce.packets_actually_dropped += rec.packets;
+        });
+      }
       if (ce.packets_to_top_ports == 0) continue;
       ce.est_original_packets = ce.packets_to_top_ports * sampling_rate;
       rows.push_back(ce);
     }
+    if (engine == KernelEngine::kColumnar) metrics.rows->add(scanned);
     return rows;
   }, 0, deadline);
+  if (engine == KernelEngine::kColumnar) metrics.ns->add(watch.elapsed_ns());
 
   for (const auto& rows : per_event) {
     for (const CollateralEvent& ce : rows) {

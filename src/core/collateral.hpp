@@ -37,6 +37,7 @@ struct CollateralReport {
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
     const PortStatsReport& stats, std::uint32_t sampling_rate = 10000,
     util::ThreadPool* pool = nullptr,
-    const util::Deadline* deadline = nullptr);
+    const util::Deadline* deadline = nullptr,
+    KernelEngine engine = KernelEngine::kColumnar);
 
 }  // namespace bw::core

@@ -183,10 +183,10 @@ void Dataset::build_indices() {
     }
     rs_index_.finalize(period_.end);
   });
-  auto trie_done = pool.submit([&] {
-    for (const auto& [prefix, asn] : origin_prefixes_) {
-      origin_trie_.insert(prefix, asn);
-    }
+  auto lpm_done = pool.submit([&] {
+    // FlatLpm freezes the origin table with last-wins dedupe — exactly the
+    // overwrite semantics the trie's insert loop had.
+    origin_lpm_ = net::FlatLpm<bgp::Asn>(origin_prefixes_);
   });
 
   by_dst_.resize(data_.size());
@@ -216,9 +216,30 @@ void Dataset::build_indices() {
                         }
                         return a < b;
                       });
+
+  // Dense member-source table: ascending unique source ASes, plus the
+  // MAC -> dense id map the column build resolves handover MACs through.
+  // Iterating a flat per-id array then visits ASes in ascending-ASN order,
+  // i.e. exactly the order a std::map<Asn, ...> accumulation produces.
+  source_as_.clear();
+  source_as_.reserve(mac_to_asn_.size());
+  for (const auto& [mac, asn] : mac_to_asn_) source_as_.push_back(asn);
+  std::sort(source_as_.begin(), source_as_.end());
+  source_as_.erase(std::unique(source_as_.begin(), source_as_.end()),
+                   source_as_.end());
+  std::unordered_map<net::Mac, std::uint32_t> member_ids;
+  member_ids.reserve(mac_to_asn_.size());
+  for (const auto& [mac, asn] : mac_to_asn_) {
+    member_ids[mac] = static_cast<std::uint32_t>(
+        std::lower_bound(source_as_.begin(), source_as_.end(), asn) -
+        source_as_.begin());
+  }
+
   by_dst_done.get();
+  columns_ = flow::FlowColumns::build(data_, by_dst_, by_src_, member_ids,
+                                      pool);
   blackholes_done.get();
-  trie_done.get();
+  lpm_done.get();
 }
 
 std::optional<bgp::Asn> Dataset::member_asn(net::Mac mac) const {
@@ -228,7 +249,7 @@ std::optional<bgp::Asn> Dataset::member_asn(net::Mac mac) const {
 }
 
 std::optional<bgp::Asn> Dataset::origin_asn(net::Ipv4 src) const {
-  const bgp::Asn* asn = origin_trie_.match(src);
+  const bgp::Asn* asn = origin_lpm_.match(src);
   if (asn == nullptr) return std::nullopt;
   return *asn;
 }
@@ -253,7 +274,8 @@ std::vector<std::size_t> Dataset::flows_from(const net::Prefix& prefix,
   return out;
 }
 
-Dataset::Summary Dataset::summary(util::ThreadPool* pool_opt) const {
+Dataset::Summary Dataset::summary(util::ThreadPool* pool_opt,
+                                  KernelEngine engine) const {
   Summary s;
   s.control_updates = control_.size();
   s.blackhole_updates = blackhole_updates_.size();
@@ -261,7 +283,8 @@ Dataset::Summary Dataset::summary(util::ThreadPool* pool_opt) const {
   s.flow_records = data_.size();
 
   // Shard the volume sums over the pool; integer addition is associative,
-  // so the merged totals are exact and thread-count independent.
+  // so the merged totals are exact at any thread count and identical under
+  // either engine (the columns are a permutation of the records).
   util::ThreadPool& pool = util::pool_or_global(pool_opt);
   struct Volume {
     std::uint64_t packets{0}, bytes{0}, dropped_packets{0}, dropped_bytes{0};
@@ -269,20 +292,43 @@ Dataset::Summary Dataset::summary(util::ThreadPool* pool_opt) const {
   const std::size_t shards =
       std::clamp<std::size_t>(data_.size() / 65536, 1, 64);
   const std::size_t shard_len = (data_.size() + shards - 1) / shards;
-  const auto sums = util::parallel_map(pool, shards, [&](std::size_t k) {
-    Volume v;
-    const std::size_t end = std::min(data_.size(), (k + 1) * shard_len);
-    for (std::size_t i = k * shard_len; i < end; ++i) {
-      const auto& r = data_[i];
-      v.packets += r.packets;
-      v.bytes += r.bytes;
-      if (r.dropped()) {
-        v.dropped_packets += r.packets;
-        v.dropped_bytes += r.bytes;
+  std::vector<Volume> sums;
+  if (engine == KernelEngine::kColumnar) {
+    static const KernelScanMetrics metrics = make_kernel_scan_metrics("summary");
+    const obs::StopWatch watch;
+    const std::uint32_t* const packets = columns_.packets.data();
+    const std::uint64_t* const bytes = columns_.bytes.data();
+    sums = util::parallel_map(pool, shards, [&](std::size_t k) {
+      Volume v;
+      const std::size_t end = std::min(columns_.size(), (k + 1) * shard_len);
+      for (std::size_t i = k * shard_len; i < end; ++i) {
+        v.packets += packets[i];
+        v.bytes += bytes[i];
+        if (columns_.dropped(i)) {
+          v.dropped_packets += packets[i];
+          v.dropped_bytes += bytes[i];
+        }
       }
-    }
-    return v;
-  });
+      return v;
+    });
+    metrics.rows->add(columns_.size());
+    metrics.ns->add(watch.elapsed_ns());
+  } else {
+    sums = util::parallel_map(pool, shards, [&](std::size_t k) {
+      Volume v;
+      const std::size_t end = std::min(data_.size(), (k + 1) * shard_len);
+      for (std::size_t i = k * shard_len; i < end; ++i) {
+        const auto& r = data_[i];
+        v.packets += r.packets;
+        v.bytes += r.bytes;
+        if (r.dropped()) {
+          v.dropped_packets += r.packets;
+          v.dropped_bytes += r.bytes;
+        }
+      }
+      return v;
+    });
+  }
   for (const Volume& v : sums) {
     s.sampled_packets += v.packets;
     s.sampled_bytes += v.bytes;

@@ -18,9 +18,12 @@
 
 #include "bgp/blackhole_index.hpp"
 #include "bgp/message.hpp"
+#include "core/engine.hpp"
+#include "flow/columns.hpp"
 #include "flow/record.hpp"
 #include "ixp/platform.hpp"
 #include "net/mac.hpp"
+#include "net/prefix_trie.hpp"
 #include "util/status.hpp"
 
 namespace bw::util {
@@ -117,6 +120,23 @@ class Dataset {
     return origin_prefixes_;
   }
 
+  /// Member source ASes in ascending ASN order. The columnar src_member
+  /// column stores indices into this table, so a flat-array accumulation
+  /// iterated by dense id visits ASes in the same ascending order a
+  /// std::map<Asn, ...> would — the key to byte-identical source reports.
+  [[nodiscard]] std::size_t source_as_count() const noexcept {
+    return source_as_.size();
+  }
+  [[nodiscard]] bgp::Asn source_as(std::uint32_t id) const {
+    return source_as_[id];
+  }
+
+  /// The structure-of-arrays flow view, built by build_indices() alongside
+  /// the sorted indices (see flow/columns.hpp for the layout invariants).
+  [[nodiscard]] const flow::FlowColumns& columns() const noexcept {
+    return columns_;
+  }
+
   // --- flow indices ---
   /// Indices (into flows()) of records destined to `prefix` within `range`,
   /// ordered by (dst_ip, time).
@@ -173,16 +193,21 @@ class Dataset {
     std::uint64_t dropped_bytes{0};
   };
   /// Corpus totals; the volume sums shard over `pool` (null: the global
-  /// pool) and are exact at any thread count.
-  [[nodiscard]] Summary summary(util::ThreadPool* pool = nullptr) const;
+  /// pool) and are exact at any thread count and under either engine.
+  [[nodiscard]] Summary summary(
+      util::ThreadPool* pool = nullptr,
+      KernelEngine engine = KernelEngine::kColumnar) const;
 
  private:
   void sanitize(const BuildOptions& options);
   void build_indices();
 
-  /// Range-scan an (ip, time)-sorted index: binary-search the first record
-  /// at or above the prefix's network address, then walk forward until the
-  /// prefix's last address is passed. Calls `fn(flow_index, record)`.
+  /// Range-scan an (ip, time)-sorted index: binary-search the address run
+  /// covered by the prefix, then visit it in order. For a single-address
+  /// prefix the run is time-sorted, so the half-open time window is itself
+  /// located by binary search and the per-record time predicate disappears
+  /// — hosts with long histories no longer pay a full-run scan per
+  /// narrow-window event. Calls `fn(flow_index, record)`.
   template <typename GetIp, typename Fn>
   void scan_sorted_index(const std::vector<std::size_t>& index,
                          const net::Prefix& prefix, util::TimeRange range,
@@ -192,9 +217,20 @@ class Dataset {
     auto begin = std::lower_bound(
         index.begin(), index.end(), lo,
         [&](std::size_t i, net::Ipv4 v) { return get_ip(data_[i]) < v; });
-    for (auto it = begin; it != index.end(); ++it) {
+    auto end = std::upper_bound(
+        begin, index.end(), hi,
+        [&](net::Ipv4 v, std::size_t i) { return v < get_ip(data_[i]); });
+    if (prefix.length() == 32) {
+      const auto by_time = [&](std::size_t i, util::TimeMs t) {
+        return data_[i].time < t;
+      };
+      begin = std::lower_bound(begin, end, range.begin, by_time);
+      end = std::lower_bound(begin, end, range.end, by_time);
+      for (auto it = begin; it != end; ++it) fn(*it, data_[*it]);
+      return;
+    }
+    for (auto it = begin; it != end; ++it) {
       const flow::FlowRecord& rec = data_[*it];
-      if (get_ip(rec) > hi) break;
       if (range.contains(rec.time)) fn(*it, rec);
     }
   }
@@ -208,9 +244,11 @@ class Dataset {
   Quality quality_;
   bgp::UpdateLog blackhole_updates_;
   bgp::BlackholeIndex rs_index_;
-  net::PrefixTrie<bgp::Asn> origin_trie_;
+  net::FlatLpm<bgp::Asn> origin_lpm_;
   std::vector<std::size_t> by_dst_;  ///< flow indices sorted by (dst, time)
   std::vector<std::size_t> by_src_;  ///< flow indices sorted by (src, time)
+  std::vector<bgp::Asn> source_as_;  ///< ascending unique member source ASes
+  flow::FlowColumns columns_;        ///< SoA view in by_dst_ / by_src_ order
 };
 
 }  // namespace bw::core

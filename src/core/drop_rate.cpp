@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/arena.hpp"
+
 namespace bw::core {
 
 double DropRateReport::traffic_share(std::uint8_t length) const {
@@ -34,11 +36,13 @@ DropRateReport compute_drop_rates(const Dataset& dataset,
                                   const std::vector<RtbhEvent>& events,
                                   const DropRateConfig& config,
                                   util::ThreadPool* pool_opt,
-                                  const util::Deadline* deadline) {
+                                  const util::Deadline* deadline,
+                                  KernelEngine engine) {
   util::ThreadPool& pool = util::pool_or_global(pool_opt);
   DropRateReport report;
 
-  const auto deltas = util::parallel_map(pool, events.size(), [&](std::size_t e) {
+  // Records engine: walk the AoS log via the sorted index (the seed path).
+  const auto records_delta = [&](std::size_t e) {
     const auto& ev = events[e];
     EventDelta d;
     // The prefix length is fixed per event: hoist the per-length stats slot
@@ -71,7 +75,76 @@ DropRateReport compute_drop_rates(const Dataset& dataset,
     d.sources.reserve(sources.size());
     for (const auto& [asn, src] : sources) d.sources.push_back(src);
     return d;
-  }, 0, deadline);
+  };
+
+  // Columnar engine: per-source accumulation over flat arena arrays indexed
+  // by dense member id. Dense ids ascend with ASN (Dataset::source_as), so
+  // the emitted source list matches the records engine's std::map order;
+  // the "seen" bitset reproduces map-entry creation even for zero-packet
+  // records.
+  const flow::FlowColumns& cols = dataset.columns();
+  const std::size_t n_src = dataset.source_as_count();
+  static const KernelScanMetrics metrics = make_kernel_scan_metrics("drop_rate");
+  const auto columnar_delta = [&](std::size_t e) {
+    thread_local util::Arena arena;
+    arena.reset();
+    const auto& ev = events[e];
+    EventDelta d;
+    const std::uint8_t len = ev.prefix.length();
+    d.stats.length = len;
+    const bool host_event = len == 32;
+    std::uint64_t* src_total = nullptr;
+    std::uint64_t* src_dropped = nullptr;
+    std::uint64_t* seen = nullptr;
+    if (host_event && n_src > 0) {
+      src_total = arena.alloc_zeroed<std::uint64_t>(n_src);
+      src_dropped = arena.alloc_zeroed<std::uint64_t>(n_src);
+      seen = arena.alloc_zeroed<std::uint64_t>((n_src + 63) / 64);
+    }
+    std::uint64_t rows = 0;
+    for (const auto& active : ev.active) {
+      rows += cols.for_each_dst_row(ev.prefix, active, [&](std::size_t i) {
+        const std::uint64_t pk = cols.packets[i];
+        const std::uint64_t by = cols.bytes[i];
+        const bool dropped = cols.dropped(i);
+        d.stats.packets_total += pk;
+        d.stats.bytes_total += by;
+        d.ev_total += pk;
+        if (dropped) {
+          d.stats.packets_dropped += pk;
+          d.stats.bytes_dropped += by;
+          d.ev_dropped += pk;
+        }
+        if (host_event) {
+          const std::uint32_t m = cols.src_member[i];
+          if (m != flow::FlowColumns::kNoMember) {
+            seen[m >> 6] |= std::uint64_t{1} << (m & 63);
+            src_total[m] += pk;
+            if (dropped) src_dropped[m] += pk;
+          }
+        }
+      });
+    }
+    if (host_event && n_src > 0) {
+      for (std::uint32_t m = 0; m < n_src; ++m) {
+        if (((seen[m >> 6] >> (m & 63)) & 1u) == 0) continue;
+        SourceAsReaction src;
+        src.asn = dataset.source_as(m);
+        src.packets_total = src_total[m];
+        src.packets_dropped = src_dropped[m];
+        d.sources.push_back(src);
+      }
+    }
+    metrics.rows->add(rows);
+    return d;
+  };
+
+  const obs::StopWatch watch;
+  const auto deltas =
+      engine == KernelEngine::kColumnar
+          ? util::parallel_map(pool, events.size(), columnar_delta, 0, deadline)
+          : util::parallel_map(pool, events.size(), records_delta, 0, deadline);
+  if (engine == KernelEngine::kColumnar) metrics.ns->add(watch.elapsed_ns());
 
   // Merge in event order; integer sums make the totals exact and the
   // ordering rules below make the whole report thread-count independent.

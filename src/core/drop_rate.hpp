@@ -82,7 +82,8 @@ struct DropRateConfig {
 [[nodiscard]] DropRateReport compute_drop_rates(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
     const DropRateConfig& config = {}, util::ThreadPool* pool = nullptr,
-    const util::Deadline* deadline = nullptr);
+    const util::Deadline* deadline = nullptr,
+    KernelEngine engine = KernelEngine::kColumnar);
 
 /// Fig. 7 summary: of the top `top_n` sources, how many drop > 99%, how
 /// many forward > 99%, and how many do both (inconsistent).

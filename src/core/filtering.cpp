@@ -7,9 +7,16 @@ namespace bw::core {
 FilteringReport compute_filtering(const Dataset& dataset,
                                   const std::vector<RtbhEvent>& events,
                                   const PreRtbhReport& pre,
-                                  double full_threshold) {
+                                  double full_threshold,
+                                  KernelEngine engine) {
   FilteringReport report;
   report.threshold = full_threshold;
+
+  const flow::FlowColumns& cols = dataset.columns();
+  constexpr auto kUdp = static_cast<std::uint8_t>(net::Proto::kUdp);
+  static const KernelScanMetrics metrics = make_kernel_scan_metrics("filtering");
+  const obs::StopWatch watch;
+  std::uint64_t rows = 0;
 
   for (std::size_t e = 0; e < events.size(); ++e) {
     if (e >= pre.per_event.size() || !pre.per_event[e].anomaly_within_10min) {
@@ -18,18 +25,34 @@ FilteringReport compute_filtering(const Dataset& dataset,
     const auto& ev = events[e];
     std::uint64_t total = 0;
     std::uint64_t matched = 0;
-    dataset.for_each_flow_to(ev.prefix, ev.span,
-                             [&](const flow::FlowRecord& rec) {
-      total += rec.packets;
-      if (rec.proto == net::Proto::kUdp &&
-          net::is_amplification_port(rec.src_port)) {
-        matched += rec.packets;
-      }
-    });
+    if (engine == KernelEngine::kColumnar) {
+      rows += cols.for_each_dst_row(ev.prefix, ev.span, [&](std::size_t i) {
+        const std::uint64_t pk = cols.packets[i];
+        total += pk;
+        if (cols.proto[i] == kUdp &&
+            net::amplification_port_index(cols.src_port[i]) !=
+                net::kNoAmplificationPort) {
+          matched += pk;
+        }
+      });
+    } else {
+      dataset.for_each_flow_to(ev.prefix, ev.span,
+                               [&](const flow::FlowRecord& rec) {
+        total += rec.packets;
+        if (rec.proto == net::Proto::kUdp &&
+            net::is_amplification_port(rec.src_port)) {
+          matched += rec.packets;
+        }
+      });
+    }
     if (total == 0) continue;
     ++report.events_considered;
     report.coverage.push_back(static_cast<double>(matched) /
                               static_cast<double>(total));
+  }
+  if (engine == KernelEngine::kColumnar) {
+    metrics.rows->add(rows);
+    metrics.ns->add(watch.elapsed_ns());
   }
 
   if (!report.coverage.empty()) {

@@ -25,6 +25,7 @@ struct FilteringReport {
 
 [[nodiscard]] FilteringReport compute_filtering(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const PreRtbhReport& pre, double full_threshold = 0.95);
+    const PreRtbhReport& pre, double full_threshold = 0.95,
+    KernelEngine engine = KernelEngine::kColumnar);
 
 }  // namespace bw::core

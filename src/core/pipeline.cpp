@@ -137,7 +137,7 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   // the pre-RTBH scan (the heaviest kernel) fans events out internally.
   auto summary_done = pool.submit([&] {
     guarded(0, [&](const util::Deadline&) {
-      report.summary = dataset.summary(&pool);
+      report.summary = dataset.summary(&pool, config.engine);
     });
   });
   guarded(1, [&](const util::Deadline&) {
@@ -146,7 +146,8 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   });
   const std::vector<RtbhEvent>& events = report.events;
   guarded(2, [&](const util::Deadline& dl) {
-    report.pre = compute_pre_rtbh(dataset, events, config.pre, &pool, &dl);
+    report.pre = compute_pre_rtbh(dataset, events, config.pre, &pool, &dl,
+                                  config.engine);
   });
 
   // Stage graph: with events and the pre-RTBH report fixed, the remaining
@@ -158,19 +159,20 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   // submit() runs inline, reproducing the sequential stage order exactly.
   auto drop_done = pool.submit([&] {
     guarded(3, [&](const util::Deadline& dl) {
-      report.drop =
-          compute_drop_rates(dataset, events, config.drop, &pool, &dl);
+      report.drop = compute_drop_rates(dataset, events, config.drop, &pool,
+                                       &dl, config.engine);
     });
   });
   auto protocols_done = pool.submit([&] {
     guarded(4, [&](const util::Deadline&) {
-      report.protocols =
-          compute_protocol_mix(dataset, events, report.pre, config.protocols);
+      report.protocols = compute_protocol_mix(dataset, events, report.pre,
+                                              config.protocols, config.engine);
     });
   });
   auto filtering_done = pool.submit([&] {
     guarded(5, [&](const util::Deadline&) {
-      report.filtering = compute_filtering(dataset, events, report.pre);
+      report.filtering = compute_filtering(dataset, events, report.pre, 0.95,
+                                           config.engine);
     });
   });
   auto participation_done = pool.submit([&] {
@@ -180,16 +182,17 @@ AnalysisReport run_pipeline(const Dataset& dataset,
   });
   auto victims_done = pool.submit([&] {
     guarded(7, [&](const util::Deadline& dl) {
-      report.ports =
-          compute_port_stats(dataset, events, config.ports, &pool, &dl);
+      report.ports = compute_port_stats(dataset, events, config.ports, &pool,
+                                        &dl, config.engine);
       report.radviz = radviz_projection(report.ports, config.ports.min_days);
-      report.collateral = compute_collateral(dataset, events, report.ports,
-                                             config.sampling_rate, &pool, &dl);
+      report.collateral =
+          compute_collateral(dataset, events, report.ports,
+                             config.sampling_rate, &pool, &dl, config.engine);
     });
   });
   guarded(8, [&](const util::Deadline&) {
-    report.classes =
-        classify_events(dataset, events, report.pre, config.classify);
+    report.classes = classify_events(dataset, events, report.pre,
+                                     config.classify, config.engine);
   });
 
   summary_done.get();

@@ -47,7 +47,8 @@ PortStatsReport compute_port_stats(const Dataset& dataset,
                                    const std::vector<RtbhEvent>& events,
                                    const PortStatsConfig& config,
                                    util::ThreadPool* pool_opt,
-                                   const util::Deadline* deadline) {
+                                   const util::Deadline* deadline,
+                                   KernelEngine engine) {
   util::ThreadPool& pool = util::pool_or_global(pool_opt);
   PortStatsReport report;
 
@@ -81,12 +82,113 @@ PortStatsReport compute_port_stats(const Dataset& dataset,
   }
   report.blackholed_hosts_total = exclusions.size();
 
+  // Shared finaliser: identical for both engines so derived values (and
+  // therefore the rendered report) cannot diverge.
+  const auto finalize_host = [&config, &host_origin](net::Ipv4 ip,
+                                                     const Accumulator& a) {
+    HostPortStats h;
+    h.ip = ip;
+    h.origin = host_origin.at(ip);
+    h.unique_src_ports_in = a.src_in.size();
+    h.unique_dst_ports_in = a.dst_in.size();
+    h.unique_src_ports_out = a.src_out.size();
+    h.unique_dst_ports_out = a.dst_out.size();
+    h.days_with_inbound = a.days_in.size();
+    h.days_with_outbound = a.days_out.size();
+    std::size_t both = 0;
+    for (const std::int64_t d : a.days_in) {
+      if (a.days_out.contains(d)) ++both;
+    }
+    h.days_bidirectional = both;
+
+    std::set<net::ProtoPort> tops;
+    for (const auto& [day, ports] : a.daily_in) {
+      const auto top = std::max_element(
+          ports.begin(), ports.end(),
+          [](const auto& x, const auto& y) { return x.second < y.second; });
+      tops.insert(top->first);
+    }
+    h.top_ports.assign(tops.begin(), tops.end());
+    h.port_variation =
+        h.days_with_inbound > 0
+            ? static_cast<double>(h.top_ports.size()) /
+                  static_cast<double>(h.days_with_inbound)
+            : 0.0;
+
+    if (h.days_bidirectional >= config.min_days) {
+      if (h.port_variation >= config.client_variation_min) {
+        h.classification = HostClass::kClient;
+      } else {
+        h.classification = HostClass::kServer;
+      }
+    }
+    return h;
+  };
+
+  const util::TimeMs epoch = dataset.period().begin;
+
+  if (engine == KernelEngine::kColumnar) {
+    // Columnar engine: instead of scanning the whole log and hashing every
+    // record against the universe, jump straight to each blackholed host's
+    // destination and source runs in the columns. A host appears in the
+    // report iff at least one non-excluded record touches it in either
+    // direction — exactly the records engine's map-entry condition.
+    static const KernelScanMetrics metrics =
+        make_kernel_scan_metrics("port_stats");
+    const obs::StopWatch watch;
+    const flow::FlowColumns& cols = dataset.columns();
+
+    std::vector<net::Ipv4> universe;
+    universe.reserve(exclusions.size());
+    for (const auto& [ip, ex] : exclusions) universe.push_back(ip);
+    std::sort(universe.begin(), universe.end());
+
+    auto hosts = util::parallel_map(pool, universe.size(), [&](std::size_t u) {
+      const net::Ipv4 ip = universe[u];
+      const Exclusions& ex = exclusions.at(ip);
+      Accumulator a;
+      bool any = false;
+
+      const auto din = cols.dst_run(ip);
+      for (std::size_t i = din.begin; i < din.end; ++i) {
+        if (ex.contains(cols.time[i])) continue;
+        any = true;
+        const std::int64_t day =
+            util::slot_index(cols.time[i] - epoch, util::kDay);
+        a.src_in.insert(cols.src_port[i]);
+        a.dst_in.insert(cols.dst_port[i]);
+        a.days_in.insert(day);
+        a.daily_in[day][{static_cast<net::Proto>(cols.proto[i]),
+                         cols.dst_port[i]}] += cols.packets[i];
+      }
+
+      const auto dout = cols.src_run(ip);
+      for (std::size_t i = dout.begin; i < dout.end; ++i) {
+        if (ex.contains(cols.s_time[i])) continue;
+        any = true;
+        const std::int64_t day =
+            util::slot_index(cols.s_time[i] - epoch, util::kDay);
+        a.src_out.insert(cols.s_src_port[i]);
+        a.dst_out.insert(cols.s_dst_port[i]);
+        a.days_out.insert(day);
+      }
+
+      metrics.rows->add(din.size() + dout.size());
+      return any ? std::optional<HostPortStats>(finalize_host(ip, a))
+                 : std::nullopt;
+    }, 0, deadline);
+
+    report.hosts.reserve(hosts.size());
+    for (auto& h : hosts) {
+      if (h) report.hosts.push_back(std::move(*h));
+    }
+    metrics.ns->add(watch.elapsed_ns());
+  } else {
   // Pass over the flow log, attributing both directions. The log is
   // sharded over the pool with one accumulator map per shard; shard
   // boundaries depend only on the log size, and the set/sum merge below is
   // order-insensitive, so the result is identical at any thread count.
   const flow::FlowLog& flows = dataset.flows();
-  const util::TimeMs epoch = dataset.period().begin;
   const std::size_t shards =
       std::clamp<std::size_t>(flows.size() / 65536, 1, 64);
   const std::size_t shard_len = (flows.size() + shards - 1) / shards;
@@ -143,46 +245,9 @@ PortStatsReport compute_port_stats(const Dataset& dataset,
   std::sort(ips.begin(), ips.end());
 
   report.hosts = util::parallel_map(pool, ips.size(), [&](std::size_t i) {
-    const net::Ipv4 ip = ips[i];
-    const Accumulator& a = acc.at(ip);
-    HostPortStats h;
-    h.ip = ip;
-    h.origin = host_origin.at(ip);
-    h.unique_src_ports_in = a.src_in.size();
-    h.unique_dst_ports_in = a.dst_in.size();
-    h.unique_src_ports_out = a.src_out.size();
-    h.unique_dst_ports_out = a.dst_out.size();
-    h.days_with_inbound = a.days_in.size();
-    h.days_with_outbound = a.days_out.size();
-    std::size_t both = 0;
-    for (const std::int64_t d : a.days_in) {
-      if (a.days_out.contains(d)) ++both;
-    }
-    h.days_bidirectional = both;
-
-    std::set<net::ProtoPort> tops;
-    for (const auto& [day, ports] : a.daily_in) {
-      const auto top = std::max_element(
-          ports.begin(), ports.end(),
-          [](const auto& x, const auto& y) { return x.second < y.second; });
-      tops.insert(top->first);
-    }
-    h.top_ports.assign(tops.begin(), tops.end());
-    h.port_variation =
-        h.days_with_inbound > 0
-            ? static_cast<double>(h.top_ports.size()) /
-                  static_cast<double>(h.days_with_inbound)
-            : 0.0;
-
-    if (h.days_bidirectional >= config.min_days) {
-      if (h.port_variation >= config.client_variation_min) {
-        h.classification = HostClass::kClient;
-      } else {
-        h.classification = HostClass::kServer;
-      }
-    }
-    return h;
+    return finalize_host(ips[i], acc.at(ips[i]));
   }, 0, deadline);
+  }
   for (const HostPortStats& h : report.hosts) {
     if (h.classification == HostClass::kUnclassified) continue;
     ++report.eligible_hosts;

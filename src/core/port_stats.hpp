@@ -69,7 +69,8 @@ struct PortStatsConfig {
 [[nodiscard]] PortStatsReport compute_port_stats(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
     const PortStatsConfig& config = {}, util::ThreadPool* pool = nullptr,
-    const util::Deadline* deadline = nullptr);
+    const util::Deadline* deadline = nullptr,
+    KernelEngine engine = KernelEngine::kColumnar);
 
 /// Table 4: origin-AS type distribution of detected clients and servers.
 struct AsnTypeRow {

@@ -48,6 +48,7 @@ struct ProtocolMixConfig {
 
 [[nodiscard]] ProtocolMixReport compute_protocol_mix(
     const Dataset& dataset, const std::vector<RtbhEvent>& events,
-    const PreRtbhReport& pre, const ProtocolMixConfig& config = {});
+    const PreRtbhReport& pre, const ProtocolMixConfig& config = {},
+    KernelEngine engine = KernelEngine::kColumnar);
 
 }  // namespace bw::core

@@ -1,0 +1,104 @@
+#include "flow/columns.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace bw::flow {
+
+FlowColumns FlowColumns::build(
+    const FlowLog& flows, const std::vector<std::size_t>& by_dst,
+    const std::vector<std::size_t>& by_src,
+    const std::unordered_map<net::Mac, std::uint32_t>& member_ids,
+    util::ThreadPool& pool) {
+  FlowColumns c;
+  const std::size_t n = flows.size();
+  c.time.resize(n);
+  c.src_ip.resize(n);
+  c.dst_ip.resize(n);
+  c.proto.resize(n);
+  c.src_port.resize(n);
+  c.dst_port.resize(n);
+  c.packets.resize(n);
+  c.bytes.resize(n);
+  c.src_member.resize(n);
+  c.dropped_words.assign((n + 63) / 64, 0);
+  c.s_src_ip.resize(n);
+  c.s_time.resize(n);
+  c.s_src_port.resize(n);
+  c.s_dst_port.resize(n);
+
+  // Grain 8192 is a multiple of 64, so a bitmap word is only ever written
+  // by the chunk that owns its 64 rows — the |= below is race-free.
+  util::parallel_for(
+      pool, n,
+      [&](std::size_t k) {
+        const FlowRecord& r = flows[by_dst[k]];
+        c.time[k] = r.time;
+        c.src_ip[k] = r.src_ip.value();
+        c.dst_ip[k] = r.dst_ip.value();
+        c.proto[k] = static_cast<std::uint8_t>(r.proto);
+        c.src_port[k] = r.src_port;
+        c.dst_port[k] = r.dst_port;
+        c.packets[k] = r.packets;
+        c.bytes[k] = r.bytes;
+        if (r.dropped()) {
+          c.dropped_words[k >> 6] |= std::uint64_t{1} << (k & 63);
+        }
+        const auto it = member_ids.find(r.src_mac);
+        c.src_member[k] = it == member_ids.end() ? kNoMember : it->second;
+
+        const FlowRecord& s = flows[by_src[k]];
+        c.s_src_ip[k] = s.src_ip.value();
+        c.s_time[k] = s.time;
+        c.s_src_port[k] = s.src_port;
+        c.s_dst_port[k] = s.dst_port;
+      },
+      8192);
+  return c;
+}
+
+FlowColumns::DstScan FlowColumns::resolve_dst(const net::Prefix& prefix,
+                                              util::TimeRange range) const {
+  const std::uint32_t lo = prefix.network().value();
+  const std::uint32_t hi = prefix.address_at(prefix.size() - 1).value();
+  DstScan s;
+  const auto first = std::lower_bound(dst_ip.begin(), dst_ip.end(), lo);
+  const auto last = std::upper_bound(first, dst_ip.end(), hi);
+  s.begin = static_cast<std::size_t>(first - dst_ip.begin());
+  s.end = static_cast<std::size_t>(last - dst_ip.begin());
+  if (prefix.length() == 32) {
+    // A single-address run is time-sorted: the half-open window [begin,
+    // end) is a contiguous sub-run, so the per-row time test disappears.
+    const auto tb = time.begin();
+    s.begin = static_cast<std::size_t>(
+        std::lower_bound(tb + static_cast<std::ptrdiff_t>(s.begin),
+                         tb + static_cast<std::ptrdiff_t>(s.end),
+                         range.begin) -
+        tb);
+    s.end = static_cast<std::size_t>(
+        std::lower_bound(tb + static_cast<std::ptrdiff_t>(s.begin),
+                         tb + static_cast<std::ptrdiff_t>(s.end), range.end) -
+        tb);
+    s.time_filtered = false;
+  } else {
+    s.time_filtered = true;
+  }
+  return s;
+}
+
+FlowColumns::Range FlowColumns::dst_run(net::Ipv4 addr) const {
+  const auto [first, last] =
+      std::equal_range(dst_ip.begin(), dst_ip.end(), addr.value());
+  return {static_cast<std::size_t>(first - dst_ip.begin()),
+          static_cast<std::size_t>(last - dst_ip.begin())};
+}
+
+FlowColumns::Range FlowColumns::src_run(net::Ipv4 addr) const {
+  const auto [first, last] =
+      std::equal_range(s_src_ip.begin(), s_src_ip.end(), addr.value());
+  return {static_cast<std::size_t>(first - s_src_ip.begin()),
+          static_cast<std::size_t>(last - s_src_ip.begin())};
+}
+
+}  // namespace bw::flow

@@ -3,6 +3,7 @@
 // generator and by the fine-grained-filtering analysis (Section 5.5).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -51,6 +52,14 @@ struct AmplificationProtocol {
 
 /// True when `port` is one of the known UDP amplification source ports.
 [[nodiscard]] bool is_amplification_port(Port port);
+
+/// Sentinel returned by amplification_port_index for non-amplification ports.
+inline constexpr std::size_t kNoAmplificationPort = ~std::size_t{0};
+
+/// O(1) dense index of `port` into amplification_protocols(), or
+/// kNoAmplificationPort when the port is not in Table 3. The columnar
+/// kernels use this to accumulate per-protocol counters in flat arrays.
+[[nodiscard]] std::size_t amplification_port_index(Port port);
 
 /// Name of the amplification protocol for a UDP source port, if known.
 [[nodiscard]] std::optional<std::string_view> amplification_name(Port port);

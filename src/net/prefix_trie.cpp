@@ -9,5 +9,6 @@ namespace bw::net {
 // template compiled (and its warnings surfaced) even in header-only usage.
 template class PrefixTrie<std::uint32_t>;
 template class PrefixTrie<std::string>;
+template class FlatLpm<std::uint32_t>;
 
 }  // namespace bw::net

@@ -1,8 +1,17 @@
-// Binary radix trie over IPv4 prefixes with longest-prefix-match lookup.
-// Used by the per-peer RIBs (best-route selection per destination) and by
-// the analysis pipeline to attribute sampled packets to blackholed prefixes.
+// Longest-prefix-match structures over IPv4 prefixes.
+//
+// PrefixTrie is the mutable binary radix trie used by the per-peer RIBs
+// (best-route selection per destination), where inserts and withdrawals
+// interleave with lookups. FlatLpm is its immutable, flattened counterpart
+// for the per-flow origin-AS attribution hot path: one 2^16-entry level-1
+// table indexed by the top 16 address bits resolves every prefix of length
+// <= 16 with a single load, and longer prefixes collapse into short
+// per-bucket lists scanned longest-first — the path-compressed remainder of
+// the trie. A FlatLpm::match is two cache lines in the common case versus
+// up to 32 dependent pointer loads for PrefixTrie::match.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -153,6 +162,132 @@ class PrefixTrie {
   }
 
   std::unique_ptr<Node> root_;
+  std::size_t size_{0};
+};
+
+/// Immutable longest-prefix-match table, frozen from a list of
+/// (prefix, value) entries. Duplicate prefixes resolve last-wins, matching
+/// PrefixTrie::insert overwrite semantics, so building a FlatLpm from an
+/// insertion sequence yields exactly the lookups of the equivalent trie.
+template <typename V>
+class FlatLpm {
+ public:
+  FlatLpm() : l1_(kL1Size) {}
+
+  explicit FlatLpm(const std::vector<std::pair<Prefix, V>>& entries)
+      : FlatLpm() {
+    // Last-wins dedupe: later entries overwrite earlier ones at the same
+    // prefix, exactly like repeated PrefixTrie::insert calls.
+    std::vector<std::pair<Prefix, std::uint32_t>> unique;
+    unique.reserve(entries.size());
+    {
+      // Sort (prefix, original index) so duplicates are adjacent and the
+      // highest original index — the last insert — wins.
+      std::vector<std::pair<Prefix, std::uint32_t>> seen;
+      seen.reserve(entries.size());
+      for (std::uint32_t i = 0; i < entries.size(); ++i) {
+        seen.emplace_back(entries[i].first, i);
+      }
+      std::sort(seen.begin(), seen.end());
+      for (std::size_t i = 0; i < seen.size(); ++i) {
+        if (i + 1 < seen.size() && seen[i + 1].first == seen[i].first) continue;
+        unique.push_back(seen[i]);
+      }
+    }
+    values_.reserve(unique.size());
+    // Short prefixes (length <= 16) paint level-1 slots in ascending length
+    // order, so a longer covering prefix overwrites a shorter one and every
+    // slot ends up holding its longest <=16-bit cover.
+    std::stable_sort(unique.begin(), unique.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first.length() < b.first.length();
+                     });
+    for (const auto& [prefix, original] : unique) {
+      const auto value_idx = static_cast<std::uint32_t>(values_.size());
+      values_.push_back(entries[original].second);
+      if (prefix.length() <= 16) {
+        const std::uint32_t first = prefix.network().value() >> 16;
+        const std::uint32_t count = 1u << (16 - prefix.length());
+        for (std::uint32_t s = first; s < first + count; ++s) {
+          l1_[s].base = value_idx;
+        }
+      } else {
+        ++l1_[prefix.network().value() >> 16].long_count;
+      }
+    }
+    // Long prefixes (length > 16) go into per-slot lists sorted by
+    // descending length: the first containing entry in a scan is the
+    // longest match. Entries of equal length never overlap, so the
+    // network tie-break only pins a deterministic layout.
+    long_.resize(unique.size() - count_short(unique));
+    std::uint32_t begin = 0;
+    for (Slot& slot : l1_) {
+      slot.long_begin = begin;
+      begin += slot.long_count;
+      slot.long_count = 0;  // reused as a fill cursor below
+    }
+    std::uint32_t value_idx = 0;
+    for (const auto& [prefix, original] : unique) {
+      const std::uint32_t v = value_idx++;
+      if (prefix.length() <= 16) continue;
+      Slot& slot = l1_[prefix.network().value() >> 16];
+      long_[slot.long_begin + slot.long_count++] = LongEntry{
+          prefix.network().value(), prefix.mask(), v, prefix.length()};
+    }
+    for (Slot& slot : l1_) {
+      LongEntry* const first = long_.data() + slot.long_begin;
+      std::sort(first, first + slot.long_count,
+                [](const LongEntry& a, const LongEntry& b) {
+                  if (a.length != b.length) return a.length > b.length;
+                  return a.network < b.network;
+                });
+    }
+    size_ = unique.size();
+  }
+
+  /// Longest-prefix match; nullptr when nothing covers the address.
+  [[nodiscard]] const V* match(Ipv4 addr) const {
+    const std::uint32_t a = addr.value();
+    const Slot& slot = l1_[a >> 16];
+    const LongEntry* e = long_.data() + slot.long_begin;
+    for (const LongEntry* end = e + slot.long_count; e != end; ++e) {
+      if ((a & e->mask) == e->network) return &values_[e->value];
+    }
+    return slot.base == kNone ? nullptr : &values_[slot.base];
+  }
+
+  /// Number of distinct prefixes stored.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  static constexpr std::size_t kL1Size = std::size_t{1} << 16;
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  struct Slot {
+    std::uint32_t base{kNone};     ///< longest <=16-bit cover (value index)
+    std::uint32_t long_begin{0};   ///< first >16-bit entry in long_
+    std::uint32_t long_count{0};
+  };
+  struct LongEntry {
+    std::uint32_t network{0};
+    std::uint32_t mask{0};
+    std::uint32_t value{0};
+    std::uint8_t length{0};
+  };
+
+  [[nodiscard]] static std::size_t count_short(
+      const std::vector<std::pair<Prefix, std::uint32_t>>& unique) {
+    std::size_t n = 0;
+    for (const auto& entry : unique) {
+      if (entry.first.length() <= 16) ++n;
+    }
+    return n;
+  }
+
+  std::vector<Slot> l1_;        ///< 2^16 slots, one per /16 bucket
+  std::vector<LongEntry> long_; ///< >16-bit entries, grouped per slot
+  std::vector<V> values_;
   std::size_t size_{0};
 };
 

@@ -182,12 +182,16 @@ void StopWatch::restart() noexcept {
           .count());
 }
 
-std::uint64_t StopWatch::elapsed_us() const noexcept {
+std::uint64_t StopWatch::elapsed_ns() const noexcept {
   const auto now_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
-  return (now_ns - start_ns_) / 1000;
+  return now_ns - start_ns_;
+}
+
+std::uint64_t StopWatch::elapsed_us() const noexcept {
+  return elapsed_ns() / 1000;
 }
 
 std::uint64_t ThreadCpuTimer::now_us() noexcept {

@@ -184,6 +184,7 @@ class StopWatch {
  public:
   StopWatch() noexcept { restart(); }
   void restart() noexcept;
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept;
   [[nodiscard]] std::uint64_t elapsed_us() const noexcept;
   [[nodiscard]] double elapsed_seconds() const noexcept {
     return static_cast<double>(elapsed_us()) * 1e-6;

@@ -1,0 +1,226 @@
+#include "testing/bench_gate.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace bw::testing {
+
+namespace {
+
+/// Minimal recursive-descent parser for the bench schema's JSON subset.
+/// Flattens nested objects into dotted paths as it goes.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Status parse_into(BenchJson& out) {
+    skip_ws();
+    util::Status st = parse_object(out, "");
+    if (!st.ok()) return st;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after object");
+    return util::ok_status();
+  }
+
+ private:
+  util::Status parse_object(BenchJson& out, const std::string& prefix) {
+    if (!consume('{')) return fail("expected '{'");
+    skip_ws();
+    if (consume('}')) return util::ok_status();
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (util::Status st = parse_string(key); !st.ok()) return st;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after key \"" + key + "\"");
+      skip_ws();
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      if (util::Status st = parse_value(out, path); !st.ok()) return st;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return util::ok_status();
+      return fail("expected ',' or '}' after value of \"" + path + "\"");
+    }
+  }
+
+  util::Status parse_value(BenchJson& out, const std::string& path) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, path);
+    if (c == '"') {
+      std::string s;
+      if (util::Status st = parse_string(s); !st.ok()) return st;
+      out.strings[path] = std::move(s);
+      return util::ok_status();
+    }
+    if (c == 't' || c == 'f') {
+      const std::string_view word = c == 't' ? "true" : "false";
+      if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+      pos_ += word.size();
+      out.numbers[path] = c == 't' ? 1.0 : 0.0;
+      return util::ok_status();
+    }
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") return fail("bad literal");
+      pos_ += 4;
+      return util::ok_status();
+    }
+    if (c == '[') {
+      return fail("arrays are not part of the bench schema (at \"" + path +
+                  "\")");
+    }
+    return parse_number(out, path);
+  }
+
+  util::Status parse_number(BenchJson& out, const std::string& path) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value at \"" + path + "\"");
+    double v = 0.0;
+    const auto* first = text_.data() + start;
+    const auto* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || end != last) {
+      return fail("malformed number at \"" + path + "\"");
+    }
+    out.numbers[path] = v;
+    return util::ok_status();
+  }
+
+  util::Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return util::ok_status();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: return fail("unsupported escape in string");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    return fail("unterminated string");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] util::Status fail(std::string what) const {
+    return util::data_loss("bench json: " + std::move(what) + " (offset " +
+                           std::to_string(pos_) + ")");
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+std::string format_number(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+util::Result<BenchJson> parse_bench_json(std::string_view text) {
+  BenchJson out;
+  Parser p(text);
+  if (util::Status st = p.parse_into(out); !st.ok()) return st;
+  return out;
+}
+
+util::Result<BenchJson> load_bench_json(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return util::not_found("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  auto parsed = parse_bench_json(buffer.str());
+  if (!parsed.ok()) return parsed.status().with_context(path);
+  return parsed;
+}
+
+GateResult check_regression(const BenchJson& baseline, const BenchJson& current,
+                            double max_regression,
+                            const std::string& threads) {
+  GateResult r;
+  r.metric = "flows_per_s_by_threads." + threads;
+
+  const auto schema_of = [](const BenchJson& b) {
+    return static_cast<std::int64_t>(b.number("bench_schema_version", 0));
+  };
+  if (schema_of(baseline) != kBenchSchemaVersion ||
+      schema_of(current) != kBenchSchemaVersion) {
+    r.pass = false;
+    r.message = "bench-gate: schema version mismatch (baseline v" +
+                std::to_string(schema_of(baseline)) + ", current v" +
+                std::to_string(schema_of(current)) + ", gate understands v" +
+                std::to_string(kBenchSchemaVersion) +
+                ") — refresh the baseline";
+    return r;
+  }
+
+  r.baseline = baseline.number(r.metric);
+  r.current = current.number(r.metric);
+  const std::string name = current.name();
+  if (!baseline.has(r.metric) || r.baseline <= 0.0) {
+    r.pass = false;
+    r.message = "bench-gate: baseline for " + name + " lacks " + r.metric;
+    return r;
+  }
+  if (!current.has(r.metric) || r.current <= 0.0) {
+    r.pass = false;
+    r.message = "bench-gate: current run of " + name + " lacks " + r.metric;
+    return r;
+  }
+
+  r.change = (r.current - r.baseline) / r.baseline;
+  const double floor = r.baseline * (1.0 - max_regression);
+  const std::string pct = format_number(std::abs(r.change) * 100.0);
+  if (r.current < floor) {
+    r.pass = false;
+    r.message = "bench-gate: REGRESSION in " + name + " " + r.metric + ": " +
+                format_number(r.current) + " flows/s vs baseline " +
+                format_number(r.baseline) + " (-" + pct + "%, limit " +
+                format_number(max_regression * 100.0) + "%)";
+    return r;
+  }
+  r.pass = true;
+  r.message = "bench-gate: ok " + name + " " + r.metric + ": " +
+              format_number(r.current) + " flows/s vs baseline " +
+              format_number(r.baseline) + " (" +
+              (r.change >= 0.0 ? "+" : "-") + pct + "%)";
+  return r;
+}
+
+}  // namespace bw::testing

@@ -1,0 +1,81 @@
+// Performance regression gate over the unified BENCH_*.json schema.
+//
+// The bench binaries emit one JSON file per benchmark with a shared key
+// set (bench_schema_version, benchmark, scale, flow_records,
+// hardware_concurrency, wall_ms_by_threads, flows_per_s_by_threads,
+// speedup_8_vs_1). This module parses those files and compares a fresh
+// measurement against a committed baseline: the gate fails when the
+// single-thread flows_per_s drops by more than the allowed fraction, and
+// the failure message names the regressing metric. Multi-thread numbers
+// are parsed and carried along for a future multicore CI runner but are
+// not gated on a single-core box.
+//
+// Lives in bw::testing because it is harness machinery, not analysis:
+// tools/bench-gate is a thin CLI over check_regression, and the unit tests
+// feed it doctored baselines to prove the gate actually fires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace bw::testing {
+
+/// Version of the unified bench JSON schema this gate understands.
+/// Bump when the key set changes; the gate refuses mismatched files
+/// instead of silently comparing incompatible numbers.
+inline constexpr std::int64_t kBenchSchemaVersion = 2;
+
+/// A parsed bench JSON file, flattened: nested objects become dotted paths
+/// ("flows_per_s_by_threads.1"), numeric leaves land in `numbers`, string
+/// leaves in `strings`. Unknown keys are retained — the gate only reads
+/// the keys it needs, so the schema can grow without breaking old gates.
+struct BenchJson {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return numbers.contains(key);
+  }
+  [[nodiscard]] double number(const std::string& key,
+                              double fallback = 0.0) const {
+    const auto it = numbers.find(key);
+    return it == numbers.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::string name() const {
+    const auto it = strings.find("benchmark");
+    return it == strings.end() ? std::string("unknown") : it->second;
+  }
+};
+
+/// Parse a bench JSON document (strict subset of JSON: objects, strings,
+/// numbers, booleans, null; arrays are rejected — the schema has none).
+[[nodiscard]] util::Result<BenchJson> parse_bench_json(std::string_view text);
+
+/// Read and parse one BENCH_*.json file.
+[[nodiscard]] util::Result<BenchJson> load_bench_json(const std::string& path);
+
+/// Outcome of one baseline-vs-current comparison.
+struct GateResult {
+  bool pass{false};
+  std::string metric;   ///< the gated metric, e.g. flows_per_s_by_threads.1
+  double baseline{0.0};
+  double current{0.0};
+  double change{0.0};   ///< (current - baseline) / baseline
+  std::string message;  ///< one line; names the regressing metric on failure
+};
+
+/// Gate `current` against `baseline` on flows_per_s at `threads` (default
+/// the single-thread number). Fails when current < baseline * (1 -
+/// max_regression), when either file misses the metric, or when schema
+/// versions mismatch. Improvements always pass (refresh the baseline to
+/// ratchet them in).
+[[nodiscard]] GateResult check_regression(const BenchJson& baseline,
+                                          const BenchJson& current,
+                                          double max_regression,
+                                          const std::string& threads = "1");
+
+}  // namespace bw::testing

@@ -1,0 +1,138 @@
+// Bump-pointer arena for kernel scratch memory.
+//
+// The hot analysis kernels need short-lived per-event scratch (source
+// accumulators, port histograms, sort buffers). Allocating that through the
+// general-purpose heap costs a malloc/free pair per container node per
+// event — tens of millions of calls across a corpus pass. An Arena instead
+// hands out memory by advancing a pointer through reusable blocks: reset()
+// rewinds to empty while keeping every block, so after the first few events
+// a kernel's scratch allocations touch the allocator never again.
+//
+// Contract:
+//   - allocate() returns storage aligned to the requested power-of-two
+//     alignment (alloc_array aligns to alignof(T)).
+//   - Nothing is destroyed: the arena is for trivially-destructible
+//     scratch only (alloc_array enforces this).
+//   - reset() invalidates all outstanding allocations and reuses their
+//     blocks; destruction frees everything.
+//   - Not thread-safe; use one arena per thread (thread_local in kernel
+//     bodies — pool workers live for the process, so the retained capacity
+//     is bounded by the largest event each thread has seen).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace bw::util {
+
+class Arena {
+ public:
+  /// Blocks grow geometrically from `first_block_bytes` (rounded up to at
+  /// least one cache line) so small kernels stay small and large events
+  /// amortise to O(log n) block allocations.
+  explicit Arena(std::size_t first_block_bytes = 1 << 16)
+      : next_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage of `bytes` bytes aligned to `align` (a power of two).
+  /// Never returns nullptr; zero-byte requests yield a unique valid pointer.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    // Alignment is on the absolute address: operator new only guarantees
+    // __STDCPP_DEFAULT_NEW_ALIGNMENT__ for the block base, so aligning the
+    // offset alone would under-align any stricter request.
+    std::size_t offset = aligned_offset(align);
+    if (block_ >= blocks_.size() || offset + bytes > blocks_[block_].size) {
+      start_block(bytes + align);  // worst-case padding is < align
+      offset = aligned_offset(align);
+    }
+    offset_ = offset + bytes;
+    used_ = align_up(used_, align) + bytes;
+    return blocks_[block_].data.get() + offset;
+  }
+
+  /// Uninitialised array of `n` trivially-destructible elements.
+  template <typename T>
+  [[nodiscard]] T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destroyed");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Zero-initialised array — the accumulator variant.
+  template <typename T>
+  [[nodiscard]] T* alloc_zeroed(std::size_t n) {
+    T* p = alloc_array<T>(n);
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return p;
+  }
+
+  /// Rewind to empty, keeping every block for reuse. All pointers handed
+  /// out so far are invalidated.
+  void reset() noexcept {
+    block_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (including alignment padding).
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+  /// Total bytes owned across all blocks (survives reset()).
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+  };
+
+  [[nodiscard]] static std::size_t align_up(std::size_t v,
+                                            std::size_t align) noexcept {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  /// offset_ adjusted so base + result is `align`-aligned in the current
+  /// block (offset_ itself when no block is active yet).
+  [[nodiscard]] std::size_t aligned_offset(std::size_t align) const noexcept {
+    if (block_ >= blocks_.size()) return offset_;
+    const auto base =
+        reinterpret_cast<std::uintptr_t>(blocks_[block_].data.get());
+    return static_cast<std::size_t>(align_up(base + offset_, align) - base);
+  }
+
+  /// Advance to the next block with room for `need` bytes, allocating a new
+  /// one (>= the geometric schedule) when no retained block fits.
+  void start_block(std::size_t need) {
+    const std::size_t start = block_ >= blocks_.size() ? block_ : block_ + 1;
+    for (std::size_t b = start; b < blocks_.size(); ++b) {
+      if (blocks_[b].size >= need) {
+        block_ = b;
+        offset_ = 0;
+        return;
+      }
+    }
+    std::size_t size = next_block_bytes_;
+    while (size < need) size *= 2;
+    next_block_bytes_ = size * 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_{0};   ///< current block index (may be == blocks_.size())
+  std::size_t offset_{0};  ///< bump offset inside the current block
+  std::size_t used_{0};
+  std::size_t next_block_bytes_;
+};
+
+}  // namespace bw::util

@@ -69,6 +69,77 @@ TEST_F(DatasetTest, FlowsToFiltersPrefixAndRange) {
   EXPECT_TRUE(none.empty());
 }
 
+TEST_F(DatasetTest, HostScanHonorsTimeSubrangeBoundaries) {
+  // Host (/32) runs are time-sorted, so the scan binary-searches the time
+  // window instead of filtering per record; boundary behaviour must stay
+  // exactly half-open [begin, end).
+  const net::Ipv4 victim(24, 0, 0, 1);
+  const net::Prefix host = net::Prefix::host(victim);
+  const util::TimeRange windows[] = {
+      {0, util::kHour},
+      {util::kHour, 2 * util::kHour},
+      {30 * util::kMinute, 90 * util::kMinute},
+      {util::kHour, util::kHour},  // empty window
+      {util::kHour, util::kHour + 1},
+      {-util::kHour, 4 * util::kHour},  // wider than the data
+  };
+  for (const auto& range : windows) {
+    std::size_t scanned = 0;
+    std::uint64_t packets = 0;
+    dataset_->for_each_flow_to(host, range, [&](const flow::FlowRecord& rec) {
+      EXPECT_TRUE(range.contains(rec.time));
+      ++scanned;
+      packets += rec.packets;
+    });
+    std::size_t expected = 0;
+    std::uint64_t expected_packets = 0;
+    for (const auto& rec : dataset_->flows()) {
+      if (rec.dst_ip == victim && range.contains(rec.time)) {
+        ++expected;
+        expected_packets += rec.packets;
+      }
+    }
+    EXPECT_EQ(scanned, expected)
+        << "[" << range.begin << ", " << range.end << ")";
+    EXPECT_EQ(packets, expected_packets);
+  }
+}
+
+TEST_F(DatasetTest, ColumnsMirrorDestinationOrder) {
+  const auto& cols = dataset_->columns();
+  ASSERT_EQ(cols.size(), dataset_->flows().size());
+  // Rows ascend by (dst_ip, time) and the dropped bitmap agrees with the
+  // record flags in aggregate.
+  std::uint64_t dropped_rows = 0;
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (k > 0) {
+      EXPECT_GE(cols.dst_ip[k], cols.dst_ip[k - 1]);
+      if (cols.dst_ip[k] == cols.dst_ip[k - 1]) {
+        EXPECT_GE(cols.time[k], cols.time[k - 1]);
+      }
+    }
+    if (cols.dropped(k)) ++dropped_rows;
+  }
+  std::uint64_t dropped_records = 0;
+  for (const auto& rec : dataset_->flows()) {
+    if (rec.dropped()) ++dropped_records;
+  }
+  EXPECT_EQ(dropped_rows, dropped_records);
+}
+
+TEST_F(DatasetTest, SummaryEnginesAgree) {
+  const auto columnar = dataset_->summary(nullptr, KernelEngine::kColumnar);
+  const auto records = dataset_->summary(nullptr, KernelEngine::kRecords);
+  EXPECT_EQ(columnar.control_updates, records.control_updates);
+  EXPECT_EQ(columnar.blackhole_updates, records.blackhole_updates);
+  EXPECT_EQ(columnar.blackholed_prefixes, records.blackholed_prefixes);
+  EXPECT_EQ(columnar.flow_records, records.flow_records);
+  EXPECT_EQ(columnar.sampled_packets, records.sampled_packets);
+  EXPECT_EQ(columnar.sampled_bytes, records.sampled_bytes);
+  EXPECT_EQ(columnar.dropped_packets, records.dropped_packets);
+  EXPECT_EQ(columnar.dropped_bytes, records.dropped_bytes);
+}
+
 TEST_F(DatasetTest, FlowsFromSourcePrefix) {
   const auto from = dataset_->flows_from(*net::Prefix::parse("64.0.0.0/16"),
                                          dataset_->period());

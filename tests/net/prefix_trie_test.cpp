@@ -142,5 +142,93 @@ TEST_P(TriePropertyTest, MatchesBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TriePropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 
+TEST(FlatLpmTest, EmptyMatchesNothing) {
+  FlatLpm<int> lpm;
+  EXPECT_TRUE(lpm.empty());
+  EXPECT_EQ(lpm.match(Ipv4(10, 0, 0, 1)), nullptr);
+}
+
+TEST(FlatLpmTest, ShortAndLongPrefixesResolve) {
+  std::vector<std::pair<Prefix, int>> entries{
+      {*Prefix::parse("10.0.0.0/8"), 8},
+      {*Prefix::parse("10.1.0.0/16"), 16},
+      {*Prefix::parse("10.1.2.0/24"), 24},
+      {*Prefix::parse("10.1.2.3/32"), 32},
+      {Prefix(Ipv4(0), 0), 0},
+  };
+  const FlatLpm<int> lpm(entries);
+  EXPECT_EQ(lpm.size(), 5u);
+  EXPECT_EQ(*lpm.match(Ipv4(10, 1, 2, 3)), 32);
+  EXPECT_EQ(*lpm.match(Ipv4(10, 1, 2, 4)), 24);
+  EXPECT_EQ(*lpm.match(Ipv4(10, 1, 3, 1)), 16);
+  EXPECT_EQ(*lpm.match(Ipv4(10, 9, 9, 9)), 8);
+  EXPECT_EQ(*lpm.match(Ipv4(11, 0, 0, 0)), 0);  // default route
+}
+
+TEST(FlatLpmTest, LastInsertWinsLikeTrieOverwrite) {
+  std::vector<std::pair<Prefix, int>> entries{
+      {*Prefix::parse("10.0.0.0/8"), 1},
+      {*Prefix::parse("10.0.0.0/8"), 2},
+      {*Prefix::parse("172.16.0.0/12"), 3},
+      {*Prefix::parse("172.16.0.0/12"), 4},
+  };
+  const FlatLpm<int> lpm(entries);
+  EXPECT_EQ(lpm.size(), 2u);
+  EXPECT_EQ(*lpm.match(Ipv4(10, 0, 0, 1)), 2);
+  EXPECT_EQ(*lpm.match(Ipv4(172, 16, 0, 1)), 4);
+}
+
+// Property: FlatLpm agrees with PrefixTrie on every lookup, over a large
+// random prefix set with heavy overlap (including duplicates, so the
+// last-wins rule is exercised too).
+class FlatLpmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatLpmPropertyTest, MatchesTrieOn10kRandomPrefixes) {
+  util::Rng rng(GetParam());
+  PrefixTrie<std::uint32_t> trie;
+  std::vector<std::pair<Prefix, std::uint32_t>> entries;
+  entries.reserve(10000);
+
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(0, 32));
+    // Concentrate the top bits so level-1 buckets collide and collect
+    // multiple long prefixes.
+    const Prefix p(
+        Ipv4((static_cast<std::uint32_t>(rng.uniform_int(0, 0x3FF)) << 22) |
+             (static_cast<std::uint32_t>(rng.uniform_int(
+                  0, std::numeric_limits<std::int32_t>::max())) &
+              0x3FFFFF)),
+        len);
+    trie.insert(p, i);
+    entries.emplace_back(p, i);
+  }
+  const FlatLpm<std::uint32_t> lpm(entries);
+  EXPECT_EQ(lpm.size(), trie.size());
+
+  util::Rng probe_rng(GetParam() ^ 0x9E3779B97F4A7C15ull);
+  for (int i = 0; i < 20000; ++i) {
+    // Half the probes near the concentrated region, half uniform.
+    const std::uint32_t addr_bits =
+        i % 2 == 0
+            ? (static_cast<std::uint32_t>(probe_rng.uniform_int(0, 0x3FF))
+               << 22) |
+                  static_cast<std::uint32_t>(probe_rng.uniform_int(0, 0x3FFFFF))
+            : static_cast<std::uint32_t>(probe_rng.uniform_int(
+                  0, std::numeric_limits<std::uint32_t>::max()));
+    const Ipv4 addr(addr_bits);
+    const std::uint32_t* expected = trie.match(addr);
+    const std::uint32_t* got = lpm.match(addr);
+    if (expected == nullptr) {
+      ASSERT_EQ(got, nullptr) << addr.to_string();
+    } else {
+      ASSERT_NE(got, nullptr) << addr.to_string();
+      ASSERT_EQ(*got, *expected) << addr.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatLpmPropertyTest,
+                         ::testing::Values(101, 202, 303));
+
 }  // namespace
 }  // namespace bw::net

@@ -1,0 +1,138 @@
+// Unit tests for the bench JSON parser and the perf-regression gate logic
+// behind tools/bench-gate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testing/bench_gate.hpp"
+
+namespace bw::testing {
+namespace {
+
+constexpr const char* kBenchDoc = R"({
+  "bench_schema_version": 2,
+  "benchmark": "run_pipeline",
+  "scale": 0.25,
+  "flow_records": 3513509,
+  "hardware_concurrency": 8,
+  "wall_ms_by_threads": {
+    "1": 2000.0,
+    "8": 400.0
+  },
+  "flows_per_s_by_threads": {
+    "1": 1756754.5,
+    "8": 8783772.5
+  },
+  "speedup_8_vs_1": 5.0
+})";
+
+std::string doc_with_thread1_fps(double fps) {
+  return std::string(R"({
+    "bench_schema_version": 2,
+    "benchmark": "run_pipeline",
+    "flows_per_s_by_threads": { "1": )") +
+         std::to_string(fps) + " }\n}";
+}
+
+TEST(BenchJsonTest, ParsesUnifiedSchema) {
+  const auto parsed = parse_bench_json(kBenchDoc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const BenchJson& doc = parsed.value();
+  EXPECT_EQ(doc.name(), "run_pipeline");
+  EXPECT_EQ(doc.number("bench_schema_version"), 2.0);
+  EXPECT_EQ(doc.number("flow_records"), 3513509.0);
+  EXPECT_EQ(doc.number("wall_ms_by_threads.1"), 2000.0);
+  EXPECT_EQ(doc.number("flows_per_s_by_threads.8"), 8783772.5);
+  EXPECT_TRUE(doc.has("speedup_8_vs_1"));
+  EXPECT_FALSE(doc.has("no_such_key"));
+  EXPECT_EQ(doc.number("no_such_key", -1.0), -1.0);
+}
+
+TEST(BenchJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_bench_json("").ok());
+  EXPECT_FALSE(parse_bench_json("{").ok());
+  EXPECT_FALSE(parse_bench_json(R"({"a": })").ok());
+  EXPECT_FALSE(parse_bench_json(R"({"a": 1} trailing)").ok());
+  EXPECT_FALSE(parse_bench_json(R"([1, 2, 3])").ok());
+}
+
+TEST(BenchGateTest, PassesWhenCurrentMatchesBaseline) {
+  const auto baseline = parse_bench_json(kBenchDoc);
+  const auto current = parse_bench_json(kBenchDoc);
+  ASSERT_TRUE(baseline.ok() && current.ok());
+  const GateResult r =
+      check_regression(baseline.value(), current.value(), 0.10);
+  EXPECT_TRUE(r.pass) << r.message;
+  EXPECT_EQ(r.metric, "flows_per_s_by_threads.1");
+}
+
+TEST(BenchGateTest, PassesOnImprovementAndWithinTolerance) {
+  const auto base = parse_bench_json(doc_with_thread1_fps(1000000.0));
+  const auto faster = parse_bench_json(doc_with_thread1_fps(1500000.0));
+  const auto slightly_slower = parse_bench_json(doc_with_thread1_fps(950000.0));
+  ASSERT_TRUE(base.ok() && faster.ok() && slightly_slower.ok());
+  EXPECT_TRUE(check_regression(base.value(), faster.value(), 0.10).pass);
+  // 5% below baseline is inside the 10% budget.
+  EXPECT_TRUE(
+      check_regression(base.value(), slightly_slower.value(), 0.10).pass);
+}
+
+TEST(BenchGateTest, FailsBeyondRegressionBudget) {
+  const auto base = parse_bench_json(doc_with_thread1_fps(1000000.0));
+  const auto slow = parse_bench_json(doc_with_thread1_fps(850000.0));
+  ASSERT_TRUE(base.ok() && slow.ok());
+  const GateResult r = check_regression(base.value(), slow.value(), 0.10);
+  EXPECT_FALSE(r.pass);
+  // The failure message must name the regressing metric.
+  EXPECT_NE(r.message.find("flows_per_s_by_threads.1"), std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("REGRESSION"), std::string::npos) << r.message;
+}
+
+TEST(BenchGateTest, DoctoredBaselineTenPercentAboveMeasuredFails) {
+  // The CI negative test in miniature: a baseline claiming 10%+ more
+  // throughput than actually measured must trip the gate.
+  const auto measured = parse_bench_json(doc_with_thread1_fps(1000000.0));
+  const auto doctored = parse_bench_json(doc_with_thread1_fps(1120000.0));
+  ASSERT_TRUE(measured.ok() && doctored.ok());
+  EXPECT_FALSE(
+      check_regression(doctored.value(), measured.value(), 0.10).pass);
+}
+
+TEST(BenchGateTest, SchemaVersionMismatchFails) {
+  const auto v2 = parse_bench_json(doc_with_thread1_fps(1000000.0));
+  const auto v1 = parse_bench_json(R"({
+    "benchmark": "run_pipeline",
+    "flows_per_s_by_threads": { "1": 1000000.0 }
+  })");
+  ASSERT_TRUE(v2.ok() && v1.ok());
+  const GateResult r = check_regression(v1.value(), v2.value(), 0.10);
+  EXPECT_FALSE(r.pass);
+  EXPECT_NE(r.message.find("refresh the baseline"), std::string::npos)
+      << r.message;
+}
+
+TEST(BenchGateTest, MissingMetricFailsNamingTheMetric) {
+  const auto ok = parse_bench_json(doc_with_thread1_fps(1000000.0));
+  const auto no_metric = parse_bench_json(R"({
+    "bench_schema_version": 2,
+    "benchmark": "run_pipeline"
+  })");
+  ASSERT_TRUE(ok.ok() && no_metric.ok());
+  const GateResult r = check_regression(ok.value(), no_metric.value(), 0.10);
+  EXPECT_FALSE(r.pass);
+  EXPECT_NE(r.message.find("flows_per_s_by_threads.1"), std::string::npos)
+      << r.message;
+}
+
+TEST(BenchGateTest, AlternateThreadColumn) {
+  const auto base = parse_bench_json(kBenchDoc);
+  ASSERT_TRUE(base.ok());
+  const GateResult r =
+      check_regression(base.value(), base.value(), 0.10, "8");
+  EXPECT_TRUE(r.pass) << r.message;
+  EXPECT_EQ(r.metric, "flows_per_s_by_threads.8");
+}
+
+}  // namespace
+}  // namespace bw::testing
