@@ -1,0 +1,161 @@
+// Streaming-ingest microbenchmarks.
+//
+// Two families:
+//   BM_RingPushPop        raw SPSC ring throughput, single thread (push
+//                         immediately popped — the uncontended fast path)
+//   BM_LockstepReplay     a full corpus through rings -> shedding ->
+//                         watermark mux -> monitor in lockstep mode (the
+//                         convergence-proof path)
+//
+// After the google-benchmark run, main() times the same two shapes and
+// writes $BW_CSV_DIR/BENCH_stream.json in the unified bench schema (v2)
+// consumed by tools/bench-gate, so the ingest-path perf trajectory is
+// tracked across PRs alongside BENCH_pipeline.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common.hpp"
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "stream/replay.hpp"
+#include "stream/ring.hpp"
+#include "testing/bench_gate.hpp"
+
+namespace {
+
+using namespace bw;
+
+const core::ScenarioRun& corpus() {
+  // Smaller than the pipeline-bench corpus: the ingest path is per-event,
+  // so a few hundred thousand events already give stable numbers.
+  static const core::ScenarioRun run = [] {
+    gen::ScenarioConfig cfg = core::default_benchmark_scenario();
+    cfg.scale = 0.05;
+    return core::run_scenario(cfg);
+  }();
+  return run;
+}
+
+void BM_RingPushPop(benchmark::State& state) {
+  stream::SpscRing<stream::StreamEvent> ring(
+      static_cast<std::size_t>(state.range(0)));
+  flow::FlowRecord rec;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.try_push(stream::StreamEvent::from(rec, seq++)));
+    stream::StreamEvent out;
+    benchmark::DoNotOptimize(ring.try_pop(out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingPushPop)->Arg(64)->Arg(4096);
+
+void BM_LockstepReplay(benchmark::State& state) {
+  const core::Dataset& dataset = corpus().dataset;
+  stream::ReplayOptions options;
+  options.lockstep = true;
+  for (auto _ : state) {
+    core::RtbhMonitor monitor(core::MonitorConfig{},
+                              [](const core::Alert&) {});
+    stream::ReplayStats stats =
+        stream::replay_streaming(dataset, monitor, options);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["flows"] =
+      static_cast<double>(dataset.summary().flow_records);
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(dataset.summary().flow_records));
+}
+BENCHMARK(BM_LockstepReplay)->Unit(benchmark::kMillisecond);
+
+/// Raw single-thread ring throughput (push+pop pairs per second), timed
+/// outside google-benchmark so the JSON writer does not depend on its
+/// reporter format.
+double ring_ops_per_s() {
+  constexpr std::uint64_t kOps = 2'000'000;
+  stream::SpscRing<stream::StreamEvent> ring(4096);
+  flow::FlowRecord rec;
+  const double ms = bench::time_best_ms(3, [&] {
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      benchmark::DoNotOptimize(
+          ring.try_push(stream::StreamEvent::from(rec, i)));
+      stream::StreamEvent out;
+      benchmark::DoNotOptimize(ring.try_pop(out));
+    }
+  });
+  return ms > 0.0 ? static_cast<double>(kOps) / (ms / 1000.0) : 0.0;
+}
+
+double time_lockstep_ms(const core::Dataset& dataset, int repetitions) {
+  stream::ReplayOptions options;
+  options.lockstep = true;
+  return bench::time_best_ms(repetitions, [&] {
+    core::RtbhMonitor monitor(core::MonitorConfig{},
+                              [](const core::Alert&) {});
+    stream::ReplayStats stats =
+        stream::replay_streaming(dataset, monitor, options);
+    benchmark::DoNotOptimize(stats);
+  });
+}
+
+/// bench_out/BENCH_stream.json: cross-PR perf tracking for the streaming
+/// ingest path, in the unified bench schema (v2) of tools/bench-gate. The
+/// lockstep replay is single-threaded by construction, so only the
+/// threads=1 entries are meaningful; the map shape matches the other
+/// BENCH_*.json files so the gate reads them all the same way.
+void write_stream_json() {
+  const char* dir_env = std::getenv("BW_CSV_DIR");
+  const std::string dir = dir_env != nullptr ? dir_env : "bench_out";
+  std::filesystem::create_directories(dir);
+
+  const core::Dataset& dataset = corpus().dataset;
+  const auto summary = dataset.summary();
+  const double flow_records = static_cast<double>(summary.flow_records);
+
+  const double ops = ring_ops_per_s();
+  std::cerr << "stream ring ops_per_s=" << ops << "\n";
+  const double wall_ms = time_lockstep_ms(dataset, 3);
+  std::cerr << "stream lockstep wall_ms=" << wall_ms << "\n";
+  const double fps =
+      wall_ms > 0.0 ? flow_records / (wall_ms / 1000.0) : 0.0;
+
+  std::ofstream os(dir + "/BENCH_stream.json", std::ios::trunc);
+  os << "{\n";
+  os << "  \"bench_schema_version\": " << testing::kBenchSchemaVersion
+     << ",\n";
+  os << "  \"benchmark\": \"stream_replay\",\n";
+  os << "  \"scale\": 0.05,\n";
+  os << "  \"flow_records\": " << summary.flow_records << ",\n";
+  os << "  \"blackhole_updates\": " << summary.blackhole_updates << ",\n";
+  os << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  os << "  \"ring_ops_per_s_by_threads\": {\n";
+  os << "    \"1\": " << ops << "\n";
+  os << "  },\n";
+  os << "  \"wall_ms_by_threads\": {\n";
+  os << "    \"1\": " << wall_ms << "\n";
+  os << "  },\n";
+  os << "  \"flows_per_s_by_threads\": {\n";
+  os << "    \"1\": " << fps << "\n";
+  os << "  }\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_stream_json();
+  return 0;
+}

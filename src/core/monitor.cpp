@@ -135,7 +135,13 @@ void RtbhMonitor::maybe_close_event(const net::Prefix& prefix,
          static_cast<double>(st.packets_total), os.str());
   }
 
+  maybe_end_event(prefix, st, now);
+}
+
+void RtbhMonitor::maybe_end_event(const net::Prefix& prefix, PrefixState& st,
+                                  util::TimeMs now) {
   // Event end: withdrawn and the merge window has passed.
+  if (!st.in_event) return;
   if (!st.announced && now - st.last_withdraw > cfg_.merge_delta) {
     st.in_event = false;
     std::ostringstream os;
@@ -168,6 +174,13 @@ void RtbhMonitor::on_update(const bgp::Update& update) {
   PrefixState& st = state_for(update.prefix);
 
   if (update.type == bgp::UpdateType::kAnnounce) {
+    // Expire the merge window against this announcement's own timestamp.
+    // The periodic sweep in advance() only runs when the clock moves, so
+    // its cadence depends on how many flow records arrived in between —
+    // segmentation must not: a re-announce past merge_delta always closes
+    // the stale event and opens a fresh one, however quiet the data plane
+    // was (or however much of it a shedding ingest dropped).
+    maybe_end_event(update.prefix, st, update.time);
     st.announced = true;
     st.origin = update.origin_asn;
     if (!st.in_event) {

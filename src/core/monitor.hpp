@@ -139,6 +139,8 @@ class RtbhMonitor {
   void close_slot(const net::Prefix& prefix, PrefixState& st);
   void maybe_close_event(const net::Prefix& prefix, PrefixState& st,
                          util::TimeMs now);
+  void maybe_end_event(const net::Prefix& prefix, PrefixState& st,
+                       util::TimeMs now);
   PrefixState& state_for(const net::Prefix& prefix);
   void touch(PrefixState& st);
   void evict_over_cap();

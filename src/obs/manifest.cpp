@@ -53,6 +53,11 @@ void Manifest::populate_from_metrics(const MetricsSnapshot& snapshot) {
   rows_repaired = snapshot.counter("ingest.rows_repaired");
   monitor_alerts = snapshot.counter("monitor.alerts");
   monitor_evictions = snapshot.counter("monitor.evictions");
+  stream_ingested = snapshot.counter("stream.ingested_bgp") +
+                    snapshot.counter("stream.ingested_flow");
+  stream_delivered = snapshot.counter("stream.delivered");
+  stream_shed = snapshot.counter("stream.shed_total");
+  stream_late_dropped = snapshot.counter("stream.late_dropped");
   for (auto& stage : stages) {
     stage.wall_us = snapshot.counter("pipeline.stage." + stage.name + ".wall_us");
     stage.cpu_us = snapshot.counter("pipeline.stage." + stage.name + ".cpu_us");
@@ -94,6 +99,12 @@ std::string Manifest::to_json() const {
      << ", \"rows_repaired\": " << rows_repaired << "}";
   os << ",\n  \"monitor\": {\"alerts\": " << monitor_alerts
      << ", \"evictions\": " << monitor_evictions << "}";
+  os << ",\n  \"stream\": {\"mode\": ";
+  append_json_string(os, stream_mode);
+  os << ", \"ingested\": " << stream_ingested
+     << ", \"delivered\": " << stream_delivered
+     << ", \"shed\": " << stream_shed
+     << ", \"late_dropped\": " << stream_late_dropped << "}";
   os << ",\n  \"metrics\": " << indent_block(metrics.to_json());
   os << "\n}\n";
   return os.str();

@@ -55,6 +55,13 @@ struct Manifest {
   std::uint64_t monitor_alerts{0};
   std::uint64_t monitor_evictions{0};
 
+  // --- streaming ingest (bw-monitor --replay; all zero for batch runs) ---
+  std::string stream_mode;  ///< shed-mode name, "" when not streaming
+  std::uint64_t stream_ingested{0};   ///< events produced by the feeds
+  std::uint64_t stream_delivered{0};  ///< events that reached the monitor
+  std::uint64_t stream_shed{0};       ///< events shed by backpressure policy
+  std::uint64_t stream_late_dropped{0};  ///< events behind their watermark
+
   /// Full registry snapshot embedded under "metrics".
   MetricsSnapshot metrics;
 

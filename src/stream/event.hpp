@@ -1,0 +1,74 @@
+// The unified ingest event of the streaming monitor.
+//
+// The two live feeds — route-server BGP updates and sampled flow records —
+// are merged into one timestamp-ordered stream before they reach the
+// RtbhMonitor. A StreamEvent is one element of that stream: either kind,
+// tagged with its event time and its position within its own feed.
+//
+// Ordering contract (the replay-convergence proof depends on it): events
+// are delivered to the monitor sorted by (time, kind, seq) — BGP updates
+// before flow records at equal timestamps, FIFO within a feed. This is
+// exactly the order the batch replayer visits a finished corpus in
+// (`updates[ui].time <= flows[fi].time` takes the update first), so a
+// streaming run that sheds nothing feeds the monitor the identical
+// sequence the batch call does.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/message.hpp"
+#include "flow/record.hpp"
+#include "util/time.hpp"
+
+namespace bw::stream {
+
+enum class EventKind : std::uint8_t {
+  kBgpUpdate = 0,  ///< sorts before flows at equal timestamps
+  kFlow = 1,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EventKind k) noexcept {
+  return k == EventKind::kBgpUpdate ? "bgp" : "flow";
+}
+
+struct StreamEvent {
+  EventKind kind{EventKind::kFlow};
+  util::TimeMs time{0};
+  /// FIFO position within the originating feed (assigned by the producer);
+  /// the final tie-break of the delivery order.
+  std::uint64_t seq{0};
+  // One of the two is meaningful, selected by `kind`. A struct (not a
+  // variant) keeps the ring slots trivially reusable; the dead member of
+  // each slot is simply overwritten by the next push.
+  bgp::Update update;
+  flow::FlowRecord flow;
+
+  [[nodiscard]] static StreamEvent from(const bgp::Update& u,
+                                        std::uint64_t seq) {
+    StreamEvent ev;
+    ev.kind = EventKind::kBgpUpdate;
+    ev.time = u.time;
+    ev.seq = seq;
+    ev.update = u;
+    return ev;
+  }
+  [[nodiscard]] static StreamEvent from(const flow::FlowRecord& f,
+                                        std::uint64_t seq) {
+    StreamEvent ev;
+    ev.kind = EventKind::kFlow;
+    ev.time = f.time;
+    ev.seq = seq;
+    ev.flow = f;
+    return ev;
+  }
+
+  /// The delivery order: (time, kind, seq). Strict weak; total within one
+  /// run because (kind, seq) is unique per feed.
+  [[nodiscard]] bool before(const StreamEvent& other) const noexcept {
+    if (time != other.time) return time < other.time;
+    if (kind != other.kind) return kind < other.kind;
+    return seq < other.seq;
+  }
+};
+
+}  // namespace bw::stream

@@ -1,0 +1,270 @@
+#include "stream/replay.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bw::stream {
+
+namespace {
+
+obs::Counter& stream_counter(const char* what) {
+  return obs::Registry::global().counter(std::string("stream.") + what);
+}
+
+/// Consumer-side delivery into the monitor, with per-kind accounting.
+/// Owned by the consumer (thread); counters read only after it finishes.
+struct Deliverer {
+  core::RtbhMonitor& monitor;
+  std::uint64_t delivered_bgp{0};
+  std::uint64_t delivered_flow{0};
+  std::uint64_t delay_us{0};  ///< threaded slow-consumer fault
+
+  void operator()(const StreamEvent& ev) {
+    static obs::Counter& delivered = stream_counter("delivered");
+    delivered.add();
+    if (ev.kind == EventKind::kBgpUpdate) {
+      ++delivered_bgp;
+      monitor.on_update(ev.update);
+    } else {
+      ++delivered_flow;
+      monitor.on_flow(ev.flow);
+    }
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+};
+
+void count_produced(EventKind kind) {
+  static obs::Counter& bgp = stream_counter("ingested_bgp");
+  static obs::Counter& flow = stream_counter("ingested_flow");
+  (kind == EventKind::kBgpUpdate ? bgp : flow).add();
+}
+
+// --------------------------------------------------------------------------
+// Lockstep mode: one thread, deterministic interleave.
+//
+// The producer walks both logs in the batch merge order and, every
+// `tick_events` pushes, hands the consumer a drain step of at most
+// `drain_per_tick` ring pops (unbounded when no fault is armed). make_room
+// force-drains one event past that budget — the deterministic analogue of
+// "the consumer is pre-empted for control-plane traffic" — so kPriorityShed
+// keeps its never-shed-BGP promise even against a slow-consumer fault.
+// Everything is a plain function of (corpus, options): same inputs, same
+// alerts, same shed log, byte for byte.
+// --------------------------------------------------------------------------
+
+ReplayStats run_lockstep(const core::Dataset& dataset,
+                         core::RtbhMonitor& monitor,
+                         const ReplayOptions& opt) {
+  FeedRing upd_feed(opt.ring_capacity, opt.allowance);
+  FeedRing flow_feed(opt.ring_capacity, opt.allowance);
+  ShedConfig shed_cfg{opt.shed_mode, opt.shed_sink};
+  Shedder upd_shed(shed_cfg);
+  Shedder flow_shed(shed_cfg);
+  WatermarkMux mux({&upd_feed, &flow_feed}, opt.max_reorder);
+  Deliverer deliver{monitor};
+
+  ReplayStats stats;
+  const bool slow = opt.fault.tick_events > 0;
+  const std::size_t tick = slow ? opt.fault.tick_events : 1;
+  const std::size_t budget =
+      slow ? opt.fault.drain_per_tick : std::numeric_limits<std::size_t>::max();
+  const Shedder::MakeRoom force_drain = [&] { return mux.drain_feeds(1) > 0; };
+
+  const auto& updates = dataset.blackhole_updates();
+  const auto& flows = dataset.flows();
+  // An empty feed must not gate releases with its never-advanced watermark.
+  if (updates.empty()) upd_feed.close();
+  if (flows.empty()) flow_feed.close();
+  std::size_t ui = 0;
+  std::size_t fi = 0;
+  std::uint64_t useq = 0;
+  std::uint64_t fseq = 0;
+  std::size_t since_tick = 0;
+  while (ui < updates.size() || fi < flows.size()) {
+    const bool take_update =
+        fi >= flows.size() ||
+        (ui < updates.size() && updates[ui].time <= flows[fi].time);
+    if (take_update) {
+      StreamEvent ev = StreamEvent::from(updates[ui++], useq++);
+      count_produced(ev.kind);
+      ++stats.produced_bgp;
+      upd_feed.advance_watermark(ev.time);
+      upd_shed.offer(upd_feed.ring, std::move(ev), force_drain);
+      if (ui == updates.size()) upd_feed.close();
+    } else {
+      StreamEvent ev = StreamEvent::from(flows[fi++], fseq++);
+      count_produced(ev.kind);
+      ++stats.produced_flow;
+      flow_feed.advance_watermark(ev.time);
+      flow_shed.offer(flow_feed.ring, std::move(ev), force_drain);
+      if (fi == flows.size()) flow_feed.close();
+    }
+    if (++since_tick >= tick) {
+      since_tick = 0;
+      mux.drain_feeds(budget);
+      mux.release_ready(deliver);
+    }
+  }
+  upd_feed.close();  // also when the log was empty from the start
+  flow_feed.close();
+  while (!mux.exhausted()) {
+    mux.drain_feeds(std::numeric_limits<std::size_t>::max());
+    mux.release_ready(deliver);
+  }
+
+  stats.shed = upd_shed.stats();
+  stats.shed += flow_shed.stats();
+  stats.mux = mux.stats();
+  stats.delivered_bgp = deliver.delivered_bgp;
+  stats.delivered_flow = deliver.delivered_flow;
+  return stats;
+}
+
+// --------------------------------------------------------------------------
+// Threaded mode: one producer thread per feed, the consumer on the calling
+// thread. The daemon shape — real rings under real concurrency, optional
+// real-time pacing, wall-clock faults. The consumer cannot exit before
+// both feeds close, and a producer waiting for room only waits on that
+// same still-running consumer, so the only unbounded wait (kPriorityShed
+// protecting BGP) is always serviced. A monitor-sink exception aborts the
+// producers, joins, and rethrows.
+// --------------------------------------------------------------------------
+
+template <typename Log>
+void run_producer(const Log& log, FeedRing& feed, Shedder& shedder,
+                  std::uint64_t& produced, const ReplayOptions& opt,
+                  const std::atomic<bool>& abort) {
+  const std::uint64_t block_budget_us =
+      static_cast<std::uint64_t>(opt.block_deadline) * 1000;
+  obs::StopWatch pace_watch;
+  obs::StopWatch wait_watch;
+  std::uint64_t wait_budget_us = 0;
+  const Shedder::MakeRoom make_room = [&] {
+    if (abort.load(std::memory_order_relaxed)) return false;
+    if (wait_budget_us != 0 && wait_watch.elapsed_us() > wait_budget_us) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    return true;
+  };
+
+  const util::TimeMs t0 = log.empty() ? 0 : log.front().time;
+  std::uint64_t seq = 0;
+  std::size_t in_burst = 0;
+  for (const auto& rec : log) {
+    if (abort.load(std::memory_order_relaxed)) break;
+    if (opt.speed > 0) {
+      const auto target_us = static_cast<std::uint64_t>(
+          static_cast<double>(rec.time - t0) * 1000.0 / opt.speed);
+      while (pace_watch.elapsed_us() < target_us &&
+             !abort.load(std::memory_order_relaxed)) {
+        const std::uint64_t left = target_us - pace_watch.elapsed_us();
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(left > 1000 ? 1000 : left));
+      }
+    }
+    if (opt.fault.burst > 0 && ++in_burst > opt.fault.burst) {
+      in_burst = 1;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opt.fault.burst_pause_us));
+    }
+    StreamEvent ev = StreamEvent::from(rec, seq++);
+    count_produced(ev.kind);
+    ++produced;
+    // Block mode honours the deadline; priority mode waits for room
+    // without one (the consumer is guaranteed alive until we close).
+    wait_budget_us =
+        opt.shed_mode == ShedMode::kBlockWithDeadline ? block_budget_us : 0;
+    wait_watch.restart();
+    feed.advance_watermark(ev.time);
+    shedder.offer(feed.ring, std::move(ev), make_room);
+  }
+  feed.close();
+}
+
+ReplayStats run_threaded(const core::Dataset& dataset,
+                         core::RtbhMonitor& monitor,
+                         const ReplayOptions& opt) {
+  FeedRing upd_feed(opt.ring_capacity, opt.allowance);
+  FeedRing flow_feed(opt.ring_capacity, opt.allowance);
+  ShedConfig shed_cfg{opt.shed_mode, opt.shed_sink};
+  Shedder upd_shed(shed_cfg);
+  Shedder flow_shed(shed_cfg);
+  WatermarkMux mux({&upd_feed, &flow_feed}, opt.max_reorder);
+  Deliverer deliver{monitor};
+  deliver.delay_us = opt.fault.consumer_delay_us;
+
+  ReplayStats stats;
+  std::atomic<bool> abort{false};
+  std::thread upd_thread([&] {
+    run_producer(dataset.blackhole_updates(), upd_feed, upd_shed,
+                 stats.produced_bgp, opt, abort);
+  });
+  std::thread flow_thread([&] {
+    run_producer(dataset.flows(), flow_feed, flow_shed, stats.produced_flow,
+                 opt, abort);
+  });
+
+  std::exception_ptr failure;
+  try {
+    while (!mux.exhausted()) {
+      const std::size_t got = mux.drain_feeds(1024);
+      const std::size_t released = mux.release_ready(deliver);
+      if (got == 0 && released == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  } catch (...) {
+    failure = std::current_exception();
+    abort.store(true, std::memory_order_relaxed);
+  }
+  upd_thread.join();
+  flow_thread.join();
+  if (failure) std::rethrow_exception(failure);
+
+  stats.shed = upd_shed.stats();
+  stats.shed += flow_shed.stats();
+  stats.mux = mux.stats();
+  stats.delivered_bgp = deliver.delivered_bgp;
+  stats.delivered_flow = deliver.delivered_flow;
+  return stats;
+}
+
+}  // namespace
+
+ReplayStats replay_streaming(const core::Dataset& dataset,
+                             core::RtbhMonitor& monitor,
+                             const ReplayOptions& options) {
+  const obs::TraceSpan span("stream.replay", "stream");
+  ReplayStats stats = options.lockstep
+                          ? run_lockstep(dataset, monitor, options)
+                          : run_threaded(dataset, monitor, options);
+  monitor.finish(dataset.period().end);
+  return stats;
+}
+
+void replay_batch(const core::Dataset& dataset, core::RtbhMonitor& monitor) {
+  const obs::TraceSpan span("monitor.replay", "monitor");
+  const auto& updates = dataset.blackhole_updates();
+  const auto& flows = dataset.flows();
+  std::size_t ui = 0;
+  std::size_t fi = 0;
+  while (ui < updates.size() || fi < flows.size()) {
+    const bool take_update =
+        fi >= flows.size() ||
+        (ui < updates.size() && updates[ui].time <= flows[fi].time);
+    if (take_update) monitor.on_update(updates[ui++]);
+    else monitor.on_flow(flows[fi++]);
+  }
+  monitor.finish(dataset.period().end);
+}
+
+}  // namespace bw::stream

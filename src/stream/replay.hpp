@@ -1,0 +1,95 @@
+// Streaming replay: push a finished corpus through the full live-ingest
+// path — per-feed SPSC rings, shedding policy, watermark merge — into the
+// RtbhMonitor, exactly as a route-server tap and an IPFIX exporter would.
+//
+// Two execution modes:
+//
+//   lockstep   a single thread interleaves producing and consuming on a
+//              fixed schedule (per `tick_events` pushed, the consumer pops
+//              at most `drain_per_tick` ring events). Fully deterministic:
+//              the same corpus, options, and fault plan give byte-identical
+//              alerts and exact shed counts. This is what the convergence
+//              proof and the overload CI job run.
+//   threaded   one producer thread per feed plus a consumer thread, with
+//              optional real-time pacing (`speed`) and wall-clock faults.
+//              This is the daemon shape; the TSan job runs it to prove the
+//              rings under real concurrency.
+//
+// Convergence guarantee (ISSUE 7): with no shedding the monitor receives
+// the events in (time, kind, seq) order — identical to the batch merge in
+// replay_batch — so the alert sequence is byte-for-byte the same. Under
+// forced shedding the run still exits cleanly, every dropped event is
+// counted (stream.shed_*, stream.late_dropped), and produced ==
+// delivered + shed + late holds exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/dataset.hpp"
+#include "core/monitor.hpp"
+#include "stream/shedding.hpp"
+#include "stream/watermark.hpp"
+#include "testing/fault.hpp"
+#include "util/time.hpp"
+
+namespace bw::stream {
+
+struct ReplayOptions {
+  /// Per-feed ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity{8192};
+  /// Out-of-orderness allowance subtracted from each feed's watermark.
+  util::DurationMs allowance{0};
+  ShedMode shed_mode{ShedMode::kBlockWithDeadline};
+  /// kBlockWithDeadline, threaded mode: how long a producer waits for ring
+  /// space before shedding anyway.
+  util::DurationMs block_deadline{5 * util::kSecond};
+  /// Threaded mode: corpus-time to wall-clock ratio (2.0 = twice real
+  /// time); 0 = as fast as possible.
+  double speed{0.0};
+  /// Single-thread deterministic interleave instead of real threads.
+  bool lockstep{false};
+  /// Reorder-heap bound of the watermark mux.
+  std::size_t max_reorder{1 << 16};
+  /// Forced-overload fault (slow consumer / bursty producer); inert when
+  /// `fault.any()` is false.
+  testing::StreamFaultPlan fault;
+  /// Ground-truth shed log; called once per shed decision.
+  std::function<void(const ShedRecord&)> shed_sink;
+};
+
+struct ReplayStats {
+  ShedStats shed;  ///< summed over both feeds
+  MuxStats mux;
+  std::uint64_t produced_bgp{0};
+  std::uint64_t produced_flow{0};
+  std::uint64_t delivered_bgp{0};
+  std::uint64_t delivered_flow{0};
+
+  [[nodiscard]] std::uint64_t produced() const noexcept {
+    return produced_bgp + produced_flow;
+  }
+  [[nodiscard]] std::uint64_t delivered() const noexcept {
+    return delivered_bgp + delivered_flow;
+  }
+  [[nodiscard]] double shed_fraction() const noexcept {
+    return produced() == 0
+               ? 0.0
+               : static_cast<double>(shed.shed_total) /
+                     static_cast<double>(produced());
+  }
+};
+
+/// Stream `dataset` through rings -> shedding -> watermark mux -> monitor
+/// and finish() it at the corpus end. The accounting identity
+/// produced == delivered + shed_total + late_dropped holds on return.
+ReplayStats replay_streaming(const core::Dataset& dataset,
+                             core::RtbhMonitor& monitor,
+                             const ReplayOptions& options);
+
+/// The direct batch merge (the pre-streaming bw-monitor loop): visit both
+/// logs in (time, update-before-flow) order and finish(). The convergence
+/// reference for replay_streaming.
+void replay_batch(const core::Dataset& dataset, core::RtbhMonitor& monitor);
+
+}  // namespace bw::stream

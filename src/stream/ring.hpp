@@ -1,0 +1,111 @@
+// Bounded lock-free single-producer/single-consumer ring buffer — the
+// ingest primitive of the streaming monitor (DESIGN.md §12).
+//
+// A live IXP tap produces two independent feeds (route-server BGP updates
+// and sampled flow records), each written by exactly one exporter thread
+// and drained by exactly one consumer. That pairing is the cheapest
+// possible concurrency contract: one atomic store per push, one per pop,
+// no CAS loops, no locks, no allocation after construction. The streaming
+// daemon gives each feed its own SpscRing and merges on the consumer side
+// (stream/watermark.hpp), so the multi-producer case never needs a
+// multi-producer queue.
+//
+// Layout notes:
+//   - capacity is rounded up to a power of two so the slot index is a mask,
+//     and head/tail are free-running counters (never wrapped), so the full
+//     2^64 sequence space distinguishes full from empty without a spare
+//     slot;
+//   - head (consumer cursor) and tail (producer cursor) live on their own
+//     cache lines, each next to the *opposing* cursor's cached copy: the
+//     producer re-reads the consumer's head only when the ring looks full,
+//     the consumer re-reads tail only when it looks empty. In steady state
+//     both sides run on line-local data and never bounce a cache line.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bw::stream {
+
+/// Smallest power of two >= n (n = 0 maps to 1).
+[[nodiscard]] constexpr std::size_t ceil_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; a capacity of 1 is legal
+  /// (a single-slot handoff cell) and exercised by the edge-case tests.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(ceil_pow2(capacity) - 1), slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full (the element is
+  /// left untouched so the caller's shedding policy can decide its fate).
+  [[nodiscard]] bool try_push(T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  [[nodiscard]] bool try_push(T&& v) { return try_push(v); }
+
+  /// Consumer side: peek at the oldest element without popping it (null
+  /// when empty). The slot stays valid until the consumer pops — only the
+  /// consumer moves head, so this is race-free on the consumer thread.
+  [[nodiscard]] const T* front() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Occupancy snapshot. Exact when callers are quiescent; during
+  /// concurrent operation it may lag either cursor by one update — good
+  /// enough for the stream.queue_depth gauge, never for flow control.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::size_t mask_;
+  std::vector<T> slots_;
+  /// Consumer cache line: its own cursor plus the last tail it observed.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_{0};
+  /// Producer cache line: its own cursor plus the last head it observed.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_{0};
+};
+
+}  // namespace bw::stream

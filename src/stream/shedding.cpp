@@ -1,0 +1,131 @@
+#include "stream/shedding.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace bw::stream {
+
+namespace {
+
+obs::Counter& stream_counter(const char* what) {
+  return obs::Registry::global().counter(std::string("stream.") + what);
+}
+
+}  // namespace
+
+std::string_view to_string(ShedMode mode) {
+  switch (mode) {
+    case ShedMode::kBlockWithDeadline: return "block";
+    case ShedMode::kDropNewest: return "drop-newest";
+    case ShedMode::kPriorityShed: return "priority";
+  }
+  return "unknown";
+}
+
+util::Result<ShedMode> parse_shed_mode(std::string_view name) {
+  if (name == "block") return ShedMode::kBlockWithDeadline;
+  if (name == "drop-newest") return ShedMode::kDropNewest;
+  if (name == "priority") return ShedMode::kPriorityShed;
+  return util::invalid_argument("unknown shed mode '" + std::string(name) +
+                                "' (block | drop-newest | priority)");
+}
+
+std::string_view to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kBlockDeadline: return "block-deadline";
+    case ShedReason::kLegitFirst: return "legit-first";
+  }
+  return "unknown";
+}
+
+std::string ShedRecord::to_line() const {
+  std::ostringstream os;
+  os << to_string(kind) << " " << time << " seq " << seq << " "
+     << to_string(reason);
+  return os.str();
+}
+
+Shedder::Shedder(ShedConfig config) : cfg_(std::move(config)) {}
+
+void Shedder::shed(StreamEvent& ev, ShedReason reason) {
+  ++stats_.shed_total;
+  static obs::Counter& total = stream_counter("shed_total");
+  total.add();
+  if (ev.kind == EventKind::kBgpUpdate) {
+    ++stats_.shed_bgp;
+    static obs::Counter& bgp = stream_counter("shed_bgp");
+    bgp.add();
+  } else if (ev.flow.dropped()) {
+    ++stats_.shed_flow_attack;
+    static obs::Counter& attack = stream_counter("shed_flow_attack");
+    attack.add();
+  } else {
+    ++stats_.shed_flow_legit;
+    static obs::Counter& legit = stream_counter("shed_flow_legit");
+    legit.add();
+  }
+  if (cfg_.shed_sink) {
+    cfg_.shed_sink(ShedRecord{ev.kind, ev.time, ev.seq, reason});
+  }
+}
+
+bool Shedder::offer(SpscRing<StreamEvent>& ring, StreamEvent&& ev,
+                    const MakeRoom& make_room) {
+  // Occupancy is sampled before the push so the histogram sees the queue
+  // the event found, including the full ring a shed decision reacts to.
+  {
+    static obs::Gauge& depth = obs::Registry::global().gauge(
+        "stream.queue_depth");
+    static obs::Histogram& occupancy =
+        obs::Registry::global().histogram("stream.queue_occupancy");
+    const std::size_t size = ring.size();
+    depth.set(static_cast<std::int64_t>(size));
+    occupancy.record(size);
+  }
+
+  if (ring.try_push(ev)) {
+    ++stats_.pushed;
+    return true;
+  }
+
+  switch (cfg_.mode) {
+    case ShedMode::kDropNewest:
+      shed(ev, ShedReason::kQueueFull);
+      return false;
+
+    case ShedMode::kBlockWithDeadline:
+      while (!ring.try_push(ev)) {
+        if (!make_room || !make_room()) {
+          shed(ev, ShedReason::kBlockDeadline);
+          return false;
+        }
+      }
+      ++stats_.pushed;
+      return true;
+
+    case ShedMode::kPriorityShed:
+      if (ev.kind == EventKind::kFlow && !ev.flow.dropped()) {
+        // Legit-looking traffic pays for the backlog first: its loss only
+        // widens the statistics' confidence interval, never the event
+        // segmentation or the attack evidence.
+        shed(ev, ShedReason::kLegitFirst);
+        return false;
+      }
+      // BGP updates and attack-looking flows wait for room; the caller's
+      // make_room decides how long waiting can possibly help.
+      while (!ring.try_push(ev)) {
+        if (!make_room || !make_room()) {
+          shed(ev, ShedReason::kBlockDeadline);
+          return false;
+        }
+      }
+      ++stats_.pushed;
+      return true;
+  }
+  shed(ev, ShedReason::kQueueFull);  // unreachable; keeps -Wreturn-type calm
+  return false;
+}
+
+}  // namespace bw::stream

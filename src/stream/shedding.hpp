@@ -1,0 +1,118 @@
+// Backpressure and load-shedding policy for the streaming ingest path.
+//
+// A live feed that outruns the monitor leaves exactly three defensible
+// choices, and an operator must pick one explicitly (ROADMAP item 1: shed
+// load loudly, never silently):
+//
+//   kBlockWithDeadline  apply backpressure to the producer: wait for ring
+//                       space up to a wall-clock deadline, then shed. The
+//                       lossless choice when the producer tolerates stalls
+//                       (replay from disk, a kernel socket buffer).
+//   kDropNewest         shed the incoming event immediately when the ring
+//                       is full. The bounded-latency choice: the consumer
+//                       never sees stale backlog, but sheds blindly.
+//   kPriorityShed       protect the control plane and the attack signal:
+//                       BGP updates are never shed (the producer waits for
+//                       room), flow records that look legitimate (not
+//                       redirected to the blackhole MAC) are shed first,
+//                       attack-looking flows wait like BGP. Under overload
+//                       the monitor keeps event segmentation exact and
+//                       degrades only the traffic statistics.
+//
+// Every shed decision is counted in bw::obs (stream.shed_*) and reported
+// through an optional ShedSink — the ground-truth shed log the overload CI
+// job reconciles against the manifest counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "stream/event.hpp"
+#include "stream/ring.hpp"
+#include "util/status.hpp"
+
+namespace bw::stream {
+
+enum class ShedMode : std::uint8_t {
+  kBlockWithDeadline,
+  kDropNewest,
+  kPriorityShed,
+};
+
+[[nodiscard]] std::string_view to_string(ShedMode mode);
+/// Parse a CLI mode name: block | drop-newest | priority.
+[[nodiscard]] util::Result<ShedMode> parse_shed_mode(std::string_view name);
+
+enum class ShedReason : std::uint8_t {
+  kQueueFull,      ///< kDropNewest: ring full at arrival
+  kBlockDeadline,  ///< backpressure wait gave up (deadline or no consumer)
+  kLegitFirst,     ///< kPriorityShed: legit-looking flow shed to save room
+};
+
+[[nodiscard]] std::string_view to_string(ShedReason reason);
+
+/// One shed decision — the unit of the ground-truth shed log.
+struct ShedRecord {
+  EventKind kind{EventKind::kFlow};
+  util::TimeMs time{0};
+  std::uint64_t seq{0};
+  ShedReason reason{ShedReason::kQueueFull};
+
+  /// Stable one-line rendering ("flow 123456 seq 42 legit-first").
+  [[nodiscard]] std::string to_line() const;
+};
+
+struct ShedConfig {
+  ShedMode mode{ShedMode::kBlockWithDeadline};
+  /// Ground-truth log sink; invoked once per shed decision, in producer
+  /// order within each feed.
+  std::function<void(const ShedRecord&)> shed_sink;
+};
+
+/// Per-feed shed accounting (plain counters; the process-wide bw::obs
+/// mirrors are incremented alongside).
+struct ShedStats {
+  std::uint64_t pushed{0};
+  std::uint64_t shed_total{0};
+  std::uint64_t shed_bgp{0};
+  std::uint64_t shed_flow_legit{0};
+  std::uint64_t shed_flow_attack{0};
+
+  ShedStats& operator+=(const ShedStats& o) {
+    pushed += o.pushed;
+    shed_total += o.shed_total;
+    shed_bgp += o.shed_bgp;
+    shed_flow_legit += o.shed_flow_legit;
+    shed_flow_attack += o.shed_flow_attack;
+    return *this;
+  }
+};
+
+/// Producer-side gate in front of one feed ring. `make_room` is the
+/// caller's "wait for the consumer" hook: in threaded mode it sleeps and
+/// honours the block deadline, in lockstep mode it hands the consumer one
+/// deterministic drain step. It returns false when waiting can no longer
+/// help — at that point the event is shed (loudly, whatever the mode).
+class Shedder {
+ public:
+  using MakeRoom = std::function<bool()>;
+
+  explicit Shedder(ShedConfig config);
+
+  /// Push `ev` through the policy. Returns true when the event entered the
+  /// ring, false when it was shed (already counted and logged).
+  bool offer(SpscRing<StreamEvent>& ring, StreamEvent&& ev,
+             const MakeRoom& make_room);
+
+  [[nodiscard]] const ShedStats& stats() const noexcept { return stats_; }
+
+ private:
+  void shed(StreamEvent& ev, ShedReason reason);
+
+  ShedConfig cfg_;
+  ShedStats stats_;
+};
+
+}  // namespace bw::stream

@@ -1,0 +1,105 @@
+#include "stream/watermark.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace bw::stream {
+
+WatermarkMux::WatermarkMux(std::vector<FeedRing*> feeds,
+                           std::size_t max_buffer)
+    : feeds_(std::move(feeds)), max_buffer_(max_buffer == 0 ? 1 : max_buffer) {}
+
+namespace {
+
+/// A feed's effective progress at the consumer: the published watermark,
+/// clamped by the oldest event still undrained in its ring (a watermark
+/// must not overtake buffered records).
+util::TimeMs effective_mark(FeedRing& feed) {
+  util::TimeMs mark = feed.watermark.load(std::memory_order_acquire);
+  if (const StreamEvent* oldest = feed.ring.front()) {
+    const util::TimeMs floor =
+        oldest->time >
+                std::numeric_limits<util::TimeMs>::min() + feed.allowance
+            ? oldest->time - feed.allowance
+            : std::numeric_limits<util::TimeMs>::min();
+    mark = std::min(mark, floor);
+  }
+  return mark;
+}
+
+}  // namespace
+
+std::size_t WatermarkMux::drain_feeds(std::size_t budget) {
+  std::size_t popped = 0;
+  while (popped < budget) {
+    // The gating feed (lowest effective mark, still open) is drained with
+    // priority: its progress is what unlocks releases, so memory spent on
+    // other feeds' events would just sit in the heap.
+    FeedRing* pick = nullptr;
+    util::TimeMs pick_mark = std::numeric_limits<util::TimeMs>::max();
+    util::TimeMs gate_mark = std::numeric_limits<util::TimeMs>::max();
+    for (FeedRing* feed : feeds_) {
+      const bool empty = feed->ring.empty();
+      if (empty && feed->closed.load(std::memory_order_acquire)) continue;
+      const util::TimeMs mark = effective_mark(*feed);
+      gate_mark = std::min(gate_mark, mark);
+      if (!empty && (pick == nullptr || mark < pick_mark)) {
+        pick = feed;
+        pick_mark = mark;
+      }
+    }
+    if (pick == nullptr) break;
+    // At the heap cap, only the gating feed may keep growing the heap —
+    // draining a racing feed would just widen the unreleasable backlog.
+    // The racing feed's ring fills instead and its producer feels the
+    // backpressure; forced release below stays reserved for a gating feed
+    // that is open but dead.
+    if (heap_.size() >= max_buffer_ && pick_mark > gate_mark) break;
+
+    StreamEvent ev;
+    if (!pick->ring.try_pop(ev)) continue;  // raced with nothing: retry scan
+    ++popped;
+    if (ev.time < released_floor_) {
+      // The feed broke its watermark promise by more than the allowance;
+      // emitting now would hand the monitor time travel. Count and drop.
+      ++stats_.late_dropped;
+      static obs::Counter& late =
+          obs::Registry::global().counter("stream.late_dropped");
+      late.add();
+      continue;
+    }
+    heap_.push(std::move(ev));
+  }
+  return popped;
+}
+
+util::TimeMs WatermarkMux::release_threshold() {
+  util::TimeMs threshold = std::numeric_limits<util::TimeMs>::max();
+  for (FeedRing* feed : feeds_) {
+    if (feed->ring.empty() && feed->closed.load(std::memory_order_acquire)) {
+      continue;  // can never produce again; stops gating
+    }
+    threshold = std::min(threshold, effective_mark(*feed));
+  }
+  return threshold;
+}
+
+bool WatermarkMux::feeds_spent() const {
+  for (const FeedRing* feed : feeds_) {
+    if (!feed->closed.load(std::memory_order_acquire) || !feed->ring.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WatermarkMux::exhausted() const {
+  return heap_.empty() && feeds_spent();
+}
+
+void WatermarkMux::note_forced_release() {
+  static obs::Counter& forced =
+      obs::Registry::global().counter("stream.forced_release");
+  forced.add();
+}
+
+}  // namespace bw::stream

@@ -518,4 +518,81 @@ util::Result<BinaryFaultReport> apply_binary_fault(const std::string& path,
   return report;
 }
 
+// --- Streaming-ingest faults ------------------------------------------------
+
+std::string StreamFaultPlan::summary() const {
+  if (!any()) return "none";
+  std::ostringstream os;
+  const char* sep = "";
+  if (tick_events > 0) {
+    os << "slow-consumer " << drain_per_tick << "/" << tick_events;
+    sep = ", ";
+  }
+  if (consumer_delay_us > 0) {
+    os << sep << "consumer-delay " << consumer_delay_us << "us";
+    sep = ", ";
+  }
+  if (burst > 0) {
+    os << sep << "bursty-producer " << burst << " every " << burst_pause_us
+       << "us";
+  }
+  return os.str();
+}
+
+util::Result<StreamFaultPlan> parse_stream_fault_spec(std::string_view spec) {
+  StreamFaultPlan plan;
+  const auto parse_u64 = [](std::string_view s, std::uint64_t& out) {
+    const char* end = s.data() + s.size();
+    const auto [q, ec] = std::from_chars(s.data(), end, out);
+    return ec == std::errc{} && q == end && !s.empty();
+  };
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = std::min(spec.find(',', start), spec.size());
+    const std::string_view item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+
+    std::string_view parts[3];
+    std::size_t n_parts = 0;
+    std::size_t p = 0;
+    while (n_parts < 3) {
+      const std::size_t colon = std::min(item.find(':', p), item.size());
+      parts[n_parts++] = item.substr(p, colon - p);
+      if (colon == item.size()) break;
+      p = colon + 1;
+    }
+
+    const std::string_view kind = parts[0];
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (kind == "slow") {
+      if (n_parts != 3 || !parse_u64(parts[1], a) || !parse_u64(parts[2], b) ||
+          a == 0) {
+        return util::invalid_argument(
+            "slow consumer fault needs slow:TICK:DRAIN with TICK > 0");
+      }
+      plan.tick_events = static_cast<std::size_t>(a);
+      plan.drain_per_tick = static_cast<std::size_t>(b);
+    } else if (kind == "delay") {
+      if (n_parts != 2 || !parse_u64(parts[1], a) || a == 0) {
+        return util::invalid_argument("delay fault needs delay:MICROSECONDS");
+      }
+      plan.consumer_delay_us = a;
+    } else if (kind == "burst") {
+      if (n_parts < 2 || !parse_u64(parts[1], a) || a == 0 ||
+          (n_parts == 3 && !parse_u64(parts[2], b))) {
+        return util::invalid_argument("burst fault needs burst:N[:PAUSE_US]");
+      }
+      plan.burst = static_cast<std::size_t>(a);
+      plan.burst_pause_us = n_parts == 3 ? b : 1000;
+    } else {
+      return util::invalid_argument("unknown stream fault kind '" +
+                                    std::string(kind) +
+                                    "' (slow | delay | burst)");
+    }
+  }
+  return plan;
+}
+
 }  // namespace bw::testing

@@ -145,4 +145,45 @@ struct BinaryFaultReport {
 [[nodiscard]] util::Result<BinaryFaultReport> apply_binary_fault(
     const std::string& path, BinaryFaultKind kind, std::uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Streaming-ingest faults
+//
+// The streaming monitor (src/stream) must shed load loudly when the feed
+// outruns the kernels. Overload on a real box depends on scheduler whims;
+// these faults force it on demand, in two flavours:
+//
+//   slow consumer  the consumer drains at most `drain_per_tick` ring events
+//                  per `tick_events` produced (lockstep replay: exactly
+//                  deterministic), or stalls `consumer_delay_us` per
+//                  delivered event (threaded replay: wall-clock pressure);
+//   bursty producer the producer pushes `burst` events back to back, then
+//                  pauses `burst_pause_us` (threaded replay only) — the
+//                  arrival pattern of an export batch hitting the tap.
+// ---------------------------------------------------------------------------
+
+struct StreamFaultPlan {
+  /// Lockstep slow consumer: per `tick_events` pushed, the consumer pops at
+  /// most `drain_per_tick` events from the rings. 0 tick = keep up.
+  std::size_t tick_events{0};
+  std::size_t drain_per_tick{0};
+  /// Threaded slow consumer: busy-wait this long per delivered event.
+  std::uint64_t consumer_delay_us{0};
+  /// Threaded bursty producer: burst length and inter-burst pause.
+  std::size_t burst{0};
+  std::uint64_t burst_pause_us{0};
+
+  [[nodiscard]] bool any() const {
+    return tick_events > 0 || consumer_delay_us > 0 || burst > 0;
+  }
+  /// Human-readable one-liner for logs and manifests.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Parse a CLI stream fault spec: comma-separated items
+///   slow:TICK:DRAIN   lockstep slow consumer (e.g. "slow:8:2")
+///   delay:US          threaded slow consumer, per-event stall in µs
+///   burst:N[:PAUSE_US] threaded bursty producer
+[[nodiscard]] util::Result<StreamFaultPlan> parse_stream_fault_spec(
+    std::string_view spec);
+
 }  // namespace bw::testing

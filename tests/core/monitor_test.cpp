@@ -241,6 +241,75 @@ TEST_F(MonitorTest, LruEvictionOfActiveEventEmitsFinalAlert) {
   EXPECT_EQ(count(AlertKind::kEventEnded), 1u);
 }
 
+TEST_F(MonitorTest, ReannounceAfterEvictionStartsFreshEvent) {
+  auto cfg = default_config();
+  cfg.max_destinations = 2;
+  cfg.min_drop_samples = 10;
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 10);
+  monitor.on_update(announce(util::kHour, victim));
+  // Poison the pre-eviction event with forwarded (non-dropped) traffic: if
+  // its drop counters leaked into the next incarnation, the fresh event
+  // below would instantly trip a bogus low-drop alert.
+  for (int i = 0; i < 20; ++i) {
+    monitor.on_flow(sample(util::kHour + i * 100, victim, false));
+  }
+  EXPECT_EQ(count(AlertKind::kEventStarted), 1u);
+  EXPECT_EQ(count(AlertKind::kLowDropRate), 1u);
+
+  // Fresh destinations push the still-open event out of the cap.
+  monitor.on_flow(sample(util::kHour + 3000, net::Ipv4(24, 3, 0, 1), false));
+  monitor.on_flow(sample(util::kHour + 4000, net::Ipv4(24, 3, 0, 2), false));
+  EXPECT_EQ(count(AlertKind::kEventEnded), 1u);  // eviction closed it loudly
+  EXPECT_EQ(monitor.active_events(), 0u);
+
+  // The destination is re-announced after the eviction: a brand-new event
+  // must start — fresh kEventStarted, fresh drop accounting — even though
+  // the announce falls inside what would have been the old event's merge
+  // window had the state survived.
+  monitor.on_update(announce(util::kHour + util::minutes(3.0), victim));
+  EXPECT_EQ(count(AlertKind::kEventStarted), 2u);
+  EXPECT_EQ(monitor.total_events(), 2u);
+  EXPECT_EQ(monitor.active_events(), 1u);
+
+  // All traffic towards the reborn event drops: no low-drop alert may fire
+  // off the pre-eviction forwarded packets.
+  for (int i = 0; i < 20; ++i) {
+    monitor.on_flow(
+        sample(util::kHour + util::minutes(3.0) + i * 100, victim, true));
+  }
+  EXPECT_EQ(count(AlertKind::kLowDropRate), 1u) << "stale drop counters";
+}
+
+TEST_F(MonitorTest, WithdrawAfterEvictionThenReannounceStartsFreshEvent) {
+  auto cfg = default_config();
+  cfg.max_destinations = 2;
+  auto monitor = make_monitor(cfg);
+  const net::Ipv4 victim(24, 0, 0, 11);
+  monitor.on_update(announce(util::kHour, victim));
+  monitor.on_flow(sample(util::kHour + 1000, net::Ipv4(24, 4, 0, 1), false));
+  monitor.on_flow(sample(util::kHour + 2000, net::Ipv4(24, 4, 0, 2), false));
+  EXPECT_EQ(count(AlertKind::kEventEnded), 1u);  // evicted
+
+  // The route's own withdraw arrives after the eviction: it refers to the
+  // already-closed event, so it must neither alert nor resurrect anything.
+  monitor.on_update(withdraw(util::kHour + util::minutes(2.0), victim));
+  EXPECT_EQ(count(AlertKind::kEventEnded), 1u);
+  EXPECT_EQ(monitor.active_events(), 0u);
+
+  // Re-announce within the merge delta of that withdraw: the eviction cut
+  // the event's history, so this is a new event, not a merge.
+  monitor.on_update(announce(util::kHour + util::minutes(5.0), victim));
+  EXPECT_EQ(count(AlertKind::kEventStarted), 2u);
+  EXPECT_EQ(monitor.total_events(), 2u);
+  EXPECT_EQ(monitor.active_events(), 1u);
+
+  // And the reborn event still closes normally.
+  monitor.on_update(withdraw(util::kHour + util::minutes(10.0), victim));
+  monitor.advance(util::kHour + util::minutes(40.0));
+  EXPECT_EQ(count(AlertKind::kEventEnded), 2u);
+}
+
 TEST_F(MonitorTest, AgreesWithOfflinePipelineOnScenario) {
   // Replay a small scenario chronologically through the monitor and check
   // that its event count matches the offline merge.

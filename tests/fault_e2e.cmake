@@ -8,10 +8,14 @@
 #   6. the stage watchdog: a planted hang times out into a degraded-but-
 #      complete analysis (exit 0); an over-budget generation exits 3
 #
-# Expects -DBW_GENERATE, -DBW_FAULTGEN, -DBW_ANALYZE (tool paths) and
-# -DWORK_DIR (scratch directory, wiped on entry).
+#   7. bw-monitor honours the same strictness contract on the same corpora:
+#      strict rejects the corrupted CSV (exit 3), --skip-bad-rows survives
+#      it, and the clean corpus replays strictly (exit 0)
+#
+# Expects -DBW_GENERATE, -DBW_FAULTGEN, -DBW_ANALYZE, -DBW_MONITOR (tool
+# paths) and -DWORK_DIR (scratch directory, wiped on entry).
 
-foreach(var BW_GENERATE BW_FAULTGEN BW_ANALYZE WORK_DIR)
+foreach(var BW_GENERATE BW_FAULTGEN BW_ANALYZE BW_MONITOR WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "fault_e2e: missing -D${var}")
   endif()
@@ -43,6 +47,12 @@ run_step(0 "${BW_ANALYZE}" faulty_csv --skip-bad-rows --markdown faulty.md)
 
 # The clean CSV corpus round-trips strictly.
 run_step(0 "${BW_ANALYZE}" clean_csv --strict)
+
+# bw-monitor shares the loader and the contract: same corpus, same flags,
+# same exit codes — strict rejects, tolerant degrades, clean passes.
+run_step(3 "${BW_MONITOR}" faulty_csv --strict --quiet)
+run_step(0 "${BW_MONITOR}" faulty_csv --skip-bad-rows --quiet)
+run_step(0 "${BW_MONITOR}" clean_csv --strict --quiet --replay --lockstep)
 
 # --- Byte-level container faults -------------------------------------------
 # The checksummed container must turn each corruption into a load error

@@ -1,0 +1,103 @@
+#include "stream/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace bw::stream {
+namespace {
+
+TEST(CeilPow2Test, RoundsUp) {
+  EXPECT_EQ(ceil_pow2(0), 1u);
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(ceil_pow2(5), 8u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+  EXPECT_EQ(ceil_pow2(1024), 1024u);
+}
+
+TEST(SpscRingTest, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+}
+
+TEST(SpscRingTest, FifoOrderAcrossWraparound) {
+  SpscRing<int> ring(4);
+  int next_pop = 0;
+  // Push/pop far past the capacity so head and tail wrap many times:
+  // fill to the brim, then drain 3 of 4, so the cursors land on every
+  // offset modulo the capacity.
+  for (int v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(ring.try_push(v));
+    if (ring.size() == ring.capacity()) {
+      for (int k = 0; k < 3; ++k) {
+        int out = -1;
+        ASSERT_TRUE(ring.try_pop(out));
+        EXPECT_EQ(out, next_pop++);
+      }
+    }
+  }
+  int out = -1;
+  while (ring.try_pop(out)) EXPECT_EQ(out, next_pop++);
+  EXPECT_EQ(next_pop, 1000);
+}
+
+TEST(SpscRingTest, FullRejectsAndEmptyRejects) {
+  SpscRing<int> ring(2);
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out)) << "empty ring must reject pop";
+  EXPECT_TRUE(ring.empty());
+  ASSERT_TRUE(ring.try_push(1));
+  ASSERT_TRUE(ring.try_push(2));
+  int rejected = 3;
+  EXPECT_FALSE(ring.try_push(rejected)) << "full ring must reject push";
+  EXPECT_EQ(rejected, 3) << "rejected element must be left untouched";
+  EXPECT_EQ(ring.size(), 2u);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.try_push(rejected));  // room again after the pop
+}
+
+TEST(SpscRingTest, CapacityOneIsAHandoffCell) {
+  SpscRing<int> ring(1);
+  EXPECT_EQ(ring.capacity(), 1u);
+  for (int v = 0; v < 100; ++v) {
+    ASSERT_TRUE(ring.try_push(v));
+    int blocked = -1;
+    EXPECT_FALSE(ring.try_push(blocked));
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, v);
+    EXPECT_FALSE(ring.try_pop(out));
+  }
+}
+
+TEST(SpscRingTest, FrontPeeksWithoutPopping) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.front(), nullptr);
+  ASSERT_TRUE(ring.try_push(7));
+  ASSERT_TRUE(ring.try_push(8));
+  ASSERT_NE(ring.front(), nullptr);
+  EXPECT_EQ(*ring.front(), 7);
+  EXPECT_EQ(ring.size(), 2u) << "front must not consume";
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(*ring.front(), 8);
+}
+
+TEST(SpscRingTest, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+}  // namespace
+}  // namespace bw::stream

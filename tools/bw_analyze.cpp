@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string markdown_out;
   core::AnalysisConfig acfg;
-  core::LoadOptions load_options;  // default: Strictness::kStrict
+  tools::StrictnessOptions strictness;  // default: Strictness::kStrict
   tools::ObsOptions obs_options;
 
   for (int i = 1; i < argc; ++i) {
@@ -80,12 +80,8 @@ int main(int argc, char** argv) {
       acfg.stage_timeout = static_cast<util::DurationMs>(s * 1000.0);
     } else if (arg == "--inject-hang" && i + 1 < argc) {
       acfg.inject_stage_hangs.emplace_back(argv[++i]);
-    } else if (arg == "--strict") {
-      load_options.strictness = core::Strictness::kStrict;
-    } else if (arg == "--skip-bad-rows") {
-      load_options.strictness = core::Strictness::kSkip;
-    } else if (arg == "--repair") {
-      load_options.strictness = core::Strictness::kRepair;
+    } else if (strictness.parse(arg)) {
+      continue;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return tools::kExitOk;
@@ -111,18 +107,8 @@ int main(int argc, char** argv) {
     std::cout << "Loading " << path << "...\n";
     std::optional<core::Dataset> dataset;
     core::IngestReport ingest;
-    if (std::filesystem::is_directory(path)) {
-      auto loaded = core::load_dataset_csv(path, load_options, &ingest);
-      if (!loaded.ok()) {
-        std::cerr << "bw-analyze: " << loaded.status().to_string() << "\n";
-        return tools::kExitData;
-      }
-      dataset.emplace(std::move(loaded).value());
-      for (const auto& f : ingest.files) {
-        if (!f.clean()) std::cerr << f.summary() << "\n";
-      }
-    } else {
-      auto loaded = core::Dataset::try_load(path);
+    {
+      auto loaded = tools::load_corpus(path, strictness.load_options, &ingest);
       if (!loaded.ok()) {
         std::cerr << "bw-analyze: " << loaded.status().to_string() << "\n";
         return tools::kExitData;

@@ -1,33 +1,64 @@
-// bw-monitor: replay a .bwds corpus chronologically through the online
-// RTBH monitor and print every alert — what an operator tap on the route
-// server + IPFIX feed would produce in real time.
+// bw-monitor: replay a corpus chronologically through the online RTBH
+// monitor and print every alert — what an operator tap on the route server
+// + IPFIX feed would produce in real time.
 //
-//   bw-monitor corpus.bwds [--kinds attack,zombie,lowdrop] [--quiet]
+//   bw-monitor CORPUS [--kinds attack,zombie,lowdrop] [--quiet]
+//              [--strict | --skip-bad-rows | --repair]
+//              [--replay [--speed N] [--lockstep]]
+//              [--ring-capacity N] [--allowance MS] [--shed-mode MODE]
+//              [--max-reorder N] [--inject-stream-fault SPEC]
+//              [--alerts-out FILE] [--shed-log FILE]
 //              [--metrics-out FILE] [--trace-out FILE]
 //
+// CORPUS is a .bwds file or a CSV corpus directory (same strictness
+// contract as bw-analyze). Without --replay the corpus is fed directly
+// (batch merge); with --replay it is pushed through the full streaming
+// ingest path — per-feed SPSC rings, shedding policy, watermark merge
+// (docs/streaming.md). A no-shed streaming run produces the byte-identical
+// alert sequence; under overload it degrades loudly and still exits 0.
+//
 // Exit codes: 0 ok, 2 usage, 3 data error, 4 internal (see tools/cli.hpp).
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <map>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <unordered_set>
 
 #include "cli.hpp"
 #include "core/monitor.hpp"
-#include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "stream/replay.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 void usage() {
-  std::cerr << "usage: bw-monitor FILE.bwds [--kinds LIST] [--quiet]\n"
-               "                 [--metrics-out FILE] [--trace-out FILE]\n"
-               "  LIST: comma-separated of start,end,attack,lowdrop,zombie\n"
-               "  --quiet: summary only\n"
-            << bw::tools::kObsUsage;
+  std::cerr
+      << "usage: bw-monitor CORPUS [--kinds LIST] [--quiet]\n"
+         "                 [--strict | --skip-bad-rows | --repair]\n"
+         "                 [--replay [--speed N] [--lockstep]]\n"
+         "                 [--ring-capacity N] [--allowance MS]\n"
+         "                 [--shed-mode block|drop-newest|priority]\n"
+         "                 [--max-reorder N] [--inject-stream-fault SPEC]\n"
+         "                 [--alerts-out FILE] [--shed-log FILE]\n"
+         "                 [--metrics-out FILE] [--trace-out FILE]\n"
+         "  CORPUS is a .bwds file or a CSV corpus directory.\n"
+         "  LIST: comma-separated of start,end,attack,lowdrop,zombie\n"
+         "  --quiet: summary only\n"
+         "  --replay: stream through rings + shedding + watermark merge\n"
+         "  --speed N: corpus-time/wall-clock ratio (threaded replay; 0 =\n"
+         "             as fast as possible)\n"
+         "  --lockstep: deterministic single-thread replay interleave\n"
+         "  --inject-stream-fault SPEC: slow:TICK:DRAIN | delay:US |\n"
+         "             burst:N[:PAUSE_US] (comma-separated; forces overload)\n"
+         "  --alerts-out FILE: every alert, one stable line each\n"
+         "  --shed-log FILE: ground-truth shed log, one line per decision\n"
+      << bw::tools::kStrictnessUsage << bw::tools::kObsUsage;
 }
 
 std::optional<bw::core::AlertKind> kind_from(const std::string& name) {
@@ -40,13 +71,27 @@ std::optional<bw::core::AlertKind> kind_from(const std::string& name) {
   return std::nullopt;
 }
 
+/// The stable one-line alert rendering: what --alerts-out files contain and
+/// what the console prints. The replay-convergence check diffs these bytes.
+std::string alert_line(const bw::core::Alert& alert) {
+  std::ostringstream os;
+  os << "[" << bw::util::format_time(alert.time) << "] "
+     << bw::core::to_string(alert.kind) << ": " << alert.message;
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bw;
   std::string path;
+  std::string alerts_out;
+  std::string shed_log_out;
   bool quiet = false;
+  bool replay = false;
+  tools::StrictnessOptions strictness;
   tools::ObsOptions obs_options;
+  stream::ReplayOptions replay_options;
   std::unordered_set<core::AlertKind> kinds{core::AlertKind::kAttackCorrelated,
                                             core::AlertKind::kLowDropRate,
                                             core::AlertKind::kZombieSuspect};
@@ -55,8 +100,58 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (obs_options.parse(argc, argv, i)) {
       continue;
+    } else if (strictness.parse(arg)) {
+      continue;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--replay") {
+      replay = true;
+    } else if (arg == "--lockstep") {
+      replay_options.lockstep = true;
+    } else if (arg == "--speed" && i + 1 < argc) {
+      replay_options.speed = std::atof(argv[++i]);
+      if (replay_options.speed < 0) {
+        std::cerr << "bw-monitor: --speed must be >= 0\n";
+        return tools::kExitUsage;
+      }
+    } else if (arg == "--ring-capacity" && i + 1 < argc) {
+      replay_options.ring_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (replay_options.ring_capacity == 0) {
+        std::cerr << "bw-monitor: --ring-capacity must be > 0\n";
+        return tools::kExitUsage;
+      }
+    } else if (arg == "--allowance" && i + 1 < argc) {
+      replay_options.allowance = std::atoll(argv[++i]);
+      if (replay_options.allowance < 0) {
+        std::cerr << "bw-monitor: --allowance must be >= 0 ms\n";
+        return tools::kExitUsage;
+      }
+    } else if (arg == "--max-reorder" && i + 1 < argc) {
+      replay_options.max_reorder =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (replay_options.max_reorder == 0) {
+        std::cerr << "bw-monitor: --max-reorder must be > 0\n";
+        return tools::kExitUsage;
+      }
+    } else if (arg == "--shed-mode" && i + 1 < argc) {
+      auto mode = stream::parse_shed_mode(argv[++i]);
+      if (!mode.ok()) {
+        std::cerr << "bw-monitor: " << mode.status().to_string() << "\n";
+        return tools::kExitUsage;
+      }
+      replay_options.shed_mode = mode.value();
+    } else if (arg == "--inject-stream-fault" && i + 1 < argc) {
+      auto plan = testing::parse_stream_fault_spec(argv[++i]);
+      if (!plan.ok()) {
+        std::cerr << "bw-monitor: " << plan.status().to_string() << "\n";
+        return tools::kExitUsage;
+      }
+      replay_options.fault = plan.value();
+    } else if (arg == "--alerts-out" && i + 1 < argc) {
+      alerts_out = argv[++i];
+    } else if (arg == "--shed-log" && i + 1 < argc) {
+      shed_log_out = argv[++i];
     } else if (arg == "--kinds" && i + 1 < argc) {
       kinds.clear();
       std::istringstream list(argv[++i]);
@@ -89,37 +184,49 @@ int main(int argc, char** argv) {
 
   try {
     std::cout << "Loading " << path << "...\n";
-    auto loaded = core::Dataset::try_load(path);
+    auto loaded = tools::load_corpus(path, strictness.load_options);
     if (!loaded.ok()) {
       std::cerr << "bw-monitor: " << loaded.status().to_string() << "\n";
       return tools::kExitData;
     }
     const core::Dataset& dataset = loaded.value();
 
+    // Alert and shed logs are accumulated in memory and committed
+    // atomically at the end — a half-written log is worse than none.
+    std::string alert_log;
+    std::string shed_log;
     std::map<core::AlertKind, std::size_t> counts;
     core::RtbhMonitor monitor({}, [&](const core::Alert& alert) {
       ++counts[alert.kind];
+      const std::string line = alert_line(alert);
+      if (!alerts_out.empty()) {
+        alert_log += line;
+        alert_log += '\n';
+      }
       if (!quiet && kinds.contains(alert.kind)) {
-        std::cout << "[" << util::format_time(alert.time) << "] "
-                  << core::to_string(alert.kind) << ": " << alert.message
-                  << "\n";
+        std::cout << line << "\n";
       }
     });
 
-    {
-      const obs::TraceSpan replay_span("monitor.replay", "monitor");
-      const auto& updates = dataset.blackhole_updates();
-      const auto& flows = dataset.flows();
-      std::size_t ui = 0;
-      std::size_t fi = 0;
-      while (ui < updates.size() || fi < flows.size()) {
-        const bool take_update =
-            fi >= flows.size() ||
-            (ui < updates.size() && updates[ui].time <= flows[fi].time);
-        if (take_update) monitor.on_update(updates[ui++]);
-        else monitor.on_flow(flows[fi++]);
+    stream::ReplayStats stats;
+    if (replay) {
+      if (!shed_log_out.empty()) {
+        // Threaded replay sheds from both producer threads; the log is the
+        // one shared sink, so it takes a lock (shedding is the rare path).
+        static std::mutex shed_mutex;
+        replay_options.shed_sink = [&](const stream::ShedRecord& rec) {
+          const std::lock_guard<std::mutex> lock(shed_mutex);
+          shed_log += rec.to_line();
+          shed_log += '\n';
+        };
       }
-      monitor.finish(dataset.period().end);
+      if (replay_options.fault.any() && !quiet) {
+        std::cout << "stream fault armed: " << replay_options.fault.summary()
+                  << "\n";
+      }
+      stats = stream::replay_streaming(dataset, monitor, replay_options);
+    } else {
+      stream::replay_batch(dataset, monitor);
     }
 
     util::TextTable table({"signal", "count"});
@@ -129,11 +236,37 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n" << table << "Events observed: " << monitor.total_events()
               << "\n";
+    if (replay) {
+      std::cout << "Streaming: " << stats.produced() << " produced, "
+                << stats.delivered() << " delivered, " << stats.shed.shed_total
+                << " shed, " << stats.mux.late_dropped << " late-dropped ("
+                << to_string(replay_options.shed_mode) << " mode, "
+                << (replay_options.lockstep ? "lockstep" : "threaded")
+                << ")\n";
+    }
+
+    if (!alerts_out.empty()) {
+      const util::Status st = util::atomic_write_file(alerts_out, alert_log);
+      if (!st.ok()) {
+        std::cerr << "bw-monitor: " << st.to_string() << "\n";
+        return tools::kExitData;
+      }
+    }
+    if (!shed_log_out.empty()) {
+      const util::Status st = util::atomic_write_file(shed_log_out, shed_log);
+      if (!st.ok()) {
+        std::cerr << "bw-monitor: " << st.to_string() << "\n";
+        return tools::kExitData;
+      }
+    }
 
     obs::Manifest manifest;
     manifest.tool = "bw-monitor";
     manifest.corpus = path;
     manifest.threads = util::ThreadPool::configured_concurrency();
+    if (replay) {
+      manifest.stream_mode = std::string(to_string(replay_options.shed_mode));
+    }
     manifest.populate_from_metrics(obs::Registry::global().snapshot());
     if (!obs_options.emit("bw-monitor", manifest)) return tools::kExitData;
 

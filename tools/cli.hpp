@@ -14,9 +14,11 @@
 // stage faults behave.
 #pragma once
 
+#include <filesystem>
 #include <iostream>
 #include <string>
 
+#include "core/io_text.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
 #include "util/atomic_file.hpp"
@@ -84,5 +86,54 @@ struct ObsOptions {
 inline constexpr const char* kObsUsage =
     "  --metrics-out FILE   write a run manifest + metrics snapshot (JSON)\n"
     "  --trace-out FILE     write a Chrome-trace JSON timeline\n";
+
+/// The strictness flags every corpus-consuming tool accepts (the 0/2/3/4
+/// exit-code contract depends on all tools honouring the same trio):
+///   --strict        fail on the first malformed CSV row (default)
+///   --skip-bad-rows drop malformed rows, accounted in data quality
+///   --repair        like skip, salvaging recoverably-damaged rows
+struct StrictnessOptions {
+  core::LoadOptions load_options;  // default: Strictness::kStrict
+
+  /// Handle one argv slot; returns true when it was a strictness flag.
+  bool parse(std::string_view arg) {
+    if (arg == "--strict") {
+      load_options.strictness = core::Strictness::kStrict;
+    } else if (arg == "--skip-bad-rows") {
+      load_options.strictness = core::Strictness::kSkip;
+    } else if (arg == "--repair") {
+      load_options.strictness = core::Strictness::kRepair;
+    } else {
+      return false;
+    }
+    return true;
+  }
+};
+
+inline constexpr const char* kStrictnessUsage =
+    "  --strict             fail on the first malformed CSV row (default)\n"
+    "  --skip-bad-rows      drop malformed rows; account in data quality\n"
+    "  --repair             like --skip-bad-rows, salvaging rows whose\n"
+    "                       damage is confined to recoverable fields\n";
+
+/// Load CORPUS — a .bwds container or a CSV directory — under `options`,
+/// printing a per-file summary line to stderr for every unclean CSV file.
+/// On failure the caller reports the status and exits kExitData.
+inline util::Result<core::Dataset> load_corpus(
+    const std::string& path, const core::LoadOptions& options,
+    core::IngestReport* ingest = nullptr) {
+  if (std::filesystem::is_directory(path)) {
+    core::IngestReport local;
+    core::IngestReport* report = ingest != nullptr ? ingest : &local;
+    auto loaded = core::load_dataset_csv(path, options, report);
+    if (loaded.ok()) {
+      for (const auto& f : report->files) {
+        if (!f.clean()) std::cerr << f.summary() << "\n";
+      }
+    }
+    return loaded;
+  }
+  return core::Dataset::try_load(path);
+}
 
 }  // namespace bw::tools
